@@ -1,0 +1,216 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations over the design choices DESIGN.md calls out
+// (Runge-Kutta order, node scaling, vectorization width, exploratory
+// method). The per-iteration work uses a micro training scale so the
+// benchmarks measure harness cost, while the full-shape campaign is run by
+// cmd/airdrop-study (see EXPERIMENTS.md for the recorded numbers).
+package rldecide_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"rldecide/internal/airdrop"
+	"rldecide/internal/core"
+	"rldecide/internal/distrib"
+	"rldecide/internal/experiments"
+	"rldecide/internal/mathx"
+	"rldecide/internal/param"
+	"rldecide/internal/report"
+	"rldecide/internal/search"
+)
+
+// benchScale is a micro training budget for benchmark iterations.
+func benchScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.TotalSteps = 1_000
+	s.SACStartSteps = 300
+	s.SACBatch = 32
+	s.EvalEpisodes = 5
+	s.RolloutSteps = 32
+	return s
+}
+
+// BenchmarkTableI regenerates the full 18-configuration campaign of
+// Table I (reward / computation time / power consumption per learning
+// configuration) at micro scale.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Campaign(benchScale(), uint64(i)+1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiments.Outcomes(rep)) != 18 {
+			b.Fatal("incomplete campaign")
+		}
+	}
+}
+
+// campaignOnce memoizes one micro campaign for the figure benchmarks.
+var campaignOnce = sync.OnceValues(func() (*core.Report, error) {
+	return experiments.Campaign(benchScale(), 7, 1)
+})
+
+func benchFigure(b *testing.B, number int) {
+	rep, err := campaignOnce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fig, err := experiments.FigureByNumber(number)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MeasuredFront(rep, fig, experiments.FrontEps); err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.RenderFigure(io.Discard, rep, fig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the Reward-vs-Computation-Time Pareto front.
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, 4) }
+
+// BenchmarkFigure5 regenerates the Power-vs-Computation-Time Pareto front.
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, 5) }
+
+// BenchmarkFigure6 regenerates the Reward-vs-Power Pareto front.
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, 6) }
+
+// --- Ablations -----------------------------------------------------------
+
+// benchTrain runs one micro training job.
+func benchTrain(b *testing.B, sol experiments.Solution) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSolutionOnce(sol, benchScale(), uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRKOrder3/5/8 isolate the Runge-Kutta order, the paper's
+// environment-side accuracy/cost knob (same framework, algo, deployment).
+func BenchmarkAblationRKOrder3(b *testing.B) {
+	benchTrain(b, experiments.Solution{RKOrder: 3, Framework: distrib.StableBaselines, Algo: distrib.PPO, Nodes: 1, Cores: 4})
+}
+
+func BenchmarkAblationRKOrder5(b *testing.B) {
+	benchTrain(b, experiments.Solution{RKOrder: 5, Framework: distrib.StableBaselines, Algo: distrib.PPO, Nodes: 1, Cores: 4})
+}
+
+func BenchmarkAblationRKOrder8(b *testing.B) {
+	benchTrain(b, experiments.Solution{RKOrder: 8, Framework: distrib.StableBaselines, Algo: distrib.PPO, Nodes: 1, Cores: 4})
+}
+
+// BenchmarkAblationNodes1/2 isolate multi-node distribution (the paper's
+// solutions 7 vs 8).
+func BenchmarkAblationNodes1(b *testing.B) {
+	benchTrain(b, experiments.Solution{RKOrder: 8, Framework: distrib.RLlib, Algo: distrib.PPO, Nodes: 1, Cores: 4})
+}
+
+func BenchmarkAblationNodes2(b *testing.B) {
+	benchTrain(b, experiments.Solution{RKOrder: 8, Framework: distrib.RLlib, Algo: distrib.PPO, Nodes: 2, Cores: 4})
+}
+
+// BenchmarkAblationCores2/4 isolate vectorization width (solutions 10 vs
+// 11).
+func BenchmarkAblationCores2(b *testing.B) {
+	benchTrain(b, experiments.Solution{RKOrder: 3, Framework: distrib.TFAgents, Algo: distrib.PPO, Nodes: 1, Cores: 2})
+}
+
+func BenchmarkAblationCores4(b *testing.B) {
+	benchTrain(b, experiments.Solution{RKOrder: 3, Framework: distrib.TFAgents, Algo: distrib.PPO, Nodes: 1, Cores: 4})
+}
+
+// BenchmarkExplorerRandom/Grid/TPE compare the exploratory methods' cost
+// of proposing 100 configurations over the campaign space.
+func benchExplorer(b *testing.B, mk func() search.Explorer) {
+	space := experiments.Space()
+	rng := mathx.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := mk()
+		var hist []search.Observation
+		for j := 0; j < 100; j++ {
+			a, ok := ex.Next(rng, space, hist)
+			if !ok {
+				break
+			}
+			hist = append(hist, search.Observation{Assignment: a, Objective: float64(j % 7)})
+		}
+	}
+}
+
+func BenchmarkExplorerRandom(b *testing.B) {
+	benchExplorer(b, func() search.Explorer { return search.RandomSearch{} })
+}
+
+func BenchmarkExplorerGrid(b *testing.B) {
+	benchExplorer(b, func() search.Explorer { return &search.GridSearch{} })
+}
+
+func BenchmarkExplorerTPE(b *testing.B) {
+	benchExplorer(b, func() search.Explorer { return search.TPE{} })
+}
+
+// BenchmarkEnvEpisode measures one full simulator episode under the
+// scripted autopilot (the case study's raw compute).
+func BenchmarkEnvEpisode(b *testing.B) {
+	env := airdrop.MustNew(airdrop.NewConfig(), 1)
+	ap := airdrop.Autopilot{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs := env.Reset()
+		for {
+			res := env.Step(ap.Act(obs))
+			obs = res.Obs
+			if res.Done {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkReportTable measures rendering the campaign table.
+func BenchmarkReportTable(b *testing.B) {
+	rep, err := campaignOnce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := report.Table(io.Discard, rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStudyOverhead measures the methodology pipeline itself with a
+// free objective (no training), isolating core/search/pareto costs.
+func BenchmarkStudyOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study := &core.Study{
+			CaseStudy: core.CaseStudy{Name: "overhead"},
+			Space:     experiments.Space(),
+			Explorer:  search.RandomSearch{},
+			Metrics:   experiments.Metrics(),
+			Ranker:    core.ParetoRanker{},
+			Objective: func(a param.Assignment, seed uint64, rec *core.Recorder) error {
+				rec.Report(experiments.MetricReward, -float64(seed%100)/100)
+				rec.Report(experiments.MetricTime, float64(seed%60)+40)
+				rec.Report(experiments.MetricPower, float64(seed%200)+100)
+				rec.Report(experiments.MetricUtil, 0.9)
+				return nil
+			},
+			Seed: uint64(i) + 1,
+		}
+		if _, err := study.Run(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

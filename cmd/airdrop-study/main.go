@@ -1,0 +1,169 @@
+// Command airdrop-study runs the paper's experimental campaign on the
+// airdrop package delivery simulator and regenerates its evaluation
+// artifacts: Table I (18 configurations × {reward, computation time, power
+// consumption}) and the three Pareto-front figures.
+//
+// Usage:
+//
+//	airdrop-study [flags]
+//
+//	-scale quick|default|paper   training budget per configuration
+//	-mode  table|random          fixed Table-I set or fresh Random Search
+//	-trials N                    trials in random mode (default 18)
+//	-seed N                      study seed
+//	-out DIR                     write table.md, campaign.csv/.json and
+//	                             fig4/5/6.svg into DIR
+//	-ascii                       print figures as terminal plots
+//	-check                       evaluate the paper's narrative findings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rldecide/internal/core"
+	"rldecide/internal/experiments"
+	"rldecide/internal/report"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "training scale: quick|default|paper")
+		mode      = flag.String("mode", "table", "campaign mode: table|random")
+		trials    = flag.Int("trials", 18, "number of trials in random mode")
+		seed      = flag.Uint64("seed", 7, "study seed")
+		outDir    = flag.String("out", "", "directory for table/figure artifacts")
+		ascii     = flag.Bool("ascii", false, "print ASCII figures to stdout")
+		check     = flag.Bool("check", false, "check the paper's narrative findings")
+		par       = flag.Int("parallel", 1, "concurrent trials")
+		expMD     = flag.String("experiments-md", "", "write the paper-vs-measured record to FILE")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fatalf("unknown scale %q (quick|default|paper)", *scaleName)
+	}
+
+	var study *core.Study
+	n := *trials
+	switch *mode {
+	case "table":
+		study = experiments.NewTableIStudy(scale, *seed, *par)
+		n = len(experiments.TableI())
+	case "random":
+		study = experiments.NewRandomStudy(scale, *seed, *par)
+	default:
+		fatalf("unknown mode %q (table|random)", *mode)
+	}
+
+	fmt.Fprintf(os.Stderr, "running %d trials at %s scale (%d steps/config)...\n", n, *scaleName, scale.TotalSteps)
+	start := time.Now()
+	rep, err := study.Run(n)
+	if err != nil {
+		fatalf("campaign failed: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "campaign finished in %s\n\n", time.Since(start).Round(time.Second))
+
+	if err := report.Table(os.Stdout, rep); err != nil {
+		fatalf("render table: %v", err)
+	}
+	fmt.Println()
+
+	for _, fig := range experiments.Figures() {
+		ids, err := experiments.MeasuredFront(rep, fig, fig.Eps)
+		if err != nil {
+			fatalf("front: %v", err)
+		}
+		fmt.Printf("%s\n  measured front: %v (paper: %v)\n", fig.Title, ids, fig.PaperFront)
+		if *ascii {
+			if err := experiments.RenderFigureASCII(os.Stdout, rep, fig); err != nil {
+				fatalf("ascii figure: %v", err)
+			}
+		}
+	}
+
+	if *check {
+		fmt.Println("\nnarrative findings:")
+		errs := experiments.CheckFindings(experiments.Outcomes(rep))
+		for _, e := range errs {
+			fmt.Printf("  FAIL %v\n", e)
+		}
+		fmt.Printf("  %d/%d findings reproduced\n", len(experiments.Findings())-len(errs), len(experiments.Findings()))
+	}
+
+	if *outDir != "" {
+		if err := writeArtifacts(*outDir, rep); err != nil {
+			fatalf("write artifacts: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "artifacts written to %s\n", *outDir)
+	}
+
+	if *expMD != "" {
+		f, err := os.Create(*expMD)
+		if err != nil {
+			fatalf("experiments-md: %v", err)
+		}
+		defer f.Close()
+		if err := experiments.WriteExperimentsMD(f, rep, scale, *seed); err != nil {
+			fatalf("experiments-md: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "paper-vs-measured record written to %s\n", *expMD)
+	}
+}
+
+func writeArtifacts(dir string, rep *core.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, render func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return render(f)
+	}
+	if err := write("table.md", func(f *os.File) error { return report.Table(f, rep) }); err != nil {
+		return err
+	}
+	if err := write("campaign.csv", func(f *os.File) error { return report.CSV(f, rep) }); err != nil {
+		return err
+	}
+	if err := write("campaign.json", func(f *os.File) error { return report.JSON(f, rep) }); err != nil {
+		return err
+	}
+	for _, fig := range experiments.Figures() {
+		fig := fig
+		name := fmt.Sprintf("fig%d.svg", fig.Number)
+		if err := write(name, func(f *os.File) error { return experiments.RenderFigure(f, rep, fig) }); err != nil {
+			return err
+		}
+	}
+	var specs []report.ScatterSpec
+	for _, fig := range experiments.Figures() {
+		specs = append(specs, report.ScatterSpec{
+			X: fig.X, Y: fig.Y, Title: fig.Title, Eps: fig.Eps,
+		})
+	}
+	// The HTML plots follow the paper's figures in excluding the
+	// off-scale SAC points; the table keeps every trial.
+	return write("report.html", func(f *os.File) error {
+		return report.HTML(f, experiments.PPOOnly(rep), specs)
+	})
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "airdrop-study: "+format+"\n", args...)
+	os.Exit(1)
+}

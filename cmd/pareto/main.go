@@ -1,0 +1,155 @@
+// Command pareto is a standalone decision-analysis tool over CSV metric
+// files: it extracts the (ε-)Pareto front, successive fronts, and the knee
+// point of any two-or-more-objective dataset — the ranking stage of the
+// methodology, usable on results produced outside this repository.
+//
+// Usage:
+//
+//	pareto -cols time,reward -dirs min,max [-eps 0.05] [-fronts] < data.csv
+//
+// The CSV must have a header row; -cols names the objective columns.
+// The first column is treated as the row identifier if named "id",
+// otherwise row numbers are used.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"rldecide/internal/pareto"
+)
+
+func main() {
+	var (
+		cols   = flag.String("cols", "", "comma-separated objective column names (required)")
+		dirs   = flag.String("dirs", "", "comma-separated directions per column: min|max (required)")
+		eps    = flag.Float64("eps", 0, "ε tolerance for the front (relative)")
+		fronts = flag.Bool("fronts", false, "print all successive fronts (non-dominated sort)")
+		knee   = flag.Bool("knee", false, "print the knee point of the front")
+	)
+	flag.Parse()
+
+	colNames := splitNonEmpty(*cols)
+	dirNames := splitNonEmpty(*dirs)
+	if len(colNames) < 2 || len(colNames) != len(dirNames) {
+		fatalf("need matching -cols and -dirs with at least two objectives")
+	}
+	directions := make([]pareto.Direction, len(dirNames))
+	for i, d := range dirNames {
+		switch d {
+		case "min":
+			directions[i] = pareto.Minimize
+		case "max":
+			directions[i] = pareto.Maximize
+		default:
+			fatalf("direction %q must be min or max", d)
+		}
+	}
+
+	ids, points, err := readCSV(os.Stdin, colNames)
+	if err != nil {
+		fatalf("read: %v", err)
+	}
+	if len(points) == 0 {
+		fatalf("no data rows")
+	}
+
+	var front []int
+	if *eps > 0 {
+		front = pareto.EpsilonFront(points, directions, *eps)
+	} else {
+		front = pareto.Front(points, directions)
+	}
+	fmt.Printf("front (%d of %d):\n", len(front), len(points))
+	for _, i := range front {
+		fmt.Printf("  %s  %v\n", ids[i], points[i].Values)
+	}
+
+	if *fronts {
+		for rank, f := range pareto.NonDominatedSort(points, directions) {
+			labels := make([]string, len(f))
+			for j, i := range f {
+				labels[j] = ids[i]
+			}
+			fmt.Printf("front %d: %s\n", rank, strings.Join(labels, ", "))
+		}
+	}
+	if *knee {
+		if k := pareto.Knee(points, directions); k >= 0 {
+			fmt.Printf("knee: %s %v\n", ids[k], points[k].Values)
+		}
+	}
+}
+
+func readCSV(r io.Reader, cols []string) ([]string, []pareto.Point, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("header: %w", err)
+	}
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		colIdx[i] = -1
+		for j, h := range header {
+			if strings.TrimSpace(h) == c {
+				colIdx[i] = j
+			}
+		}
+		if colIdx[i] == -1 {
+			return nil, nil, fmt.Errorf("column %q not found (header: %v)", c, header)
+		}
+	}
+	idIdx := -1
+	if len(header) > 0 && strings.TrimSpace(header[0]) == "id" {
+		idIdx = 0
+	}
+
+	var ids []string
+	var points []pareto.Point
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		vals := make([]float64, len(colIdx))
+		for i, j := range colIdx {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d column %s: %w", row+1, cols[i], err)
+			}
+			vals[i] = v
+		}
+		id := fmt.Sprintf("row%d", row+1)
+		if idIdx >= 0 {
+			id = rec[idIdx]
+		}
+		ids = append(ids, id)
+		points = append(points, pareto.Point{ID: row, Values: vals})
+		row++
+	}
+	return ids, points, nil
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pareto: "+format+"\n", args...)
+	os.Exit(1)
+}

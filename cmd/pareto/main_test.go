@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := `id,framework,time,reward
+2,rllib,46,-0.66
+11,tfagents,49,-0.58
+16,stablebaselines,65,-0.45
+`
+	ids, pts, err := readCSV(strings.NewReader(in), []string{"time", "reward"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || len(ids) != 3 {
+		t.Fatalf("rows %d/%d", len(pts), len(ids))
+	}
+	if ids[0] != "2" || ids[2] != "16" {
+		t.Fatalf("ids %v", ids)
+	}
+	if pts[1].Values[0] != 49 || pts[1].Values[1] != -0.58 {
+		t.Fatalf("values %v", pts[1].Values)
+	}
+}
+
+func TestReadCSVNoIDColumn(t *testing.T) {
+	in := "a,b\n1,2\n3,4\n"
+	ids, pts, err := readCSV(strings.NewReader(in), []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] != "row1" || ids[1] != "row2" {
+		t.Fatalf("fallback ids %v", ids)
+	}
+	if len(pts) != 2 {
+		t.Fatal("rows lost")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, _, err := readCSV(strings.NewReader("a,b\n1,2\n"), []string{"nope"}); err == nil {
+		t.Error("missing column should error")
+	}
+	if _, _, err := readCSV(strings.NewReader("a,b\nx,2\n"), []string{"a", "b"}); err == nil {
+		t.Error("non-numeric cell should error")
+	}
+	if _, _, err := readCSV(strings.NewReader(""), []string{"a"}); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	got := splitNonEmpty(" a, ,b ,")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("split %v", got)
+	}
+	if splitNonEmpty("") != nil {
+		t.Fatal("empty should be nil")
+	}
+}

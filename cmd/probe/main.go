@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"rldecide/internal/experiments"
+)
+
+func main() {
+	start := time.Now()
+	rep, err := experiments.Campaign(experiments.DefaultScale(), 7, 1)
+	if err != nil {
+		fmt.Println("ERR", err)
+		os.Exit(1)
+	}
+	fmt.Println("campaign wall:", time.Since(start))
+	for _, o := range experiments.Outcomes(rep) {
+		fmt.Printf("%-45s reward=%7.3f time=%6.1fmin power=%7.1fkJ util=%.2f\n", o.Solution, o.Reward, o.TimeMinutes, o.PowerKJ, o.Utilization)
+	}
+	for _, e := range experiments.CheckFindings(experiments.Outcomes(rep)) {
+		fmt.Println("FINDING FAIL:", e)
+	}
+	cmps, _ := experiments.CompareFronts(rep)
+	for _, c := range cmps {
+		fmt.Printf("fig %d: measured=%v paper=%v missing=%v extra=%v\n", c.Figure.Number, c.Measured, c.Figure.PaperFront, c.Missing, c.Extra)
+	}
+}

@@ -1,0 +1,18 @@
+// Package rldecide reproduces "A Methodology to Build Decision Analysis
+// Tools Applied to Distributed Reinforcement Learning" (Prigent, Cudennec,
+// Costan, Antoniu — ScaDL/IPDPS-W 2022): a five-stage methodology for
+// choosing, before implementation, among distributed-RL frameworks,
+// learning algorithms and deployment configurations under antagonist
+// objectives (reward, computation time, power consumption).
+//
+// The repository contains the methodology core (internal/core, with
+// parameter spaces, exploratory methods and Pareto ranking) and every
+// substrate the paper's campaign needs, built from scratch: a gym-style
+// environment layer, the airdrop package delivery simulator with
+// Runge-Kutta canopy dynamics, a neural-network/PPO/SAC stack, three
+// distributed-training backends in the architectural styles of Ray RLlib,
+// Stable Baselines and TF-Agents, and a virtual-time cluster simulator
+// with a CPU power model standing in for the paper's 2-node testbed.
+//
+// Start with README.md, examples/quickstart, and cmd/airdrop-study.
+package rldecide

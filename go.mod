@@ -1,0 +1,3 @@
+module rldecide
+
+go 1.24

@@ -1,0 +1,348 @@
+// Package core implements the paper's primary contribution: a methodology
+// for building decision-analysis tools for (distributed) machine-learning
+// projects. A Study wires the five stages together:
+//
+//	(a) the case study        — CaseStudy metadata plus an Objective that
+//	                            knows how to run one learning task;
+//	(b) learning configs      — a param.Space of algorithm-, system- and
+//	                            environment-dependent parameters;
+//	(c) exploratory method    — a search.Explorer (Random Search, Grid
+//	                            Search, TPE, ...);
+//	(d) evaluation metrics    — Metrics recorded by every trial (reward,
+//	                            computation time, power consumption, ...);
+//	(e) ranking method        — a Ranker (Pareto fronts, sorted arrays)
+//	                            producing the decision analysis.
+//
+// Study.Run executes trials (optionally in parallel), collects the metric
+// values, and returns a Report that the report package renders as tables
+// and Pareto-front plots.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"rldecide/internal/mathx"
+	"rldecide/internal/param"
+	"rldecide/internal/pareto"
+	"rldecide/internal/search"
+)
+
+// CaseStudy is stage (a): what problem the study is about.
+type CaseStudy struct {
+	Name        string
+	Description string
+}
+
+// Metric is one evaluation criterion of stage (d).
+type Metric struct {
+	Name      string
+	Unit      string
+	Direction pareto.Direction
+}
+
+// Trial is one evaluated learning configuration.
+type Trial struct {
+	ID     int
+	Params param.Assignment
+	// Values holds the recorded metrics (by metric name).
+	Values map[string]float64
+	// Intermediate holds the trial's intermediate objective reports (used
+	// by pruners).
+	Intermediate []float64
+	Pruned       bool
+	Err          error
+	Seed         uint64
+}
+
+// Recorder is handed to the objective to report metric values and
+// intermediate progress.
+type Recorder struct {
+	study *Study
+	trial *Trial
+	mu    sync.Mutex
+}
+
+// Report records the final value of a metric. Unknown metric names panic:
+// the metric list is the study's contract.
+func (r *Recorder) Report(metric string, value float64) {
+	if !r.study.hasMetric(metric) {
+		panic(fmt.Sprintf("core: trial reported unknown metric %q", metric))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trial.Values[metric] = value
+}
+
+// Intermediate reports a progress value of the study's primary metric and
+// returns false when the pruner decides the trial should stop. Objectives
+// that support pruning should return early (ErrPruned) when it returns
+// false.
+func (r *Recorder) Intermediate(value float64) bool {
+	r.mu.Lock()
+	step := len(r.trial.Intermediate)
+	r.trial.Intermediate = append(r.trial.Intermediate, value)
+	r.mu.Unlock()
+	if r.study.Pruner == nil {
+		return true
+	}
+	hist := r.study.finishedIntermediates()
+	prune := r.study.Pruner.ShouldPrune(step, value, r.study.primary().Direction == pareto.Maximize, hist)
+	if prune {
+		r.mu.Lock()
+		r.trial.Pruned = true
+		r.mu.Unlock()
+	}
+	return !prune
+}
+
+// ErrPruned is returned by objectives that stop after a pruning decision.
+var ErrPruned = fmt.Errorf("core: trial pruned")
+
+// Objective runs one learning configuration and reports its metrics.
+type Objective func(a param.Assignment, seed uint64, rec *Recorder) error
+
+// Ranker is stage (e): it turns finished trials into a decision analysis.
+type Ranker interface {
+	// Name identifies the ranking method.
+	Name() string
+	// Rank orders/partitions the trials (indices into the slice).
+	Rank(trials []Trial, metrics []Metric) Ranking
+}
+
+// Ranking is the ranker's output: either successive fronts (Pareto) or a
+// best-first ordering (sorted array), or both.
+type Ranking struct {
+	Method  string
+	Fronts  [][]int // Fronts[0] is the non-dominated set, when applicable
+	Ordered []int   // best-first order, when applicable
+}
+
+// Study is the assembled methodology instance.
+type Study struct {
+	CaseStudy CaseStudy
+	Space     *param.Space
+	Explorer  search.Explorer
+	Metrics   []Metric
+	Ranker    Ranker
+	Objective Objective
+
+	// PrimaryMetric is the metric single-objective explorers and pruners
+	// optimize (default: the first metric).
+	PrimaryMetric string
+
+	// Pruner optionally stops unpromising trials early.
+	Pruner search.Pruner
+
+	// Parallelism is the number of trials evaluated concurrently
+	// (default 1; with more, history-dependent explorers see whatever has
+	// finished at proposal time, as in distributed Optuna).
+	Parallelism int
+
+	// Seed drives the explorer and derives per-trial seeds.
+	Seed uint64
+
+	// OnTrial, when set, is called once for every finished trial (in
+	// completion order, serialized) — the hook the journal package uses
+	// to persist campaigns.
+	OnTrial func(Trial)
+
+	mu     sync.Mutex
+	trials []Trial
+}
+
+func (s *Study) validate() error {
+	if s.Space == nil {
+		return fmt.Errorf("core: study needs a parameter space")
+	}
+	if s.Explorer == nil {
+		return fmt.Errorf("core: study needs an explorer")
+	}
+	if len(s.Metrics) == 0 {
+		return fmt.Errorf("core: study needs at least one metric")
+	}
+	if s.Objective == nil {
+		return fmt.Errorf("core: study needs an objective")
+	}
+	if s.Ranker == nil {
+		return fmt.Errorf("core: study needs a ranker")
+	}
+	if s.PrimaryMetric == "" {
+		s.PrimaryMetric = s.Metrics[0].Name
+	}
+	if !s.hasMetric(s.PrimaryMetric) {
+		return fmt.Errorf("core: primary metric %q is not in the metric list", s.PrimaryMetric)
+	}
+	seen := map[string]bool{}
+	for _, m := range s.Metrics {
+		if m.Name == "" {
+			return fmt.Errorf("core: unnamed metric")
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("core: duplicate metric %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	return nil
+}
+
+func (s *Study) hasMetric(name string) bool {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Study) primary() Metric {
+	for _, m := range s.Metrics {
+		if m.Name == s.PrimaryMetric {
+			return m
+		}
+	}
+	return s.Metrics[0]
+}
+
+// history converts finished trials into explorer observations.
+func (s *Study) history() []search.Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prim := s.primary()
+	out := make([]search.Observation, 0, len(s.trials))
+	for _, t := range s.trials {
+		obs := search.Observation{
+			Assignment: t.Params,
+			Maximize:   prim.Direction == pareto.Maximize,
+			Pruned:     t.Pruned,
+			Failed:     t.Err != nil,
+		}
+		if v, ok := t.Values[prim.Name]; ok {
+			obs.Objective = v
+		} else {
+			obs.Failed = true
+		}
+		out = append(out, obs)
+	}
+	return out
+}
+
+// finishedIntermediates snapshots finished trials' intermediate curves.
+func (s *Study) finishedIntermediates() [][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [][]float64
+	for _, t := range s.trials {
+		if len(t.Intermediate) > 0 && !t.Pruned && t.Err == nil {
+			out = append(out, t.Intermediate)
+		}
+	}
+	return out
+}
+
+// Run executes up to nTrials trials and returns the study report. It stops
+// early when the explorer is exhausted (e.g. a completed grid).
+func (s *Study) Run(nTrials int) (*Report, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if nTrials <= 0 {
+		return nil, fmt.Errorf("core: Run needs nTrials > 0")
+	}
+	workers := s.Parallelism
+	if workers <= 0 {
+		workers = 1
+	}
+
+	seeder := mathx.NewSeeder(s.Seed)
+	explorerRng := seeder.NewRand()
+	trialSeeds := make([]uint64, nTrials)
+	for i := range trialSeeds {
+		trialSeeds[i] = seeder.Next()
+	}
+
+	type job struct {
+		trial Trial
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				s.runTrial(j.trial)
+			}
+		}()
+	}
+
+	proposed := 0
+	var exhausted bool
+	for proposed < nTrials {
+		a, ok := s.Explorer.Next(explorerRng, s.Space, s.history())
+		if !ok {
+			exhausted = true
+			break
+		}
+		if !s.Space.Contains(a) {
+			close(jobs)
+			wg.Wait()
+			return nil, fmt.Errorf("core: explorer %s proposed an assignment outside the space: %s", s.Explorer.Name(), a)
+		}
+		jobs <- job{trial: Trial{
+			ID:     proposed + 1,
+			Params: a,
+			Values: map[string]float64{},
+			Seed:   trialSeeds[proposed],
+		}}
+		proposed++
+	}
+	close(jobs)
+	wg.Wait()
+	_ = exhausted
+
+	s.mu.Lock()
+	trials := append([]Trial(nil), s.trials...)
+	s.mu.Unlock()
+	// Present trials in ID order regardless of completion order.
+	for i := 0; i < len(trials); i++ {
+		for j := i + 1; j < len(trials); j++ {
+			if trials[j].ID < trials[i].ID {
+				trials[i], trials[j] = trials[j], trials[i]
+			}
+		}
+	}
+
+	rep := &Report{
+		CaseStudy: s.CaseStudy,
+		Metrics:   s.Metrics,
+		Trials:    trials,
+		Explorer:  s.Explorer.Name(),
+	}
+	rep.Ranking = s.Ranker.Rank(rep.completed(), s.Metrics)
+	rep.Ranker = s.Ranker.Name()
+	return rep, nil
+}
+
+// runTrial executes one trial and appends it to the study history.
+func (s *Study) runTrial(t Trial) {
+	rec := &Recorder{study: s, trial: &t}
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("core: objective panicked: %v", r)
+			}
+		}()
+		return s.Objective(t.Params, t.Seed, rec)
+	}()
+	if err != nil && err != ErrPruned {
+		t.Err = err
+	}
+	s.mu.Lock()
+	s.trials = append(s.trials, t)
+	hook := s.OnTrial
+	s.mu.Unlock()
+	if hook != nil {
+		hook(t)
+	}
+}

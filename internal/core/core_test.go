@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rldecide/internal/param"
+	"rldecide/internal/pareto"
+	"rldecide/internal/search"
+)
+
+func testSpace() *param.Space {
+	return param.MustSpace(
+		param.NewFloatRange("x", 0, 1),
+		param.NewFloatRange("y", 0, 1),
+	)
+}
+
+// twoObjective records two antagonistic metrics: cost = x, quality = 1-x+y.
+func twoObjective(a param.Assignment, seed uint64, rec *Recorder) error {
+	x, y := a["x"].Float(), a["y"].Float()
+	rec.Report("cost", x)
+	rec.Report("quality", 1-x+0.1*y)
+	return nil
+}
+
+func metrics() []Metric {
+	return []Metric{
+		{Name: "quality", Unit: "", Direction: pareto.Maximize},
+		{Name: "cost", Unit: "s", Direction: pareto.Minimize},
+	}
+}
+
+func newStudy() *Study {
+	return &Study{
+		CaseStudy: CaseStudy{Name: "toy", Description: "antagonistic quality/cost"},
+		Space:     testSpace(),
+		Explorer:  search.RandomSearch{},
+		Metrics:   metrics(),
+		Ranker:    ParetoRanker{},
+		Objective: twoObjective,
+		Seed:      1,
+	}
+}
+
+func TestStudyRunBasics(t *testing.T) {
+	s := newStudy()
+	rep, err := s.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) != 20 {
+		t.Fatalf("trials=%d", len(rep.Trials))
+	}
+	for i, tr := range rep.Trials {
+		if tr.ID != i+1 {
+			t.Fatalf("trial order broken at %d: id=%d", i, tr.ID)
+		}
+		if tr.Err != nil {
+			t.Fatalf("trial %d failed: %v", tr.ID, tr.Err)
+		}
+		if len(tr.Values) != 2 {
+			t.Fatalf("trial %d values %v", tr.ID, tr.Values)
+		}
+	}
+	if rep.Explorer != "random" || rep.Ranker != "pareto" {
+		t.Fatalf("report metadata %q %q", rep.Explorer, rep.Ranker)
+	}
+	if len(rep.Ranking.Fronts) == 0 {
+		t.Fatal("no fronts")
+	}
+}
+
+func TestStudyDeterministic(t *testing.T) {
+	a, err := newStudy().Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newStudy().Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Trials {
+		if a.Trials[i].Params.Key() != b.Trials[i].Params.Key() {
+			t.Fatal("same seed diverged")
+		}
+		if a.Trials[i].Values["cost"] != b.Trials[i].Values["cost"] {
+			t.Fatal("values diverged")
+		}
+	}
+}
+
+func TestStudyParallelCompletesAll(t *testing.T) {
+	s := newStudy()
+	s.Parallelism = 4
+	rep, err := s.Run(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) != 32 {
+		t.Fatalf("parallel run lost trials: %d", len(rep.Trials))
+	}
+	ids := map[int]bool{}
+	for _, tr := range rep.Trials {
+		ids[tr.ID] = true
+	}
+	if len(ids) != 32 {
+		t.Fatal("duplicate or missing trial ids")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := map[string]func(*Study){
+		"no-space":    func(s *Study) { s.Space = nil },
+		"no-explorer": func(s *Study) { s.Explorer = nil },
+		"no-metrics":  func(s *Study) { s.Metrics = nil },
+		"no-ranker":   func(s *Study) { s.Ranker = nil },
+		"no-obj":      func(s *Study) { s.Objective = nil },
+		"bad-primary": func(s *Study) { s.PrimaryMetric = "nope" },
+		"dup-metric": func(s *Study) {
+			s.Metrics = []Metric{{Name: "a"}, {Name: "a"}}
+		},
+	}
+	for name, mutate := range cases {
+		s := newStudy()
+		mutate(s)
+		if _, err := s.Run(1); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	s := newStudy()
+	if _, err := s.Run(0); err == nil {
+		t.Error("zero trials should error")
+	}
+}
+
+func TestObjectiveErrorsAndPanicsAreCaptured(t *testing.T) {
+	s := newStudy()
+	n := 0
+	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		n++
+		switch n {
+		case 1:
+			return fmt.Errorf("boom")
+		case 2:
+			panic("kaboom")
+		default:
+			rec.Report("cost", 1)
+			rec.Report("quality", 1)
+			return nil
+		}
+	}
+	rep, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, tr := range rep.Trials {
+		if tr.Err != nil {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("failed=%d want 2", failed)
+	}
+	if len(rep.Completed()) != 1 {
+		t.Fatalf("completed=%d want 1", len(rep.Completed()))
+	}
+}
+
+func TestUnknownMetricPanics(t *testing.T) {
+	s := newStudy()
+	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		rec.Report("nope", 1)
+		return nil
+	}
+	rep, err := s.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials[0].Err == nil {
+		t.Fatal("reporting an unknown metric should fail the trial")
+	}
+}
+
+func TestPruning(t *testing.T) {
+	s := newStudy()
+	s.PrimaryMetric = "quality"
+	s.Pruner = search.ThresholdPruner{Bound: 0.5}
+	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		// Low-x trials report high intermediate quality, high-x low.
+		q := 1 - a["x"].Float()
+		for i := 0; i < 3; i++ {
+			if !rec.Intermediate(q) {
+				return ErrPruned
+			}
+		}
+		rec.Report("cost", a["x"].Float())
+		rec.Report("quality", q)
+		return nil
+	}
+	rep, err := s.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := 0
+	for _, tr := range rep.Trials {
+		if tr.Pruned {
+			pruned++
+			if tr.Err != nil {
+				t.Fatal("pruned trial must not be marked failed")
+			}
+			if len(tr.Values) != 0 {
+				t.Fatal("pruned trial should carry no final metrics")
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("threshold pruner never fired")
+	}
+	if len(rep.Completed())+pruned != 30 {
+		t.Fatalf("completed %d + pruned %d != 30", len(rep.Completed()), pruned)
+	}
+}
+
+func TestGridExhaustionStopsEarly(t *testing.T) {
+	s := newStudy()
+	s.Space = param.MustSpace(param.NewIntSet("x", 1, 2), param.NewIntSet("y", 1, 2))
+	s.Explorer = &search.GridSearch{}
+	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		rec.Report("cost", a["x"].Float())
+		rec.Report("quality", a["y"].Float())
+		return nil
+	}
+	rep, err := s.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) != 4 {
+		t.Fatalf("grid should stop at 4 trials, got %d", len(rep.Trials))
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	s := newStudy()
+	rep, err := s.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := rep.Best("quality")
+	if !ok {
+		t.Fatal("no best")
+	}
+	for _, tr := range rep.Completed() {
+		if tr.Values["quality"] > best.Values["quality"] {
+			t.Fatal("Best is not best")
+		}
+	}
+	if _, ok := rep.Best("nope"); ok {
+		t.Fatal("unknown metric Best should fail")
+	}
+
+	pts, dirs, err := rep.Points("cost", "quality")
+	if err != nil || len(pts) != len(rep.Completed()) || len(dirs) != 2 {
+		t.Fatalf("Points: %v %d", err, len(pts))
+	}
+	if _, _, err := rep.Points("nope"); err == nil {
+		t.Fatal("unknown metric Points should fail")
+	}
+
+	ids, err := rep.FrontIDs(0, "cost", "quality")
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("FrontIDs: %v %v", err, ids)
+	}
+	// ε-front must be a superset.
+	eids, err := rep.FrontIDs(0.05, "cost", "quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	super := map[int]bool{}
+	for _, id := range eids {
+		super[id] = true
+	}
+	for _, id := range ids {
+		if !super[id] {
+			t.Fatal("eps front lost a strict-front member")
+		}
+	}
+}
+
+func TestSortedRanker(t *testing.T) {
+	trials := []Trial{
+		{ID: 1, Values: map[string]float64{"m": 3}},
+		{ID: 2, Values: map[string]float64{"m": 1}},
+		{ID: 3, Values: map[string]float64{"m": 2}},
+	}
+	ms := []Metric{{Name: "m", Direction: pareto.Minimize}}
+	rk := SortedRanker{By: "m"}.Rank(trials, ms)
+	if rk.Ordered[0] != 1 || rk.Ordered[1] != 2 || rk.Ordered[2] != 0 {
+		t.Fatalf("sorted order %v", rk.Ordered)
+	}
+	msMax := []Metric{{Name: "m", Direction: pareto.Maximize}}
+	rk = SortedRanker{}.Rank(trials, msMax)
+	if rk.Ordered[0] != 0 {
+		t.Fatalf("max order %v", rk.Ordered)
+	}
+}
+
+func TestWeightedRanker(t *testing.T) {
+	trials := []Trial{
+		{ID: 1, Values: map[string]float64{"q": 1, "c": 10}},
+		{ID: 2, Values: map[string]float64{"q": 0.9, "c": 1}},
+		{ID: 3, Values: map[string]float64{"q": 0, "c": 10}},
+	}
+	ms := []Metric{
+		{Name: "q", Direction: pareto.Maximize},
+		{Name: "c", Direction: pareto.Minimize},
+	}
+	rk := WeightedRanker{Weights: map[string]float64{"q": 1, "c": 1}}.Rank(trials, ms)
+	if rk.Ordered[0] != 1 {
+		t.Fatalf("trial 2 should win the balanced weighting: %v", rk.Ordered)
+	}
+	if trials[rk.Ordered[len(rk.Ordered)-1]].ID != 3 {
+		t.Fatalf("trial 3 should be last: %v", rk.Ordered)
+	}
+	if got := (WeightedRanker{}).Rank(nil, ms); got.Method != "weighted" {
+		t.Fatal("empty rank")
+	}
+}
+
+func TestParetoRankerEps(t *testing.T) {
+	trials := []Trial{
+		{ID: 1, Values: map[string]float64{"q": 1.00, "c": 100}},
+		{ID: 2, Values: map[string]float64{"q": 0.99, "c": 101}}, // near-tie
+		{ID: 3, Values: map[string]float64{"q": 0.2, "c": 300}},
+	}
+	ms := []Metric{
+		{Name: "q", Direction: pareto.Maximize},
+		{Name: "c", Direction: pareto.Minimize},
+	}
+	strict := ParetoRanker{}.Rank(trials, ms)
+	if len(strict.Fronts[0]) != 1 {
+		t.Fatalf("strict front %v", strict.Fronts[0])
+	}
+	loose := ParetoRanker{Eps: 0.05}.Rank(trials, ms)
+	if len(loose.Fronts[0]) != 2 {
+		t.Fatalf("eps front %v", loose.Fronts[0])
+	}
+}
+
+func TestIntermediateWithoutPruner(t *testing.T) {
+	s := newStudy()
+	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		for i := 0; i < 3; i++ {
+			if !rec.Intermediate(float64(i)) {
+				t.Error("no pruner: Intermediate must always continue")
+			}
+		}
+		rec.Report("cost", 1)
+		rec.Report("quality", 1)
+		return nil
+	}
+	rep, err := s.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials[0].Intermediate) != 3 {
+		t.Fatal("intermediates not recorded")
+	}
+}
+
+func TestNaNObjectiveStillRecorded(t *testing.T) {
+	s := newStudy()
+	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		rec.Report("cost", math.NaN())
+		rec.Report("quality", 1)
+		return nil
+	}
+	rep, err := s.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(rep.Trials[0].Values["cost"]) {
+		t.Fatal("NaN lost")
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rldecide/internal/pareto"
+)
+
+// Report is the study outcome handed to the decision maker.
+type Report struct {
+	CaseStudy CaseStudy
+	Metrics   []Metric
+	Trials    []Trial
+	Explorer  string
+	Ranker    string
+	Ranking   Ranking
+}
+
+// completed returns the trials that produced all metrics (failed and
+// pruned trials are excluded from ranking but kept in Trials).
+func (r *Report) completed() []Trial {
+	var out []Trial
+	for _, t := range r.Trials {
+		if t.Err != nil || t.Pruned {
+			continue
+		}
+		ok := true
+		for _, m := range r.Metrics {
+			if _, has := t.Values[m.Name]; !has {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Completed exposes the ranked trial subset in ranking index order 0..n-1.
+func (r *Report) Completed() []Trial { return r.completed() }
+
+// Points projects the completed trials onto the named metrics as Pareto
+// points (Point.ID is the trial ID).
+func (r *Report) Points(metrics ...string) ([]pareto.Point, []pareto.Direction, error) {
+	dirs := make([]pareto.Direction, len(metrics))
+	for i, name := range metrics {
+		found := false
+		for _, m := range r.Metrics {
+			if m.Name == name {
+				dirs[i] = m.Direction
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("core: unknown metric %q", name)
+		}
+	}
+	var pts []pareto.Point
+	for _, t := range r.completed() {
+		vals := make([]float64, len(metrics))
+		for i, name := range metrics {
+			vals[i] = t.Values[name]
+		}
+		pts = append(pts, pareto.Point{ID: t.ID, Values: vals})
+	}
+	return pts, dirs, nil
+}
+
+// FrontIDs returns the trial IDs on the (ε-)Pareto front of the named
+// metrics.
+func (r *Report) FrontIDs(eps float64, metrics ...string) ([]int, error) {
+	pts, dirs, err := r.Points(metrics...)
+	if err != nil {
+		return nil, err
+	}
+	var idx []int
+	if eps > 0 {
+		idx = pareto.EpsilonFront(pts, dirs, eps)
+	} else {
+		idx = pareto.Front(pts, dirs)
+	}
+	ids := make([]int, len(idx))
+	for i, j := range idx {
+		ids[i] = pts[j].ID
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// Best returns the completed trial with the best value of the named
+// metric, or ok=false when none completed.
+func (r *Report) Best(metric string) (Trial, bool) {
+	var dir pareto.Direction
+	found := false
+	for _, m := range r.Metrics {
+		if m.Name == metric {
+			dir = m.Direction
+			found = true
+		}
+	}
+	if !found {
+		return Trial{}, false
+	}
+	trials := r.completed()
+	if len(trials) == 0 {
+		return Trial{}, false
+	}
+	best := trials[0]
+	for _, t := range trials[1:] {
+		v, b := t.Values[metric], best.Values[metric]
+		if (dir == pareto.Maximize && v > b) || (dir == pareto.Minimize && v < b) {
+			best = t
+		}
+	}
+	return best, true
+}
+
+// ParetoRanker ranks trials by non-dominated sorting over the chosen
+// objectives (all study metrics when Objectives is empty) — the ranking
+// method of the paper's campaign.
+type ParetoRanker struct {
+	// Objectives selects the metric subset to rank on.
+	Objectives []string
+	// Eps widens the first front to ε-non-dominated solutions.
+	Eps float64
+}
+
+// Name implements Ranker.
+func (p ParetoRanker) Name() string { return "pareto" }
+
+// Rank implements Ranker.
+func (p ParetoRanker) Rank(trials []Trial, metrics []Metric) Ranking {
+	names := p.Objectives
+	if len(names) == 0 {
+		for _, m := range metrics {
+			names = append(names, m.Name)
+		}
+	}
+	dirs := make([]pareto.Direction, len(names))
+	for i, n := range names {
+		for _, m := range metrics {
+			if m.Name == n {
+				dirs[i] = m.Direction
+			}
+		}
+	}
+	pts := make([]pareto.Point, len(trials))
+	for i, t := range trials {
+		vals := make([]float64, len(names))
+		for j, n := range names {
+			vals[j] = t.Values[n]
+		}
+		pts[i] = pareto.Point{ID: t.ID, Values: vals}
+	}
+	fronts := pareto.NonDominatedSort(pts, dirs)
+	if p.Eps > 0 && len(fronts) > 0 {
+		fronts[0] = pareto.EpsilonFront(pts, dirs, p.Eps)
+	}
+	return Ranking{Method: "pareto", Fronts: fronts}
+}
+
+// SortedRanker ranks trials best-first by one metric — the paper's
+// "sorted array" ranking alternative.
+type SortedRanker struct {
+	By string // metric name (default: first metric)
+}
+
+// Name implements Ranker.
+func (s SortedRanker) Name() string { return "sorted" }
+
+// Rank implements Ranker.
+func (s SortedRanker) Rank(trials []Trial, metrics []Metric) Ranking {
+	by := s.By
+	if by == "" && len(metrics) > 0 {
+		by = metrics[0].Name
+	}
+	var dir pareto.Direction
+	for _, m := range metrics {
+		if m.Name == by {
+			dir = m.Direction
+		}
+	}
+	order := make([]int, len(trials))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := trials[order[a]].Values[by], trials[order[b]].Values[by]
+		if dir == pareto.Maximize {
+			return va > vb
+		}
+		return va < vb
+	})
+	return Ranking{Method: "sorted", Ordered: order}
+}
+
+// WeightedRanker ranks trials by a weighted sum of normalized metrics
+// (each metric min-max normalized to [0,1] in its "better" direction).
+type WeightedRanker struct {
+	Weights map[string]float64
+}
+
+// Name implements Ranker.
+func (w WeightedRanker) Name() string { return "weighted" }
+
+// Rank implements Ranker.
+func (w WeightedRanker) Rank(trials []Trial, metrics []Metric) Ranking {
+	if len(trials) == 0 {
+		return Ranking{Method: "weighted"}
+	}
+	scores := make([]float64, len(trials))
+	for _, m := range metrics {
+		weight, ok := w.Weights[m.Name]
+		if !ok {
+			continue
+		}
+		lo, hi := trials[0].Values[m.Name], trials[0].Values[m.Name]
+		for _, t := range trials[1:] {
+			v := t.Values[m.Name]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		span := hi - lo
+		for i, t := range trials {
+			if span == 0 {
+				continue
+			}
+			norm := (t.Values[m.Name] - lo) / span
+			if m.Direction == pareto.Minimize {
+				norm = 1 - norm
+			}
+			scores[i] += weight * norm
+		}
+	}
+	order := make([]int, len(trials))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	return Ranking{Method: "weighted", Ordered: order}
+}

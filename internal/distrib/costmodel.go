@@ -1,0 +1,97 @@
+package distrib
+
+import (
+	"rldecide/internal/rl/ppo"
+	"rldecide/internal/rl/sac"
+)
+
+// Calibration constants of the virtual cost model. They are tuned (see
+// DESIGN.md §5 and internal/experiments) so that the paper's published
+// anchors hold for 200k-step runs on the 2×(Xeon W-2102, 4 cores) testbed:
+// sol 2 ≈ 46 min / ≈200 kJ, sol 5 ≈ 49 min, sol 7 ≈ 85 min,
+// sol 11 ≈ 49 min / ≈120 kJ, sol 16 ≈ 65 min.
+const (
+	// defaultEnvStepCost is used when the environment does not implement
+	// gym.Costed.
+	defaultEnvStepCost = 0.046 // seconds
+
+	// ppoUpdateCostPerSampleEpoch is the modeled learner CPU time to push
+	// one sample through one optimization epoch (forward+backward of the
+	// actor-critic pair at minibatch granularity).
+	ppoUpdateCostPerSampleEpoch = 0.00015 // seconds
+
+	// sacUpdateCostPerGradStep is the modeled CPU time of one SAC gradient
+	// round (actor + twin critics + targets on one minibatch). SAC takes
+	// one round per environment step, which is what makes it expensive.
+	sacUpdateCostPerGradStep = 0.020 // seconds
+
+	// sbSyncOverhead is the lockstep-synchronization overhead of the
+	// stable-baselines-style vectorized environment: the vector step's
+	// wall time is envCost × sbSyncOverhead, the overhead fraction spent
+	// idle at the barrier.
+	sbSyncOverhead = 1.04
+
+	// tfaDriverOverhead is the TF-Agents-style driver bookkeeping per
+	// step, executed as CPU work on the same cores (no idle waste): wall
+	// time per vector step = envCost × tfaDriverOverhead, all cores busy.
+	tfaDriverOverhead = 1.075
+
+	// rayLocalPerStep / rayRemotePerStep are the per-environment-step
+	// worker-loop overheads of the RLlib-style backend (sampling loop,
+	// batch building, object-store serialization). Remote workers pay the
+	// larger cost; it is CPU-busy work. Seconds per step.
+	rayLocalPerStep  = 0.0252
+	rayRemotePerStep = 0.0441
+
+	// sampleBytes is the wire size of one transition in a shipped sample
+	// batch (float32 obs + action + reward + logp + value + flags).
+	sampleBytes = 64
+
+	// remoteWeightLag is how many optimization rounds behind the learner
+	// a remote worker's acting policy runs (asynchronous sampling:
+	// in-flight collection + batch transfer + weight broadcast).
+	remoteWeightLag = 3
+
+	// weightBytes4 converts a float parameter count to wire bytes
+	// (float32 transport).
+	weightBytes4 = 4
+)
+
+// ppoPreset returns the framework-flavored PPO hyperparameters, mirroring
+// the libraries' differing defaults (SB3: 10 epochs × minibatch 64;
+// RLlib: 8 × 128; TF-Agents: 10 × 128). These genuinely shift final
+// policy quality, which is part of what the paper's methodology surfaces.
+func ppoPreset(f Framework) ppo.Config {
+	// γ/λ are set for long-horizon sparse-terminal-reward tasks (episodes
+	// run to several hundred steps before the landing reward arrives).
+	// The per-framework flavors scale the real libraries' differing stock
+	// hyperparameters: SB3 ships the famously well-tuned (10 epochs,
+	// minibatch 64, lr 3e-4); RLlib's stock PPO uses a conservative
+	// learning rate with many SGD iterations (5e-5 × 30 — scaled here to
+	// the reduced budget); TF-Agents defaults to many epochs per batch
+	// (25 — likewise scaled). These flavor differences are part of what
+	// the paper's methodology is designed to surface.
+	base := ppo.Config{Gamma: 0.999, Lambda: 0.98}
+	switch f {
+	case StableBaselines:
+		// SB3 additionally ships ent_coef = 0.0: its policies anneal to
+		// the sharpest final distribution, which the stochastic
+		// evaluation rewards (EntCoef here is the *final* annealed value;
+		// see entAnneal).
+		base.Epochs, base.Minibatch, base.LR, base.EntCoef = 10, 64, 3e-4, 0.0005
+	case TFAgents:
+		base.Epochs, base.Minibatch, base.LR, base.EntCoef = 15, 128, 2.5e-4, 0.012
+	default: // RLlib
+		base.Epochs, base.Minibatch, base.LR, base.EntCoef = 16, 128, 1.5e-4, 0.015
+	}
+	return base
+}
+
+// sacPreset returns the framework-flavored SAC hyperparameters.
+func sacPreset(f Framework) sac.Config {
+	cfg := sac.Config{}
+	if f == StableBaselines {
+		cfg.Batch = 256 // SB3's default batch is larger
+	}
+	return cfg
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"rldecide/internal/airdrop"
+	"rldecide/internal/core"
+	"rldecide/internal/distrib"
+	"rldecide/internal/mathx"
+	"rldecide/internal/param"
+	"rldecide/internal/pareto"
+	"rldecide/internal/rl/sac"
+	"rldecide/internal/search"
+)
+
+// Metric names of the campaign — the paper's three evaluation criteria.
+const (
+	MetricReward = "reward"      // final mean landing reward (maximize)
+	MetricTime   = "time_min"    // computation time, minutes (minimize)
+	MetricPower  = "power_kj"    // power consumption, kJ (minimize)
+	MetricUtil   = "utilization" // informational: mean core utilization
+)
+
+// Metrics returns the campaign's metric definitions.
+func Metrics() []core.Metric {
+	return []core.Metric{
+		{Name: MetricReward, Unit: "", Direction: pareto.Maximize},
+		{Name: MetricTime, Unit: "min", Direction: pareto.Minimize},
+		{Name: MetricPower, Unit: "kJ", Direction: pareto.Minimize},
+		{Name: MetricUtil, Unit: "", Direction: pareto.Maximize},
+	}
+}
+
+// Scale fixes the training budget of a campaign and the extrapolation to
+// the paper's deployment scale.
+type Scale struct {
+	// TotalSteps is the per-configuration training budget actually run.
+	TotalSteps int
+	// PaperSteps is the budget the virtual time/energy are extrapolated
+	// to (the paper trains 200,000 time-steps per configuration).
+	PaperSteps int
+	// RolloutSteps is the per-env PPO collection length.
+	RolloutSteps int
+	// EvalEpisodes is the final greedy evaluation budget.
+	EvalEpisodes int
+	// SACStartSteps/SACBatch trim SAC's warmup and minibatch to the scale.
+	SACStartSteps int
+	SACBatch      int
+	// Replicas is the number of seeds each PPO configuration is trained
+	// with; the reported metrics are replica means. (SAC runs once — its
+	// failure mode is robust and its wall-clock cost high.)
+	Replicas int
+}
+
+// QuickScale is for tests: seconds per configuration.
+func QuickScale() Scale {
+	return Scale{
+		TotalSteps:    4_000,
+		PaperSteps:    200_000,
+		RolloutSteps:  64,
+		EvalEpisodes:  20,
+		SACStartSteps: 500,
+		SACBatch:      32,
+		Replicas:      1,
+	}
+}
+
+// DefaultScale is the standard reduced campaign (minutes end-to-end).
+func DefaultScale() Scale {
+	return Scale{
+		TotalSteps:    24_000,
+		PaperSteps:    200_000,
+		RolloutSteps:  128,
+		EvalEpisodes:  150,
+		SACStartSteps: 2_000,
+		SACBatch:      64,
+		Replicas:      3,
+	}
+}
+
+// PaperScale trains the full 200k steps per configuration.
+func PaperScale() Scale {
+	s := DefaultScale()
+	s.TotalSteps = 200_000
+	s.EvalEpisodes = 100
+	return s
+}
+
+// extrapolation returns the factor applied to virtual time/energy.
+func (s Scale) extrapolation() float64 {
+	if s.PaperSteps <= 0 || s.TotalSteps <= 0 {
+		return 1
+	}
+	return float64(s.PaperSteps) / float64(s.TotalSteps)
+}
+
+// Objective returns the methodology objective (stage (a)+(d)): run one
+// learning configuration on the simulated cluster and report the three
+// metrics, extrapolated to the paper's 200k-step deployment.
+func Objective(scale Scale) core.Objective {
+	return func(a param.Assignment, seed uint64, rec *core.Recorder) error {
+		sol := SolutionFromAssignment(a)
+		if !sol.Valid() {
+			return fmt.Errorf("experiments: %s cannot run on %d nodes", sol.Framework, sol.Nodes)
+		}
+		replicas := scale.Replicas
+		if replicas <= 0 || sol.Algo == distrib.SAC {
+			replicas = 1
+		}
+		seeder := mathx.NewSeeder(seed)
+		var reward, timeSec, energy, util float64
+		for r := 0; r < replicas; r++ {
+			res, err := runSolution(sol, scale, seeder.Next())
+			if err != nil {
+				return err
+			}
+			reward += res.MeanReward
+			timeSec += res.TimeSeconds
+			energy += res.EnergyJoules
+			util += res.MeanUtilization
+		}
+		n := float64(replicas)
+		f := scale.extrapolation()
+		rec.Report(MetricReward, reward/n)
+		rec.Report(MetricTime, timeSec/n*f/60)
+		rec.Report(MetricPower, energy/n*f/1000)
+		rec.Report(MetricUtil, util/n)
+		return nil
+	}
+}
+
+func runSolution(sol Solution, scale Scale, seed uint64) (distrib.Result, error) {
+	cfg := distrib.TrainConfig{
+		Framework:    sol.Framework,
+		Algo:         sol.Algo,
+		Nodes:        sol.Nodes,
+		Cores:        sol.Cores,
+		EnvMaker:     airdrop.Make(sol.EnvConfig()),
+		TotalSteps:   scale.TotalSteps,
+		RolloutSteps: scale.RolloutSteps,
+		EvalEpisodes: scale.EvalEpisodes,
+		Seed:         seed,
+	}
+	if sol.Algo == distrib.SAC {
+		cfg.SACConfig = &sac.Config{
+			StartSteps: scale.SACStartSteps,
+			Batch:      scale.SACBatch,
+			BufferSize: 100_000,
+		}
+	}
+	return distrib.Run(cfg)
+}
+
+// ReplayExplorer replays a fixed list of assignments — it lets the fixed
+// Table-I configuration set run through the ordinary Study machinery (the
+// paper drew its 18 configurations with Random Search once and then kept
+// them fixed across the analysis).
+type ReplayExplorer struct {
+	Assignments []param.Assignment
+	next        int
+}
+
+// Name implements search.Explorer.
+func (*ReplayExplorer) Name() string { return "replay" }
+
+// Next implements search.Explorer.
+func (r *ReplayExplorer) Next(rng *rand.Rand, space *param.Space, history []search.Observation) (param.Assignment, bool) {
+	if r.next >= len(r.Assignments) {
+		return nil, false
+	}
+	a := r.Assignments[r.next]
+	r.next++
+	return a, true
+}
+
+// CaseStudy describes stage (a) of the campaign.
+func CaseStudy() core.CaseStudy {
+	return core.CaseStudy{
+		Name: "airdrop-package-delivery",
+		Description: "Teach an autonomous agent to pilot a parachute canopy " +
+			"to a precision landing (DGA airdrop simulator, reproduced).",
+	}
+}
+
+// NewTableIStudy assembles the methodology instance that reproduces
+// Table I: the fixed 18 configurations, the three metrics, Pareto ranking.
+func NewTableIStudy(scale Scale, seed uint64, parallelism int) *core.Study {
+	var assignments []param.Assignment
+	for _, sol := range TableI() {
+		assignments = append(assignments, sol.Assignment())
+	}
+	return &core.Study{
+		CaseStudy:     CaseStudy(),
+		Space:         Space(),
+		Explorer:      &ReplayExplorer{Assignments: assignments},
+		Metrics:       Metrics(),
+		Ranker:        core.ParetoRanker{Objectives: []string{MetricReward, MetricTime, MetricPower}},
+		Objective:     Objective(scale),
+		PrimaryMetric: MetricReward,
+		Parallelism:   parallelism,
+		Seed:          seed,
+	}
+}
+
+// NewRandomStudy assembles the open-ended variant: Random Search over the
+// full space (skipping configurations the deployment cannot run), as the
+// methodology's step (c) prescribes.
+func NewRandomStudy(scale Scale, seed uint64, parallelism int) *core.Study {
+	s := NewTableIStudy(scale, seed, parallelism)
+	s.Explorer = validOnly{search.RandomSearch{Dedup: true}}
+	return s
+}
+
+// validOnly filters an explorer's proposals to runnable deployments.
+type validOnly struct {
+	inner search.Explorer
+}
+
+// Name implements search.Explorer.
+func (v validOnly) Name() string { return v.inner.Name() }
+
+// Next implements search.Explorer.
+func (v validOnly) Next(rng *rand.Rand, space *param.Space, history []search.Observation) (param.Assignment, bool) {
+	for i := 0; i < 200; i++ {
+		a, ok := v.inner.Next(rng, space, history)
+		if !ok {
+			return nil, false
+		}
+		if SolutionFromAssignment(a).Valid() {
+			return a, true
+		}
+		// Record the invalid draw as history so deduping explorers move on.
+		history = append(history, search.Observation{Assignment: a, Failed: true})
+	}
+	return nil, false
+}
+
+// Campaign runs the Table-I study and returns the report with trial IDs
+// matching the paper's solution numbering.
+func Campaign(scale Scale, seed uint64, parallelism int) (*core.Report, error) {
+	return NewTableIStudy(scale, seed, parallelism).Run(len(TableI()))
+}
+
+// Outcome pairs a solution with its measured, extrapolated metrics.
+type Outcome struct {
+	Solution
+	Reward      float64
+	TimeMinutes float64
+	PowerKJ     float64
+	Utilization float64
+}
+
+// Outcomes converts a campaign report into per-solution outcomes, sorted
+// by solution id.
+func Outcomes(rep *core.Report) []Outcome {
+	var out []Outcome
+	for _, t := range rep.Completed() {
+		sol := SolutionFromAssignment(t.Params)
+		sol.ID = t.ID
+		out = append(out, Outcome{
+			Solution:    sol,
+			Reward:      t.Values[MetricReward],
+			TimeMinutes: t.Values[MetricTime],
+			PowerKJ:     t.Values[MetricPower],
+			Utilization: t.Values[MetricUtil],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RunSolutionOnce runs a single Table-I configuration outside a study (for
+// tools and tests); seed derivation matches nothing in particular.
+func RunSolutionOnce(sol Solution, scale Scale, seed uint64) (Outcome, error) {
+	res, err := runSolution(sol, scale, mathx.NewSeeder(seed).Next())
+	if err != nil {
+		return Outcome{}, err
+	}
+	f := scale.extrapolation()
+	return Outcome{
+		Solution:    sol,
+		Reward:      res.MeanReward,
+		TimeMinutes: res.TimeSeconds * f / 60,
+		PowerKJ:     res.EnergyJoules * f / 1000,
+		Utilization: res.MeanUtilization,
+	}, nil
+}

@@ -1,0 +1,146 @@
+package toy
+
+import (
+	"math"
+	"testing"
+
+	"rldecide/internal/gym"
+)
+
+func TestChainOptimalPolicy(t *testing.T) {
+	c := NewChain(7, 1)
+	c.Reset()
+	var res gym.StepResult
+	for i := 0; i < 10; i++ {
+		res = c.Step([]float64{1}) // always right
+		if res.Done {
+			break
+		}
+	}
+	if !res.Done || res.Reward != 1 {
+		t.Fatalf("always-right should win: %+v", res)
+	}
+	c.Reset()
+	for i := 0; i < 10; i++ {
+		res = c.Step([]float64{0})
+		if res.Done {
+			break
+		}
+	}
+	if !res.Done || res.Reward != -1 {
+		t.Fatalf("always-left should lose: %+v", res)
+	}
+}
+
+func TestChainTruncation(t *testing.T) {
+	c := NewChain(101, 2)
+	c.Reset()
+	var res gym.StepResult
+	left := true
+	for i := 0; i < 1000; i++ {
+		// alternate to stay near the middle
+		a := 0.0
+		if left {
+			a = 1
+		}
+		left = !left
+		res = c.Step([]float64{a})
+		if res.Done {
+			break
+		}
+	}
+	if !res.Truncated {
+		t.Fatalf("oscillating policy should truncate: %+v", res)
+	}
+}
+
+func TestSteer1DOptimalBeatsIdle(t *testing.T) {
+	runPolicy := func(policy func(obs []float64) float64) float64 {
+		total := 0.0
+		const episodes = 20
+		env := NewSteer1D(7)
+		for ep := 0; ep < episodes; ep++ {
+			obs := env.Reset()
+			for {
+				res := env.Step([]float64{policy(obs)})
+				obs = res.Obs
+				if res.Done {
+					total += res.Reward
+					break
+				}
+			}
+		}
+		return total / episodes
+	}
+	idle := runPolicy(func(obs []float64) float64 { return 1 }) // coast
+	// Proportional-derivative steering toward 0.
+	pd := runPolicy(func(obs []float64) float64 {
+		u := -0.8*obs[0] - 2.5*obs[1]
+		switch {
+		case u > 0.02:
+			return 2
+		case u < -0.02:
+			return 0
+		default:
+			return 1
+		}
+	})
+	if pd <= idle {
+		t.Fatalf("PD policy (%v) should beat idle (%v)", pd, idle)
+	}
+	if pd < -1.0 {
+		t.Fatalf("PD policy should land close to target, got %v", pd)
+	}
+}
+
+func TestSteer1DDeterministicSeed(t *testing.T) {
+	a := NewSteer1D(42)
+	b := NewSteer1D(42)
+	oa := a.Reset()
+	ob := b.Reset()
+	if oa[0] != ob[0] {
+		t.Fatal("same seed must give same initial state")
+	}
+	a.Seed(43)
+	oc := a.Reset()
+	if oc[0] == oa[0] {
+		t.Fatal("reseeding should change the initial state (w.h.p.)")
+	}
+}
+
+func TestSteer1DEpisodeLength(t *testing.T) {
+	env := NewSteer1D(3)
+	env.Reset()
+	n := 0
+	for {
+		res := env.Step([]float64{1})
+		n++
+		if res.Done {
+			if res.Reward > 0 {
+				t.Fatalf("terminal reward must be <= 0: %v", res.Reward)
+			}
+			break
+		}
+		if n > env.Horizon {
+			t.Fatal("episode exceeded horizon")
+		}
+	}
+	if n != env.Horizon {
+		t.Fatalf("episode length %d want %d", n, env.Horizon)
+	}
+}
+
+func TestMakersProduceIndependentEnvs(t *testing.T) {
+	mk := MakeSteer1D()
+	e1 := mk(1)
+	e2 := mk(2)
+	o1 := e1.Reset()
+	o2 := e2.Reset()
+	if math.Abs(o1[0]-o2[0]) < 1e-15 {
+		t.Fatal("different seeds should produce different starts (w.h.p.)")
+	}
+	mkc := MakeChain(5)
+	if mkc(1).ActionSpace().Dim() != 1 {
+		t.Fatal("chain maker wrong")
+	}
+}

@@ -1,0 +1,101 @@
+package gym
+
+import (
+	"sync"
+
+	"rldecide/internal/mathx"
+)
+
+// VecStep is the per-environment outcome of a vectorized step. When an
+// episode ends the environment is reset automatically: Obs then holds the
+// next episode's initial observation and FinalObs the terminal observation
+// of the finished episode (needed to bootstrap truncated episodes).
+type VecStep struct {
+	Obs       []float64
+	Reward    float64
+	Done      bool
+	Truncated bool
+	FinalObs  []float64
+}
+
+// VecEnv runs n environments in lockstep with auto-reset, either serially
+// or fanned out over goroutines. It mirrors stable-baselines' VecEnv /
+// TF-Agents' batched drivers.
+type VecEnv struct {
+	envs     []Env
+	parallel bool
+}
+
+// NewVec builds n environments with maker, each deterministically seeded
+// from seeder. If parallel is true, Step fans the per-env work across
+// goroutines (one per environment).
+func NewVec(maker EnvMaker, n int, seeder *mathx.Seeder, parallel bool) *VecEnv {
+	if n <= 0 {
+		panic("gym: NewVec needs n > 0")
+	}
+	envs := make([]Env, n)
+	for i := range envs {
+		envs[i] = maker(seeder.Next())
+	}
+	return &VecEnv{envs: envs, parallel: parallel}
+}
+
+// N returns the number of environments.
+func (v *VecEnv) N() int { return len(v.envs) }
+
+// Env returns the i-th underlying environment.
+func (v *VecEnv) Env(i int) Env { return v.envs[i] }
+
+// ObservationSpace returns the (shared) observation space.
+func (v *VecEnv) ObservationSpace() Space { return v.envs[0].ObservationSpace() }
+
+// ActionSpace returns the (shared) action space.
+func (v *VecEnv) ActionSpace() Space { return v.envs[0].ActionSpace() }
+
+// Reset resets all environments and returns their initial observations.
+func (v *VecEnv) Reset() [][]float64 {
+	obs := make([][]float64, len(v.envs))
+	v.forEach(func(i int) {
+		obs[i] = v.envs[i].Reset()
+	})
+	return obs
+}
+
+// Step applies actions (one per env) and returns per-env results with
+// auto-reset semantics.
+func (v *VecEnv) Step(actions [][]float64) []VecStep {
+	if len(actions) != len(v.envs) {
+		panic("gym: VecEnv.Step action count mismatch")
+	}
+	out := make([]VecStep, len(v.envs))
+	v.forEach(func(i int) {
+		res := v.envs[i].Step(actions[i])
+		vs := VecStep{Reward: res.Reward, Done: res.Done, Truncated: res.Truncated}
+		if res.Done {
+			vs.FinalObs = res.Obs
+			vs.Obs = v.envs[i].Reset()
+		} else {
+			vs.Obs = res.Obs
+		}
+		out[i] = vs
+	})
+	return out
+}
+
+func (v *VecEnv) forEach(fn func(i int)) {
+	if !v.parallel || len(v.envs) == 1 {
+		for i := range v.envs {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(v.envs))
+	for i := range v.envs {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,181 @@
+package gym
+
+import (
+	"rldecide/internal/mathx"
+)
+
+// TimeLimit truncates episodes after MaxSteps steps, setting Truncated.
+type TimeLimit struct {
+	Env
+	MaxSteps int
+	steps    int
+}
+
+// NewTimeLimit wraps env with an episode step limit.
+func NewTimeLimit(env Env, maxSteps int) *TimeLimit {
+	return &TimeLimit{Env: env, MaxSteps: maxSteps}
+}
+
+// Reset implements Env.
+func (t *TimeLimit) Reset() []float64 {
+	t.steps = 0
+	return t.Env.Reset()
+}
+
+// Step implements Env.
+func (t *TimeLimit) Step(action []float64) StepResult {
+	res := t.Env.Step(action)
+	t.steps++
+	if !res.Done && t.steps >= t.MaxSteps {
+		res.Done = true
+		res.Truncated = true
+	}
+	return res
+}
+
+// EpisodeRecord summarizes one finished episode.
+type EpisodeRecord struct {
+	Return float64 // sum of rewards
+	Length int     // number of steps
+}
+
+// Monitor records per-episode returns and lengths.
+type Monitor struct {
+	Env
+	Episodes []EpisodeRecord
+
+	curReturn float64
+	curLen    int
+}
+
+// NewMonitor wraps env with episode statistics collection.
+func NewMonitor(env Env) *Monitor { return &Monitor{Env: env} }
+
+// Reset implements Env.
+func (m *Monitor) Reset() []float64 {
+	m.curReturn = 0
+	m.curLen = 0
+	return m.Env.Reset()
+}
+
+// Step implements Env.
+func (m *Monitor) Step(action []float64) StepResult {
+	res := m.Env.Step(action)
+	m.curReturn += res.Reward
+	m.curLen++
+	if res.Done {
+		m.Episodes = append(m.Episodes, EpisodeRecord{Return: m.curReturn, Length: m.curLen})
+	}
+	return res
+}
+
+// MeanReturn returns the mean episode return over the last n episodes
+// (all if n <= 0 or fewer recorded). It returns 0 with ok=false when no
+// episode has completed.
+func (m *Monitor) MeanReturn(n int) (mean float64, ok bool) {
+	eps := m.Episodes
+	if len(eps) == 0 {
+		return 0, false
+	}
+	if n > 0 && n < len(eps) {
+		eps = eps[len(eps)-n:]
+	}
+	s := 0.0
+	for _, e := range eps {
+		s += e.Return
+	}
+	return s / float64(len(eps)), true
+}
+
+// ObsNorm normalizes observations with running per-dimension statistics.
+// Normalization parameters keep updating during training, as in common
+// RL practice (VecNormalize).
+type ObsNorm struct {
+	Env
+	rv     *mathx.RunningVec
+	clip   float64
+	frozen bool
+	buf    []float64
+}
+
+// NewObsNorm wraps env with running observation normalization, clipping
+// normalized values to [-clip, clip].
+func NewObsNorm(env Env, clip float64) *ObsNorm {
+	dim := env.ObservationSpace().Dim()
+	return &ObsNorm{Env: env, rv: mathx.NewRunningVec(dim), clip: clip, buf: make([]float64, dim)}
+}
+
+// Freeze stops statistics updates (used during evaluation).
+func (o *ObsNorm) Freeze() { o.frozen = true }
+
+// Thaw resumes statistics updates.
+func (o *ObsNorm) Thaw() { o.frozen = false }
+
+func (o *ObsNorm) normalize(obs []float64) []float64 {
+	if !o.frozen {
+		o.rv.Push(obs)
+	}
+	out := o.rv.Normalize(obs, make([]float64, len(obs)))
+	return mathx.ClipSlice(out, -o.clip, o.clip)
+}
+
+// Reset implements Env.
+func (o *ObsNorm) Reset() []float64 { return o.normalize(o.Env.Reset()) }
+
+// Step implements Env.
+func (o *ObsNorm) Step(action []float64) StepResult {
+	res := o.Env.Step(action)
+	res.Obs = o.normalize(res.Obs)
+	return res
+}
+
+// RewardScale multiplies every reward by Factor (reward normalization is
+// a common knob across the RL frameworks the paper compares).
+type RewardScale struct {
+	Env
+	Factor float64
+}
+
+// NewRewardScale wraps env with a constant reward scale.
+func NewRewardScale(env Env, factor float64) *RewardScale {
+	return &RewardScale{Env: env, Factor: factor}
+}
+
+// Step implements Env.
+func (r *RewardScale) Step(action []float64) StepResult {
+	res := r.Env.Step(action)
+	res.Reward *= r.Factor
+	return res
+}
+
+// ActionRepeat applies each agent action for N consecutive simulator
+// steps, accumulating rewards — frame-skip, the standard way to cheapen
+// expensive simulators at some control-resolution cost.
+type ActionRepeat struct {
+	Env
+	N int
+}
+
+// NewActionRepeat wraps env so each action repeats n times (n >= 1).
+func NewActionRepeat(env Env, n int) *ActionRepeat {
+	if n < 1 {
+		panic("gym: ActionRepeat needs n >= 1")
+	}
+	return &ActionRepeat{Env: env, N: n}
+}
+
+// Step implements Env.
+func (a *ActionRepeat) Step(action []float64) StepResult {
+	var out StepResult
+	for i := 0; i < a.N; i++ {
+		res := a.Env.Step(action)
+		out.Obs = res.Obs
+		out.Reward += res.Reward
+		out.Done = res.Done
+		out.Truncated = res.Truncated
+		if res.Done {
+			break
+		}
+	}
+	return out
+}

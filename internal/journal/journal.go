@@ -1,0 +1,173 @@
+// Package journal persists study trials as JSON Lines so long campaigns
+// survive interruption and results can be re-ranked or re-plotted without
+// re-running the training. A journal file is append-only: one record per
+// finished trial.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"rldecide/internal/core"
+	"rldecide/internal/param"
+)
+
+// Record is the on-disk form of one trial.
+type Record struct {
+	ID     int                `json:"id"`
+	Params map[string]string  `json:"params"`
+	Values map[string]float64 `json:"values,omitempty"`
+	Pruned bool               `json:"pruned,omitempty"`
+	Error  string             `json:"error,omitempty"`
+	Seed   uint64             `json:"seed"`
+}
+
+// FromTrial converts a finished trial.
+func FromTrial(t core.Trial) Record {
+	r := Record{
+		ID:     t.ID,
+		Params: map[string]string{},
+		Values: t.Values,
+		Pruned: t.Pruned,
+		Seed:   t.Seed,
+	}
+	for k, v := range t.Params {
+		r.Params[k] = v.String()
+	}
+	if t.Err != nil {
+		r.Error = t.Err.Error()
+	}
+	return r
+}
+
+// ToTrial converts a record back, resolving parameter values against the
+// space (so ints stay ints and categoricals stay strings).
+func (r Record) ToTrial(space *param.Space) (core.Trial, error) {
+	t := core.Trial{
+		ID:     r.ID,
+		Params: param.Assignment{},
+		Values: r.Values,
+		Pruned: r.Pruned,
+		Seed:   r.Seed,
+	}
+	if t.Values == nil {
+		t.Values = map[string]float64{}
+	}
+	if r.Error != "" {
+		t.Err = fmt.Errorf("%s", r.Error)
+	}
+	for name, raw := range r.Params {
+		p, ok := space.Get(name)
+		if !ok {
+			return t, fmt.Errorf("journal: unknown parameter %q", name)
+		}
+		v, err := parseValue(p, raw)
+		if err != nil {
+			return t, err
+		}
+		t.Params[name] = v
+	}
+	return t, nil
+}
+
+// parseValue resolves raw against p's enumeration first (exact match of
+// the canonical rendering), falling back to numeric parsing for continuous
+// parameters.
+func parseValue(p param.Param, raw string) (param.Value, error) {
+	for _, v := range p.Enumerate() {
+		if v.String() == raw {
+			return v, nil
+		}
+	}
+	var f float64
+	if _, err := fmt.Sscanf(raw, "%g", &f); err == nil {
+		v := param.Float(f)
+		if p.Contains(v) {
+			return v, nil
+		}
+		iv := param.Int(int(f))
+		if p.Contains(iv) {
+			return iv, nil
+		}
+	}
+	sv := param.Str(raw)
+	if p.Contains(sv) {
+		return sv, nil
+	}
+	return param.Value{}, fmt.Errorf("journal: cannot parse %q for parameter %q", raw, p.Name())
+}
+
+// Writer appends trial records to an io.Writer (typically a file), safe
+// for concurrent use by parallel studies.
+type Writer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{enc: json.NewEncoder(w)} }
+
+// Append writes one trial.
+func (w *Writer) Append(t core.Trial) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(FromTrial(t))
+}
+
+// Observer returns a core.Study OnTrial hook that journals every finished
+// trial. Write errors are reported through errSink (losing records
+// silently would defeat the journal's purpose); pass nil to ignore them.
+func (w *Writer) Observer(errSink func(error)) func(core.Trial) {
+	return func(t core.Trial) {
+		if err := w.Append(t); err != nil && errSink != nil {
+			errSink(err)
+		}
+	}
+}
+
+// Read loads all records from r.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("journal: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// ReadFile loads all records from path.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Trials converts records back into trials against space.
+func Trials(records []Record, space *param.Space) ([]core.Trial, error) {
+	out := make([]core.Trial, 0, len(records))
+	for _, r := range records {
+		t, err := r.ToTrial(space)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

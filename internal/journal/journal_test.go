@@ -1,0 +1,183 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rldecide/internal/core"
+	"rldecide/internal/param"
+	"rldecide/internal/pareto"
+	"rldecide/internal/search"
+)
+
+func testSpace() *param.Space {
+	return param.MustSpace(
+		param.NewIntSet("order", 3, 5, 8),
+		param.NewCategorical("fw", "a", "b"),
+		param.NewFloatRange("lr", 0, 1),
+	)
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	space := testSpace()
+	orig := core.Trial{
+		ID: 7,
+		Params: param.Assignment{
+			"order": param.Int(5),
+			"fw":    param.Str("b"),
+			"lr":    param.Float(0.25),
+		},
+		Values: map[string]float64{"reward": -0.5, "time": 46},
+		Seed:   1234,
+	}
+	rec := FromTrial(orig)
+	back, err := rec.ToTrial(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 7 || back.Seed != 1234 {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if back.Params["order"].Int() != 5 || back.Params["fw"].Str() != "b" {
+		t.Fatalf("params lost: %v", back.Params)
+	}
+	if back.Params["lr"].Float() != 0.25 {
+		t.Fatalf("float param lost: %v", back.Params["lr"])
+	}
+	if back.Values["reward"] != -0.5 {
+		t.Fatal("values lost")
+	}
+}
+
+func TestErrorAndPrunedRoundTrip(t *testing.T) {
+	space := testSpace()
+	tr := core.Trial{
+		ID:     1,
+		Params: param.Assignment{"order": param.Int(3), "fw": param.Str("a"), "lr": param.Float(0.5)},
+		Err:    fmt.Errorf("boom"),
+		Pruned: true,
+	}
+	back, err := FromTrial(tr).ToTrial(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Err == nil || back.Err.Error() != "boom" || !back.Pruned {
+		t.Fatalf("flags lost: %+v", back)
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	space := testSpace()
+	for i := 1; i <= 3; i++ {
+		err := w.Append(core.Trial{
+			ID:     i,
+			Params: param.Assignment{"order": param.Int(3), "fw": param.Str("a"), "lr": param.Float(0.1)},
+			Values: map[string]float64{"m": float64(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	trials, err := Trials(recs, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials[2].Values["m"] != 3 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{\"id\":1}\nnot-json\n")); err == nil {
+		t.Fatal("garbage line should error")
+	}
+}
+
+func TestStudyJournaling(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trials.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+
+	space := testSpace()
+	study := &core.Study{
+		CaseStudy: core.CaseStudy{Name: "journaled"},
+		Space:     space,
+		Explorer:  search.RandomSearch{},
+		Metrics:   []core.Metric{{Name: "m", Direction: pareto.Maximize}},
+		Ranker:    core.SortedRanker{By: "m"},
+		Objective: func(a param.Assignment, seed uint64, rec *core.Recorder) error {
+			rec.Report("m", a["lr"].Float())
+			return nil
+		},
+		Seed:    4,
+		OnTrial: w.Observer(func(err error) { t.Errorf("journal write: %v", err) }),
+	}
+	if _, err := study.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("journaled %d/10 trials", len(recs))
+	}
+	trials, err := Trials(recs, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored trials can be re-ranked offline.
+	ranking := core.SortedRanker{By: "m"}.Rank(trials, []core.Metric{{Name: "m", Direction: pareto.Maximize}})
+	best := trials[ranking.Ordered[0]]
+	for _, tr := range trials {
+		if tr.Values["m"] > best.Values["m"] {
+			t.Fatal("offline re-ranking wrong")
+		}
+	}
+}
+
+func TestToTrialRejectsUnknownParam(t *testing.T) {
+	rec := Record{ID: 1, Params: map[string]string{"nope": "1"}}
+	if _, err := rec.ToTrial(testSpace()); err == nil {
+		t.Fatal("unknown parameter should error")
+	}
+}
+
+func TestParseValueFallbacks(t *testing.T) {
+	space := testSpace()
+	rec := Record{ID: 1, Params: map[string]string{
+		"order": "8",
+		"fw":    "b",
+		"lr":    "0.125",
+	}}
+	tr, err := rec.ToTrial(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Params["order"].Int() != 8 || tr.Params["lr"].Float() != 0.125 {
+		t.Fatalf("parsed wrong: %v", tr.Params)
+	}
+	bad := Record{ID: 2, Params: map[string]string{"order": "9", "fw": "a", "lr": "0.1"}}
+	if _, err := bad.ToTrial(space); err == nil {
+		t.Fatal("out-of-space value should error")
+	}
+}

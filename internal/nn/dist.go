@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Softmax writes the softmax of logits into dst (allocating when nil) and
+// returns dst, using the max-subtraction trick for stability.
+func Softmax(logits []float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(logits))
+	}
+	mx := logits[0]
+	for _, v := range logits[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - mx)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+	return dst
+}
+
+// LogSoftmax writes log-softmax of logits into dst and returns dst.
+func LogSoftmax(logits []float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(logits))
+	}
+	mx := logits[0]
+	for _, v := range logits[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	sum := 0.0
+	for _, v := range logits {
+		sum += math.Exp(v - mx)
+	}
+	lse := mx + math.Log(sum)
+	for i, v := range logits {
+		dst[i] = v - lse
+	}
+	return dst
+}
+
+// CategoricalSample draws an action index from softmax(logits).
+func CategoricalSample(rng *rand.Rand, logits []float64) int {
+	p := Softmax(logits, nil)
+	u := rng.Float64()
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		if u <= acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// CategoricalLogProb returns log π(a) under softmax(logits).
+func CategoricalLogProb(logits []float64, a int) float64 {
+	return LogSoftmax(logits, nil)[a]
+}
+
+// CategoricalEntropy returns the entropy of softmax(logits) in nats.
+func CategoricalEntropy(logits []float64) float64 {
+	lp := LogSoftmax(logits, nil)
+	h := 0.0
+	for _, l := range lp {
+		h -= math.Exp(l) * l
+	}
+	return h
+}
+
+// Argmax returns the index of the largest element.
+func Argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+const log2Pi = 1.8378770664093453 // log(2π)
+
+// GaussianLogProb returns the log density of x under independent Gaussians
+// with the given means and log-standard-deviations.
+func GaussianLogProb(x, mean, logStd []float64) float64 {
+	lp := 0.0
+	for i := range x {
+		std := math.Exp(logStd[i])
+		z := (x[i] - mean[i]) / std
+		lp += -0.5*z*z - logStd[i] - 0.5*log2Pi
+	}
+	return lp
+}
+
+// GaussianSample draws from independent Gaussians into dst.
+func GaussianSample(rng *rand.Rand, mean, logStd, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(mean))
+	}
+	for i := range mean {
+		dst[i] = mean[i] + rng.NormFloat64()*math.Exp(logStd[i])
+	}
+	return dst
+}
+
+// GaussianEntropy returns the entropy of independent Gaussians.
+func GaussianEntropy(logStd []float64) float64 {
+	h := 0.0
+	for _, ls := range logStd {
+		h += 0.5*(1+log2Pi) + ls
+	}
+	return h
+}

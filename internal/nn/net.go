@@ -1,0 +1,312 @@
+// Package nn is the from-scratch neural-network stack behind the PPO and
+// SAC implementations: dense layers with hand-rolled backpropagation, MLPs,
+// the Adam optimizer, and the categorical/Gaussian policy distributions.
+// It is CPU-only, float64, deterministic given a seed, and sized for the
+// small policy/value networks RL uses (tens of thousands of parameters).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"rldecide/internal/tensor"
+)
+
+// Activation is an elementwise nonlinearity with derivative expressed in
+// terms of input z and output y (whichever is cheaper).
+type Activation interface {
+	Name() string
+	Apply(z float64) float64
+	// Deriv returns dy/dz given the pre-activation z and post-activation y.
+	Deriv(z, y float64) float64
+}
+
+// Tanh activation.
+type Tanh struct{}
+
+// Name implements Activation.
+func (Tanh) Name() string { return "tanh" }
+
+// Apply implements Activation.
+func (Tanh) Apply(z float64) float64 { return math.Tanh(z) }
+
+// Deriv implements Activation.
+func (Tanh) Deriv(_, y float64) float64 { return 1 - y*y }
+
+// ReLU activation.
+type ReLU struct{}
+
+// Name implements Activation.
+func (ReLU) Name() string { return "relu" }
+
+// Apply implements Activation.
+func (ReLU) Apply(z float64) float64 {
+	if z > 0 {
+		return z
+	}
+	return 0
+}
+
+// Deriv implements Activation.
+func (ReLU) Deriv(z, _ float64) float64 {
+	if z > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Identity activation (linear output layers).
+type Identity struct{}
+
+// Name implements Activation.
+func (Identity) Name() string { return "identity" }
+
+// Apply implements Activation.
+func (Identity) Apply(z float64) float64 { return z }
+
+// Deriv implements Activation.
+func (Identity) Deriv(_, _ float64) float64 { return 1 }
+
+// Dense is a fully connected layer y = act(x @ W + b) with gradient
+// accumulation. It caches the last forward batch for the backward pass; it
+// is not safe for concurrent use.
+type Dense struct {
+	In, Out int
+	W       *tensor.Mat // In x Out
+	B       []float64
+	Act     Activation
+
+	DW *tensor.Mat
+	DB []float64
+
+	x, z, y *tensor.Mat
+	dx      *tensor.Mat
+}
+
+// NewDense returns a Dense layer with fan-in-scaled Gaussian init of gain.
+func NewDense(rng *rand.Rand, in, out int, act Activation, gain float64) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:   tensor.New(in, out),
+		B:   make([]float64, out),
+		Act: act,
+		DW:  tensor.New(in, out),
+		DB:  make([]float64, out),
+	}
+	d.W.Orthogonalish(rng, gain)
+	return d
+}
+
+// Forward computes the layer output for a batch x (rows = samples).
+func (d *Dense) Forward(x *tensor.Mat) *tensor.Mat {
+	if x.C != d.In {
+		panic(fmt.Sprintf("nn: Dense forward input dim %d, want %d", x.C, d.In))
+	}
+	d.x = x
+	if d.z == nil || d.z.R != x.R {
+		d.z = tensor.New(x.R, d.Out)
+		d.y = tensor.New(x.R, d.Out)
+		d.dx = tensor.New(x.R, d.In)
+	}
+	tensor.MulInto(d.z, x, d.W)
+	d.z.AddBias(d.B)
+	for i, z := range d.z.Data {
+		d.y.Data[i] = d.Act.Apply(z)
+	}
+	return d.y
+}
+
+// Backward takes dL/dy for the cached batch, accumulates dL/dW and dL/db
+// into DW/DB, and returns dL/dx. The returned matrix is reused across
+// calls.
+func (d *Dense) Backward(dy *tensor.Mat) *tensor.Mat {
+	if d.x == nil {
+		panic("nn: Dense backward before forward")
+	}
+	if dy.R != d.x.R || dy.C != d.Out {
+		panic("nn: Dense backward shape mismatch")
+	}
+	// dz = dy * act'(z)
+	dz := tensor.New(dy.R, dy.C)
+	for i := range dz.Data {
+		dz.Data[i] = dy.Data[i] * d.Act.Deriv(d.z.Data[i], d.y.Data[i])
+	}
+	// Accumulate parameter grads.
+	dw := tensor.New(d.In, d.Out)
+	tensor.MulTransAInto(dw, d.x, dz)
+	d.DW.Add(dw)
+	for r := 0; r < dz.R; r++ {
+		row := dz.Row(r)
+		for j, v := range row {
+			d.DB[j] += v
+		}
+	}
+	// dx = dz @ Wᵀ
+	tensor.MulTransBInto(d.dx, dz, d.W)
+	return d.dx
+}
+
+// ZeroGrad clears accumulated gradients.
+func (d *Dense) ZeroGrad() {
+	d.DW.Zero()
+	for i := range d.DB {
+		d.DB[i] = 0
+	}
+}
+
+// Param is a flat view of one parameter block and its gradient.
+type Param struct {
+	Name string
+	Data []float64
+	Grad []float64
+}
+
+// Params returns the layer's parameter blocks.
+func (d *Dense) Params() []Param {
+	return []Param{
+		{Name: "W", Data: d.W.Data, Grad: d.DW.Data},
+		{Name: "b", Data: d.B, Grad: d.DB},
+	}
+}
+
+// MLP is a stack of Dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer sizes (sizes[0] = input dim,
+// sizes[len-1] = output dim), hidden activation act, and a linear output
+// layer initialized with outGain (small gains stabilize policy heads).
+func NewMLP(rng *rand.Rand, sizes []int, act Activation, outGain float64) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i < len(sizes)-1; i++ {
+		last := i == len(sizes)-2
+		a := act
+		gain := math.Sqrt(2)
+		if last {
+			a = Identity{}
+			gain = outGain
+		}
+		m.Layers = append(m.Layers, NewDense(rng, sizes[i], sizes[i+1], a, gain))
+	}
+	return m
+}
+
+// InDim returns the input dimension.
+func (m *MLP) InDim() int { return m.Layers[0].In }
+
+// OutDim returns the output dimension.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }
+
+// Forward runs the batch through all layers.
+func (m *MLP) Forward(x *tensor.Mat) *tensor.Mat {
+	h := x
+	for _, l := range m.Layers {
+		h = l.Forward(h)
+	}
+	return h
+}
+
+// Forward1 evaluates a single input vector, returning a fresh output slice.
+func (m *MLP) Forward1(x []float64) []float64 {
+	in := tensor.FromSlice(1, len(x), append([]float64(nil), x...))
+	out := m.Forward(in)
+	return append([]float64(nil), out.Data...)
+}
+
+// Backward backpropagates dL/dout through all layers, accumulating
+// parameter gradients, and returns dL/din.
+func (m *MLP) Backward(dout *tensor.Mat) *tensor.Mat {
+	g := dout
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Params returns all parameter blocks.
+func (m *MLP) Params() []Param {
+	var ps []Param
+	for i, l := range m.Layers {
+		for _, p := range l.Params() {
+			p.Name = fmt.Sprintf("layer%d.%s", i, p.Name)
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// Weights flattens all parameters into one slice (for weight transfer in
+// the distributed backends).
+func (m *MLP) Weights() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	for _, p := range m.Params() {
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// SetWeights loads a slice produced by Weights.
+func (m *MLP) SetWeights(w []float64) {
+	if len(w) != m.NumParams() {
+		panic(fmt.Sprintf("nn: SetWeights got %d values, want %d", len(w), m.NumParams()))
+	}
+	off := 0
+	for _, p := range m.Params() {
+		copy(p.Data, w[off:off+len(p.Data)])
+		off += len(p.Data)
+	}
+}
+
+// CopyFrom copies weights from src (same architecture).
+func (m *MLP) CopyFrom(src *MLP) { m.SetWeights(src.Weights()) }
+
+// Polyak blends src into m: θ ← (1−τ)θ + τ·θ_src (target-network update).
+func (m *MLP) Polyak(src *MLP, tau float64) {
+	mp, sp := m.Params(), src.Params()
+	if len(mp) != len(sp) {
+		panic("nn: Polyak architecture mismatch")
+	}
+	for i := range mp {
+		for j := range mp[i].Data {
+			mp[i].Data[j] = (1-tau)*mp[i].Data[j] + tau*sp[i].Data[j]
+		}
+	}
+}
+
+// Clone returns a deep copy with zeroed gradients and fresh caches.
+func (m *MLP) Clone() *MLP {
+	out := &MLP{}
+	for _, l := range m.Layers {
+		nl := &Dense{
+			In: l.In, Out: l.Out,
+			W:   l.W.Clone(),
+			B:   append([]float64(nil), l.B...),
+			Act: l.Act,
+			DW:  tensor.New(l.In, l.Out),
+			DB:  make([]float64, l.Out),
+		}
+		out.Layers = append(out.Layers, nl)
+	}
+	return out
+}

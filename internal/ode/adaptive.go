@@ -1,0 +1,132 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+)
+
+// Adaptive integrates with embedded-error step-size control, in the style
+// of SciPy's solve_ivp. Only methods with an embedded pair are supported
+// (RK23, RK45); RK8 is used with fixed steps in this project, as DOP853's
+// dense control is out of scope.
+type Adaptive struct {
+	Method *Method
+	Rtol   float64 // relative tolerance (default 1e-6)
+	Atol   float64 // absolute tolerance (default 1e-9)
+	HInit  float64 // initial step (default (t1-t0)/100)
+	HMin   float64 // minimum step before giving up (default 1e-10)
+	HMax   float64 // maximum step (default t1-t0)
+
+	// Safety, MinFactor and MaxFactor control the classic step-size update
+	// h' = h * clip(Safety * err^(-1/(order)), MinFactor, MaxFactor).
+	Safety    float64 // default 0.9
+	MinFactor float64 // default 0.2
+	MaxFactor float64 // default 5.0
+}
+
+// AdaptiveResult reports integration statistics.
+type AdaptiveResult struct {
+	Steps    int     // accepted steps
+	Rejected int     // rejected steps
+	Evals    int64   // RHS evaluations
+	LastH    float64 // final step size
+	MaxErr   float64 // largest accepted scaled error
+}
+
+func (a *Adaptive) defaults(t0, t1 float64) Adaptive {
+	cfg := *a
+	if cfg.Rtol == 0 {
+		cfg.Rtol = 1e-6
+	}
+	if cfg.Atol == 0 {
+		cfg.Atol = 1e-9
+	}
+	if cfg.HInit == 0 {
+		cfg.HInit = (t1 - t0) / 100
+	}
+	if cfg.HMin == 0 {
+		cfg.HMin = 1e-10
+	}
+	if cfg.HMax == 0 {
+		cfg.HMax = t1 - t0
+	}
+	if cfg.Safety == 0 {
+		cfg.Safety = 0.9
+	}
+	if cfg.MinFactor == 0 {
+		cfg.MinFactor = 0.2
+	}
+	if cfg.MaxFactor == 0 {
+		cfg.MaxFactor = 5.0
+	}
+	return cfg
+}
+
+// Solve integrates y from t0 to t1, updating y in place.
+func (a *Adaptive) Solve(f Func, t0, t1 float64, y []float64) (AdaptiveResult, error) {
+	if a.Method == nil {
+		return AdaptiveResult{}, fmt.Errorf("ode: Adaptive.Method is nil")
+	}
+	if !a.Method.HasEmbedded() {
+		return AdaptiveResult{}, fmt.Errorf("ode: method %s has no embedded error estimator", a.Method.Name)
+	}
+	if t1 <= t0 {
+		return AdaptiveResult{}, fmt.Errorf("ode: Adaptive.Solve needs t1 > t0")
+	}
+	cfg := a.defaults(t0, t1)
+
+	dim := len(y)
+	st := NewStepper(cfg.Method, dim)
+	ynew := make([]float64, dim)
+	yerr := make([]float64, dim)
+
+	var res AdaptiveResult
+	t := t0
+	h := math.Min(cfg.HInit, cfg.HMax)
+	// Error exponent: embedded pair of orders (p, p-1) → control on p-1+1.
+	exp := 1.0 / float64(cfg.Method.Order)
+
+	for t < t1-1e-12 {
+		if h < cfg.HMin {
+			return res, fmt.Errorf("ode: step size underflow at t=%g (h=%g)", t, h)
+		}
+		if t+h > t1 {
+			h = t1 - t
+		}
+		st.Step(f, t, y, h, ynew, yerr)
+		// Scaled RMS error norm.
+		sum := 0.0
+		for d := 0; d < dim; d++ {
+			sc := cfg.Atol + cfg.Rtol*math.Max(math.Abs(y[d]), math.Abs(ynew[d]))
+			e := yerr[d] / sc
+			sum += e * e
+		}
+		errNorm := math.Sqrt(sum / float64(dim))
+
+		if errNorm <= 1 {
+			t += h
+			copy(y, ynew)
+			res.Steps++
+			if errNorm > res.MaxErr {
+				res.MaxErr = errNorm
+			}
+		} else {
+			res.Rejected++
+		}
+
+		factor := cfg.MaxFactor
+		if errNorm > 0 {
+			factor = cfg.Safety * math.Pow(errNorm, -exp)
+		}
+		if factor < cfg.MinFactor {
+			factor = cfg.MinFactor
+		}
+		if factor > cfg.MaxFactor {
+			factor = cfg.MaxFactor
+		}
+		h = math.Min(h*factor, cfg.HMax)
+	}
+	res.Evals = st.Evals()
+	res.LastH = h
+	return res, nil
+}

@@ -1,0 +1,295 @@
+// Package ode implements the explicit Runge-Kutta integrators used by the
+// airdrop simulator: Bogacki–Shampine 3(2) ("RK23"), Dormand–Prince 5(4)
+// ("RK45"), the classic fixed-order RK4, and an 8th-order Cooper–Verner
+// method ("RK8") standing in for SciPy's DOP853 (same order, comparable
+// stage count; see DESIGN.md for the substitution note).
+//
+// The paper varies the Runge-Kutta order (3, 5, 8) to trade result accuracy
+// against computation time; this package therefore exposes, in addition to
+// the steppers, the two quantities that trade-off is made of: the per-step
+// stage count (the cost) and the embedded or Richardson local-error
+// estimate (the accuracy).
+package ode
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func is the right-hand side of an ODE system y' = f(t, y).
+// Implementations must write the derivative into dydt (same length as y)
+// and must not retain either slice.
+type Func func(t float64, y, dydt []float64)
+
+// Method is an explicit Runge-Kutta method given by its Butcher tableau.
+// A is strictly lower triangular (row i holds i coefficients), B the
+// solution weights, BHat optional embedded weights of lower order for error
+// estimation, and C the nodes.
+type Method struct {
+	Name  string
+	Order int
+	A     [][]float64
+	B     []float64
+	BHat  []float64
+	C     []float64
+}
+
+// Stages returns the number of derivative evaluations per step.
+func (m *Method) Stages() int { return len(m.B) }
+
+// HasEmbedded reports whether the method carries an embedded error
+// estimator.
+func (m *Method) HasEmbedded() bool { return m.BHat != nil }
+
+func (m *Method) validate() error {
+	s := len(m.B)
+	if len(m.C) != s || len(m.A) != s {
+		return fmt.Errorf("ode: method %s: inconsistent tableau sizes", m.Name)
+	}
+	for i, row := range m.A {
+		if len(row) != i {
+			return fmt.Errorf("ode: method %s: A row %d has %d entries, want %d", m.Name, i, len(row), i)
+		}
+	}
+	if m.BHat != nil && len(m.BHat) != s {
+		return fmt.Errorf("ode: method %s: BHat length %d, want %d", m.Name, len(m.BHat), s)
+	}
+	sum := 0.0
+	for _, b := range m.B {
+		sum += b
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		return fmt.Errorf("ode: method %s: B weights sum to %v, want 1", m.Name, sum)
+	}
+	return nil
+}
+
+// RK23 returns the Bogacki–Shampine 3(2) method (SciPy's RK23).
+func RK23() *Method {
+	return &Method{
+		Name:  "RK23",
+		Order: 3,
+		C:     []float64{0, 1. / 2, 3. / 4, 1},
+		A: [][]float64{
+			{},
+			{1. / 2},
+			{0, 3. / 4},
+			{2. / 9, 1. / 3, 4. / 9},
+		},
+		B:    []float64{2. / 9, 1. / 3, 4. / 9, 0},
+		BHat: []float64{7. / 24, 1. / 4, 1. / 3, 1. / 8},
+	}
+}
+
+// RK45 returns the Dormand–Prince 5(4) method (SciPy's RK45).
+func RK45() *Method {
+	return &Method{
+		Name:  "RK45",
+		Order: 5,
+		C:     []float64{0, 1. / 5, 3. / 10, 4. / 5, 8. / 9, 1, 1},
+		A: [][]float64{
+			{},
+			{1. / 5},
+			{3. / 40, 9. / 40},
+			{44. / 45, -56. / 15, 32. / 9},
+			{19372. / 6561, -25360. / 2187, 64448. / 6561, -212. / 729},
+			{9017. / 3168, -355. / 33, 46732. / 5247, 49. / 176, -5103. / 18656},
+			{35. / 384, 0, 500. / 1113, 125. / 192, -2187. / 6784, 11. / 84},
+		},
+		B:    []float64{35. / 384, 0, 500. / 1113, 125. / 192, -2187. / 6784, 11. / 84, 0},
+		BHat: []float64{5179. / 57600, 0, 7571. / 16695, 393. / 640, -92097. / 339200, 187. / 2100, 1. / 40},
+	}
+}
+
+// RK4 returns the classic fixed 4th-order Runge-Kutta method (no embedded
+// estimator).
+func RK4() *Method {
+	return &Method{
+		Name:  "RK4",
+		Order: 4,
+		C:     []float64{0, 1. / 2, 1. / 2, 1},
+		A: [][]float64{
+			{},
+			{1. / 2},
+			{0, 1. / 2},
+			{0, 0, 1},
+		},
+		B: []float64{1. / 6, 1. / 3, 1. / 3, 1. / 6},
+	}
+}
+
+// RK8 returns the 11-stage 8th-order Cooper–Verner method. It has no
+// embedded pair; local error can be estimated by Richardson extrapolation
+// (EstimateLocalError). It substitutes for SciPy's DOP853 in the paper's
+// order-8 configurations.
+func RK8() *Method {
+	s := math.Sqrt(21)
+	return &Method{
+		Name:  "RK8",
+		Order: 8,
+		C: []float64{
+			0, 1. / 2, 1. / 2, (7 + s) / 14, (7 + s) / 14, 1. / 2,
+			(7 - s) / 14, (7 - s) / 14, 1. / 2, (7 + s) / 14, 1,
+		},
+		A: [][]float64{
+			{},
+			{1. / 2},
+			{1. / 4, 1. / 4},
+			{1. / 7, (-7 - 3*s) / 98, (21 + 5*s) / 49},
+			{(11 + s) / 84, 0, (18 + 4*s) / 63, (21 - s) / 252},
+			{(5 + s) / 48, 0, (9 + s) / 36, (-231 + 14*s) / 360, (63 - 7*s) / 80},
+			{(10 - s) / 42, 0, (-432 + 92*s) / 315, (633 - 145*s) / 90, (-504 + 115*s) / 70, (63 - 13*s) / 35},
+			{1. / 14, 0, 0, 0, (14 - 3*s) / 126, (13 - 3*s) / 63, 1. / 9},
+			{1. / 32, 0, 0, 0, (91 - 21*s) / 576, 11. / 72, (-385 - 75*s) / 1152, (63 + 13*s) / 128},
+			{1. / 14, 0, 0, 0, 1. / 9, (-733 - 147*s) / 2205, (515 + 111*s) / 504, (-51 - 11*s) / 56, (132 + 28*s) / 245},
+			{0, 0, 0, 0, (-42 + 7*s) / 18, (-18 + 28*s) / 45, (-273 - 53*s) / 72, (301 + 53*s) / 72, (28 - 28*s) / 45, (49 - 7*s) / 18},
+		},
+		B: []float64{1. / 20, 0, 0, 0, 0, 0, 0, 49. / 180, 16. / 45, 49. / 180, 1. / 20},
+	}
+}
+
+// ByOrder returns the method the paper associates with the given
+// Runge-Kutta order (3 → RK23, 5 → RK45, 8 → RK8). It returns an error for
+// unsupported orders.
+func ByOrder(order int) (*Method, error) {
+	switch order {
+	case 3:
+		return RK23(), nil
+	case 4:
+		return RK4(), nil
+	case 5:
+		return RK45(), nil
+	case 8:
+		return RK8(), nil
+	default:
+		return nil, fmt.Errorf("ode: no method for order %d (supported: 3, 4, 5, 8)", order)
+	}
+}
+
+// Stepper performs single steps of a method without per-step allocation.
+// It is not safe for concurrent use; create one per goroutine.
+type Stepper struct {
+	m      *Method
+	dim    int
+	k      [][]float64
+	ytmp   []float64
+	nEvals int64
+}
+
+// NewStepper returns a Stepper for method m on systems of dimension dim.
+// It panics if the tableau is malformed (programmer error).
+func NewStepper(m *Method, dim int) *Stepper {
+	if err := m.validate(); err != nil {
+		panic(err)
+	}
+	k := make([][]float64, m.Stages())
+	for i := range k {
+		k[i] = make([]float64, dim)
+	}
+	return &Stepper{m: m, dim: dim, k: k, ytmp: make([]float64, dim)}
+}
+
+// Method returns the stepper's method.
+func (s *Stepper) Method() *Method { return s.m }
+
+// Evals returns the cumulative number of RHS evaluations performed.
+func (s *Stepper) Evals() int64 { return s.nEvals }
+
+// Step advances y by one step of size h, writing the result into ynew
+// (which may alias y). If yerr is non-nil and the method has an embedded
+// pair, the component-wise local error estimate is written into yerr;
+// otherwise yerr is zeroed. It returns the time after the step.
+func (s *Stepper) Step(f Func, t float64, y []float64, h float64, ynew, yerr []float64) float64 {
+	if len(y) != s.dim {
+		panic(fmt.Sprintf("ode: Step dim %d, want %d", len(y), s.dim))
+	}
+	m := s.m
+	for i := 0; i < m.Stages(); i++ {
+		copy(s.ytmp, y)
+		for j, a := range m.A[i] {
+			if a == 0 {
+				continue
+			}
+			kj := s.k[j]
+			for d := range s.ytmp {
+				s.ytmp[d] += h * a * kj[d]
+			}
+		}
+		f(t+m.C[i]*h, s.ytmp, s.k[i])
+		s.nEvals++
+	}
+	// Assemble the solution; accumulate into ytmp first so ynew may alias y.
+	copy(s.ytmp, y)
+	for i, b := range m.B {
+		if b == 0 {
+			continue
+		}
+		ki := s.k[i]
+		for d := range s.ytmp {
+			s.ytmp[d] += h * b * ki[d]
+		}
+	}
+	if yerr != nil {
+		for d := range yerr {
+			yerr[d] = 0
+		}
+		if m.BHat != nil {
+			for i := range m.B {
+				db := m.B[i] - m.BHat[i]
+				if db == 0 {
+					continue
+				}
+				ki := s.k[i]
+				for d := range yerr {
+					yerr[d] += h * db * ki[d]
+				}
+			}
+		}
+	}
+	copy(ynew, s.ytmp)
+	return t + h
+}
+
+// Integrate advances y0 from t0 to t1 with fixed step size h (the final
+// step is shortened to land exactly on t1). It writes the result into y0
+// and returns the number of steps taken.
+func Integrate(f Func, m *Method, t0, t1 float64, y0 []float64, h float64) int {
+	if h <= 0 {
+		panic("ode: Integrate requires h > 0")
+	}
+	st := NewStepper(m, len(y0))
+	steps := 0
+	t := t0
+	for t < t1-1e-12 {
+		step := h
+		if t+step > t1 {
+			step = t1 - t
+		}
+		t = st.Step(f, t, y0, step, y0, nil)
+		steps++
+	}
+	return steps
+}
+
+// EstimateLocalError estimates the local truncation error of one step of
+// size h at (t, y) by Richardson extrapolation: it compares one full step
+// against two half steps. It works for any method, including those without
+// an embedded pair, and returns the RMS norm of the difference scaled by
+// 1/(2^p - 1) where p is the method order.
+func EstimateLocalError(f Func, m *Method, t float64, y []float64, h float64) float64 {
+	dim := len(y)
+	st := NewStepper(m, dim)
+	full := make([]float64, dim)
+	half := make([]float64, dim)
+	st.Step(f, t, y, h, full, nil)
+	copy(half, y)
+	tm := st.Step(f, t, half, h/2, half, nil)
+	st.Step(f, tm, half, h/2, half, nil)
+	scale := math.Pow(2, float64(m.Order)) - 1
+	sum := 0.0
+	for d := 0; d < dim; d++ {
+		e := (half[d] - full[d]) / scale
+		sum += e * e
+	}
+	return math.Sqrt(sum / float64(dim))
+}

@@ -1,0 +1,302 @@
+package ode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// expSys is y' = y, solution e^t.
+func expSys(t float64, y, dydt []float64) { dydt[0] = y[0] }
+
+// oscSys is the harmonic oscillator y” = -y as a 2-D system; solution
+// (cos t, -sin t) from (1, 0).
+func oscSys(t float64, y, dydt []float64) {
+	dydt[0] = y[1]
+	dydt[1] = -y[0]
+}
+
+// nonlinSys is a smooth nonlinear system with a known-ish reference
+// computed at very high accuracy; used for convergence-order checks.
+func nonlinSys(t float64, y, dydt []float64) {
+	dydt[0] = math.Sin(t) - y[0]*y[1]
+	dydt[1] = y[0] - 0.5*y[1]
+}
+
+func methods() []*Method {
+	return []*Method{RK23(), RK4(), RK45(), RK8()}
+}
+
+func TestTableausValid(t *testing.T) {
+	for _, m := range methods() {
+		if err := m.validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		// Row-sum condition: c_i == sum(a_ij).
+		for i, row := range m.A {
+			sum := 0.0
+			for _, a := range row {
+				sum += a
+			}
+			if math.Abs(sum-m.C[i]) > 1e-12 {
+				t.Errorf("%s: row %d sums to %v, c=%v", m.Name, i, sum, m.C[i])
+			}
+		}
+	}
+}
+
+func TestStagesAndOrder(t *testing.T) {
+	cases := []struct {
+		m      *Method
+		stages int
+		order  int
+	}{
+		{RK23(), 4, 3},
+		{RK4(), 4, 4},
+		{RK45(), 7, 5},
+		{RK8(), 11, 8},
+	}
+	for _, c := range cases {
+		if c.m.Stages() != c.stages {
+			t.Errorf("%s stages=%d want %d", c.m.Name, c.m.Stages(), c.stages)
+		}
+		if c.m.Order != c.order {
+			t.Errorf("%s order=%d want %d", c.m.Name, c.m.Order, c.order)
+		}
+	}
+}
+
+func TestByOrder(t *testing.T) {
+	for _, order := range []int{3, 4, 5, 8} {
+		m, err := ByOrder(order)
+		if err != nil {
+			t.Fatalf("ByOrder(%d): %v", order, err)
+		}
+		if m.Order != order {
+			t.Errorf("ByOrder(%d) returned order %d", order, m.Order)
+		}
+	}
+	if _, err := ByOrder(7); err == nil {
+		t.Error("ByOrder(7) should fail")
+	}
+}
+
+func TestExponentialAccuracy(t *testing.T) {
+	for _, m := range methods() {
+		y := []float64{1}
+		Integrate(expSys, m, 0, 1, y, 0.01)
+		want := math.E
+		tol := map[string]float64{"RK23": 1e-6, "RK4": 1e-8, "RK45": 1e-10, "RK8": 1e-12}[m.Name]
+		if math.Abs(y[0]-want) > tol {
+			t.Errorf("%s: e^1 = %.15f, want %.15f (err %g > tol %g)", m.Name, y[0], want, math.Abs(y[0]-want), tol)
+		}
+	}
+}
+
+func TestOscillatorEnergy(t *testing.T) {
+	// Integrate 10 periods; the Hamiltonian y0^2+y1^2 must stay near 1.
+	for _, m := range methods() {
+		y := []float64{1, 0}
+		Integrate(oscSys, m, 0, 20*math.Pi, y, 0.02)
+		h := y[0]*y[0] + y[1]*y[1]
+		if math.Abs(h-1) > 1e-4 {
+			t.Errorf("%s: energy drifted to %v", m.Name, h)
+		}
+	}
+}
+
+// refSolution integrates nonlinSys with RK45 at a tiny step to serve as a
+// reference for convergence tests.
+func refSolution(t1 float64) []float64 {
+	y := []float64{1, 0.5}
+	Integrate(nonlinSys, RK45(), 0, t1, y, 1e-5)
+	return y
+}
+
+func errAt(m *Method, h float64, ref []float64) float64 {
+	y := []float64{1, 0.5}
+	Integrate(nonlinSys, m, 0, 1, y, h)
+	return math.Hypot(y[0]-ref[0], y[1]-ref[1])
+}
+
+// TestConvergenceOrders empirically verifies that halving the step reduces
+// the global error by ~2^order; this catches tableau transcription errors.
+func TestConvergenceOrders(t *testing.T) {
+	ref := refSolution(1)
+	cases := []struct {
+		m       *Method
+		h       float64
+		minRate float64
+	}{
+		{RK23(), 0.05, 2.6},
+		{RK4(), 0.05, 3.6},
+		{RK45(), 0.1, 4.5},
+		{RK8(), 0.4, 6.5},
+	}
+	for _, c := range cases {
+		e1 := errAt(c.m, c.h, ref)
+		e2 := errAt(c.m, c.h/2, ref)
+		if e2 == 0 {
+			continue // below float precision, fine
+		}
+		rate := math.Log2(e1 / e2)
+		if rate < c.minRate {
+			t.Errorf("%s: observed convergence rate %.2f < %.2f (e1=%g e2=%g)", c.m.Name, rate, c.minRate, e1, e2)
+		}
+	}
+}
+
+func TestEmbeddedErrorTracksTruth(t *testing.T) {
+	// For RK23/RK45 the embedded estimate should be within a couple of
+	// orders of magnitude of the true one-step error.
+	for _, m := range []*Method{RK23(), RK45()} {
+		st := NewStepper(m, 2)
+		y := []float64{1, 0.5}
+		ynew := make([]float64, 2)
+		yerr := make([]float64, 2)
+		h := 0.1
+		st.Step(nonlinSys, 0, y, h, ynew, yerr)
+		// true error via tiny-step reference over one h
+		ref := []float64{1, 0.5}
+		Integrate(nonlinSys, RK45(), 0, h, ref, 1e-6)
+		trueErr := math.Hypot(ynew[0]-ref[0], ynew[1]-ref[1])
+		est := math.Hypot(yerr[0], yerr[1])
+		if est == 0 {
+			t.Errorf("%s: zero embedded estimate", m.Name)
+			continue
+		}
+		ratio := est / math.Max(trueErr, 1e-18)
+		if ratio < 1e-2 || ratio > 1e4 {
+			t.Errorf("%s: embedded estimate %g vs true %g (ratio %g)", m.Name, est, trueErr, ratio)
+		}
+	}
+}
+
+func TestErrorEstimateDecreasesWithOrder(t *testing.T) {
+	// The paper's central accuracy knob: higher RK order → smaller local
+	// error at the same step size.
+	h := 0.3
+	y := []float64{1, 0.5}
+	e3 := EstimateLocalError(nonlinSys, RK23(), 0, y, h)
+	e5 := EstimateLocalError(nonlinSys, RK45(), 0, y, h)
+	e8 := EstimateLocalError(nonlinSys, RK8(), 0, y, h)
+	if !(e3 > e5 && e5 > e8) {
+		t.Errorf("local error not monotone in order: RK23=%g RK45=%g RK8=%g", e3, e5, e8)
+	}
+}
+
+func TestStepAliasSafe(t *testing.T) {
+	// ynew may alias y.
+	for _, m := range methods() {
+		st := NewStepper(m, 2)
+		y := []float64{1, 0.5}
+		sep := make([]float64, 2)
+		st.Step(nonlinSys, 0, y, 0.1, sep, nil)
+		y2 := []float64{1, 0.5}
+		st2 := NewStepper(m, 2)
+		st2.Step(nonlinSys, 0, y2, 0.1, y2, nil)
+		if y2[0] != sep[0] || y2[1] != sep[1] {
+			t.Errorf("%s: aliased step differs: %v vs %v", m.Name, y2, sep)
+		}
+	}
+}
+
+func TestIntegrateLandsExactly(t *testing.T) {
+	// Step not dividing the interval: final shortened step must land on t1.
+	y := []float64{1}
+	steps := Integrate(expSys, RK4(), 0, 1, y, 0.3)
+	if steps != 4 {
+		t.Errorf("steps=%d want 4 (0.3+0.3+0.3+0.1)", steps)
+	}
+	if math.Abs(y[0]-math.E) > 5e-4 {
+		t.Errorf("endpoint wrong: %v", y[0])
+	}
+}
+
+func TestEvalsAccounting(t *testing.T) {
+	st := NewStepper(RK45(), 1)
+	y := []float64{1}
+	st.Step(expSys, 0, y, 0.1, y, nil)
+	st.Step(expSys, 0.1, y, 0.1, y, nil)
+	if st.Evals() != 14 {
+		t.Errorf("Evals=%d want 14 (2 steps x 7 stages)", st.Evals())
+	}
+}
+
+func TestAdaptiveSolve(t *testing.T) {
+	for _, m := range []*Method{RK23(), RK45()} {
+		y := []float64{1, 0}
+		a := Adaptive{Method: m, Rtol: 1e-8, Atol: 1e-10}
+		res, err := a.Solve(oscSys, 0, 2*math.Pi, y)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if math.Abs(y[0]-1) > 1e-6 || math.Abs(y[1]) > 1e-6 {
+			t.Errorf("%s: after one period y=%v want (1,0)", m.Name, y)
+		}
+		if res.Steps == 0 || res.Evals == 0 {
+			t.Errorf("%s: empty stats %+v", m.Name, res)
+		}
+	}
+}
+
+func TestAdaptiveTightensWithTolerance(t *testing.T) {
+	run := func(rtol float64) int {
+		y := []float64{1, 0}
+		a := Adaptive{Method: RK45(), Rtol: rtol, Atol: rtol * 1e-2}
+		res, err := a.Solve(oscSys, 0, 2*math.Pi, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Steps
+	}
+	loose := run(1e-4)
+	tight := run(1e-10)
+	if tight <= loose {
+		t.Errorf("tighter tolerance should need more steps: %d vs %d", tight, loose)
+	}
+}
+
+func TestAdaptiveErrors(t *testing.T) {
+	var a Adaptive
+	if _, err := a.Solve(expSys, 0, 1, []float64{1}); err == nil {
+		t.Error("nil method should error")
+	}
+	a = Adaptive{Method: RK8()}
+	if _, err := a.Solve(expSys, 0, 1, []float64{1}); err == nil {
+		t.Error("method without embedded pair should error")
+	}
+	a = Adaptive{Method: RK45()}
+	if _, err := a.Solve(expSys, 1, 0, []float64{1}); err == nil {
+		t.Error("t1 <= t0 should error")
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	// For the linear system y'=y, integration is linear in the initial
+	// condition: solve(a*y0) == a*solve(y0).
+	f := func(scaleRaw int8) bool {
+		scale := 0.1 + math.Abs(float64(scaleRaw))/32.0
+		y1 := []float64{1}
+		y2 := []float64{scale}
+		Integrate(expSys, RK45(), 0, 1, y1, 0.05)
+		Integrate(expSys, RK45(), 0, 1, y2, 0.05)
+		return math.Abs(y2[0]-scale*y1[0]) < 1e-9*(1+scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStepRK23(b *testing.B) { benchStep(b, RK23()) }
+func BenchmarkStepRK45(b *testing.B) { benchStep(b, RK45()) }
+func BenchmarkStepRK8(b *testing.B)  { benchStep(b, RK8()) }
+
+func benchStep(b *testing.B, m *Method) {
+	st := NewStepper(m, 2)
+	y := []float64{1, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step(nonlinSys, 0, y, 0.01, y, nil)
+	}
+}

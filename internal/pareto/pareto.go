@@ -1,0 +1,295 @@
+// Package pareto implements the multi-objective ranking machinery behind
+// step (e) of the paper's methodology: dominance tests, Pareto-front
+// extraction (strict and ε-tolerant), fast non-dominated sorting into
+// successive fronts, crowding distance, 2-D hypervolume and knee-point
+// selection.
+package pareto
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Direction says whether an objective is minimized or maximized.
+type Direction int
+
+// Objective directions.
+const (
+	Minimize Direction = iota
+	Maximize
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Maximize {
+		return "max"
+	}
+	return "min"
+}
+
+// Point is one candidate with its objective values.
+type Point struct {
+	ID     int
+	Values []float64
+}
+
+// normalize maps a value so that smaller is always better.
+func normalize(v float64, d Direction) float64 {
+	if d == Maximize {
+		return -v
+	}
+	return v
+}
+
+// Dominates reports whether a dominates b under dirs: a is at least as
+// good in every objective and strictly better in at least one.
+func Dominates(a, b []float64, dirs []Direction) bool {
+	if len(a) != len(b) || len(a) != len(dirs) {
+		panic(fmt.Sprintf("pareto: dimension mismatch %d/%d/%d", len(a), len(b), len(dirs)))
+	}
+	strictly := false
+	for i := range a {
+		av := normalize(a[i], dirs[i])
+		bv := normalize(b[i], dirs[i])
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// Front returns the indices (into points) of the non-dominated set, in
+// input order.
+func Front(points []Point, dirs []Direction) []int {
+	var out []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && Dominates(q.Values, p.Values, dirs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EpsilonFront returns the indices of points that are not ε-dominated:
+// q ε-dominates p only when q is better than p by more than a relative
+// margin eps·max(|q_i|,|p_i|) in *every* objective. The result is always a
+// superset of Front. The tolerance mirrors how a practitioner reads a
+// measured Pareto plot: solutions within measurement noise of the front
+// are kept (the paper's solutions 2 and 5 both report 201 kJ and both
+// appear on its Figure 5 front).
+func EpsilonFront(points []Point, dirs []Direction, eps float64) []int {
+	if eps < 0 {
+		panic("pareto: negative epsilon")
+	}
+	var out []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if epsDominates(q.Values, p.Values, dirs, eps) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// epsDominates reports whether a beats b by more than the relative margin
+// eps·max(|a_i|,|b_i|) in every objective ("clearly dominates"). A point
+// therefore survives an ε-front whenever it is within the noise margin of
+// its dominator in at least one objective.
+func epsDominates(a, b []float64, dirs []Direction, eps float64) bool {
+	for i := range a {
+		av := normalize(a[i], dirs[i])
+		bv := normalize(b[i], dirs[i])
+		margin := eps * math.Max(math.Abs(av), math.Abs(bv))
+		if !(av < bv-margin) {
+			return false
+		}
+	}
+	return true
+}
+
+// NonDominatedSort partitions points into successive fronts: front 0 is
+// the Pareto front, front 1 the front after removing front 0, and so on
+// (the fast non-dominated sort of NSGA-II).
+func NonDominatedSort(points []Point, dirs []Direction) [][]int {
+	n := len(points)
+	domCount := make([]int, n)
+	dominates := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if Dominates(points[i].Values, points[j].Values, dirs) {
+				dominates[i] = append(dominates[i], j)
+			} else if Dominates(points[j].Values, points[i].Values, dirs) {
+				domCount[i]++
+			}
+		}
+	}
+	var fronts [][]int
+	var current []int
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			current = append(current, i)
+		}
+	}
+	for len(current) > 0 {
+		fronts = append(fronts, current)
+		var next []int
+		for _, i := range current {
+			for _, j := range dominates[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		current = next
+	}
+	return fronts
+}
+
+// CrowdingDistance returns NSGA-II crowding distances for the points of
+// one front (boundary points get +Inf).
+func CrowdingDistance(points []Point, front []int, dirs []Direction) []float64 {
+	m := len(front)
+	dist := make([]float64, m)
+	if m == 0 {
+		return dist
+	}
+	if m <= 2 {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		return dist
+	}
+	nObj := len(dirs)
+	order := make([]int, m)
+	for obj := 0; obj < nObj; obj++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return points[front[order[a]]].Values[obj] < points[front[order[b]]].Values[obj]
+		})
+		lo := points[front[order[0]]].Values[obj]
+		hi := points[front[order[m-1]]].Values[obj]
+		span := hi - lo
+		dist[order[0]] = math.Inf(1)
+		dist[order[m-1]] = math.Inf(1)
+		if span == 0 {
+			continue
+		}
+		for k := 1; k < m-1; k++ {
+			d := points[front[order[k+1]]].Values[obj] - points[front[order[k-1]]].Values[obj]
+			dist[order[k]] += d / span
+		}
+	}
+	return dist
+}
+
+// Hypervolume2D returns the hypervolume (area) dominated by points
+// relative to the reference point ref, for two objectives. Points not
+// dominating ref contribute nothing.
+func Hypervolume2D(points []Point, ref []float64, dirs []Direction) float64 {
+	if len(dirs) != 2 || len(ref) != 2 {
+		panic("pareto: Hypervolume2D needs exactly 2 objectives")
+	}
+	// Normalize to minimization and keep points that dominate ref.
+	type p2 struct{ x, y float64 }
+	var ps []p2
+	rx, ry := normalize(ref[0], dirs[0]), normalize(ref[1], dirs[1])
+	for _, p := range points {
+		x, y := normalize(p.Values[0], dirs[0]), normalize(p.Values[1], dirs[1])
+		if x < rx && y < ry {
+			ps = append(ps, p2{x, y})
+		}
+	}
+	if len(ps) == 0 {
+		return 0
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].x != ps[j].x {
+			return ps[i].x < ps[j].x
+		}
+		return ps[i].y < ps[j].y
+	})
+	hv := 0.0
+	bestY := ry
+	for _, p := range ps {
+		if p.y < bestY {
+			hv += (rx - p.x) * (bestY - p.y)
+			bestY = p.y
+		}
+	}
+	return hv
+}
+
+// Knee returns the index (into points) of the knee point of the Pareto
+// front: the front member with maximum distance to the line joining the
+// front's extreme points, a common "balanced trade-off" pick. It returns
+// -1 for empty input; for fronts of one or two points it returns the
+// first.
+func Knee(points []Point, dirs []Direction) int {
+	front := Front(points, dirs)
+	if len(front) == 0 {
+		return -1
+	}
+	if len(front) <= 2 {
+		return front[0]
+	}
+	// Normalize objectives to [0,1] minimization.
+	nObj := len(dirs)
+	lo := make([]float64, nObj)
+	hi := make([]float64, nObj)
+	for d := 0; d < nObj; d++ {
+		lo[d] = math.Inf(1)
+		hi[d] = math.Inf(-1)
+		for _, i := range front {
+			v := normalize(points[i].Values[d], dirs[d])
+			lo[d] = math.Min(lo[d], v)
+			hi[d] = math.Max(hi[d], v)
+		}
+	}
+	norm := func(i, d int) float64 {
+		v := normalize(points[i].Values[d], dirs[d])
+		if hi[d] == lo[d] {
+			return 0
+		}
+		return (v - lo[d]) / (hi[d] - lo[d])
+	}
+	// Distance from the ideal point (0,...,0); the knee is the closest.
+	best, bestDist := front[0], math.Inf(1)
+	for _, i := range front {
+		s := 0.0
+		for d := 0; d < nObj; d++ {
+			v := norm(i, d)
+			s += v * v
+		}
+		if s < bestDist {
+			bestDist = s
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,329 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var minmin = []Direction{Minimize, Minimize}
+
+func pts(vals ...[2]float64) []Point {
+	out := make([]Point, len(vals))
+	for i, v := range vals {
+		out[i] = Point{ID: i, Values: []float64{v[0], v[1]}}
+	}
+	return out
+}
+
+func TestDominates(t *testing.T) {
+	if !Dominates([]float64{1, 1}, []float64{2, 2}, minmin) {
+		t.Error("strictly better should dominate")
+	}
+	if !Dominates([]float64{1, 2}, []float64{2, 2}, minmin) {
+		t.Error("better-in-one, tied-in-other should dominate")
+	}
+	if Dominates([]float64{1, 3}, []float64{2, 2}, minmin) {
+		t.Error("trade-off should not dominate")
+	}
+	if Dominates([]float64{2, 2}, []float64{2, 2}, minmin) {
+		t.Error("equal points should not dominate")
+	}
+	// Maximize flips the sense.
+	dirs := []Direction{Maximize, Minimize}
+	if !Dominates([]float64{5, 1}, []float64{4, 2}, dirs) {
+		t.Error("max/min mix wrong")
+	}
+}
+
+func TestDominatesIrreflexiveAntisymmetric(t *testing.T) {
+	f := func(a0, a1, b0, b1 int8) bool {
+		a := []float64{float64(a0), float64(a1)}
+		b := []float64{float64(b0), float64(b1)}
+		if Dominates(a, a, minmin) {
+			return false
+		}
+		return !(Dominates(a, b, minmin) && Dominates(b, a, minmin))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFront(t *testing.T) {
+	// Classic staircase: (1,4) (2,2) (4,1) on front; (3,3) (5,5) dominated.
+	p := pts([2]float64{1, 4}, [2]float64{2, 2}, [2]float64{4, 1}, [2]float64{3, 3}, [2]float64{5, 5})
+	front := Front(p, minmin)
+	want := []int{0, 1, 2}
+	if len(front) != 3 {
+		t.Fatalf("front %v want %v", front, want)
+	}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Fatalf("front %v want %v", front, want)
+		}
+	}
+}
+
+func TestFrontIdempotentProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var p []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			p = append(p, Point{ID: i, Values: []float64{float64(raw[i]), float64(raw[i+1])}})
+		}
+		front := Front(p, minmin)
+		sub := make([]Point, len(front))
+		for i, idx := range front {
+			sub[i] = p[idx]
+		}
+		again := Front(sub, minmin)
+		return len(again) == len(sub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontMembersMutuallyNonDominated(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		var p []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			p = append(p, Point{ID: i, Values: []float64{float64(raw[i]), float64(raw[i+1])}})
+		}
+		front := Front(p, minmin)
+		for _, i := range front {
+			for _, j := range front {
+				if i != j && Dominates(p[i].Values, p[j].Values, minmin) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpsilonFrontKeepsNearTies(t *testing.T) {
+	// B is strictly dominated by A but within 5% in objective 0.
+	p := pts([2]float64{100, 10}, [2]float64{103, 10.2}, [2]float64{200, 30})
+	strict := Front(p, minmin)
+	if len(strict) != 1 || strict[0] != 0 {
+		t.Fatalf("strict front %v", strict)
+	}
+	eps := EpsilonFront(p, minmin, 0.05)
+	if len(eps) != 2 {
+		t.Fatalf("eps front %v want indices 0,1", eps)
+	}
+	// The clearly dominated point stays out.
+	for _, i := range eps {
+		if i == 2 {
+			t.Fatal("eps front admitted a clearly dominated point")
+		}
+	}
+}
+
+func TestEpsilonFrontSupersetProperty(t *testing.T) {
+	f := func(raw []uint8, epsRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		var p []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			p = append(p, Point{ID: i, Values: []float64{float64(raw[i]) + 1, float64(raw[i+1]) + 1}})
+		}
+		eps := float64(epsRaw) / 512
+		strict := map[int]bool{}
+		for _, i := range Front(p, minmin) {
+			strict[i] = true
+		}
+		epsSet := map[int]bool{}
+		for _, i := range EpsilonFront(p, minmin, eps) {
+			epsSet[i] = true
+		}
+		for i := range strict {
+			if !epsSet[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonDominatedSort(t *testing.T) {
+	p := pts([2]float64{1, 1}, [2]float64{2, 2}, [2]float64{3, 3})
+	fronts := NonDominatedSort(p, minmin)
+	if len(fronts) != 3 {
+		t.Fatalf("fronts %v", fronts)
+	}
+	for i, f := range fronts {
+		if len(f) != 1 || f[0] != i {
+			t.Fatalf("fronts %v", fronts)
+		}
+	}
+	// Every point appears exactly once.
+	p2 := pts([2]float64{1, 4}, [2]float64{4, 1}, [2]float64{2, 2}, [2]float64{5, 5}, [2]float64{3, 3})
+	fronts = NonDominatedSort(p2, minmin)
+	seen := map[int]int{}
+	for _, f := range fronts {
+		for _, i := range f {
+			seen[i]++
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("sort lost points: %v", fronts)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("point %d appears %d times", i, c)
+		}
+	}
+}
+
+func TestCrowdingDistance(t *testing.T) {
+	p := pts([2]float64{0, 10}, [2]float64{5, 5}, [2]float64{10, 0}, [2]float64{1, 9})
+	front := []int{0, 1, 2, 3}
+	d := CrowdingDistance(p, front, minmin)
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[2], 1) {
+		t.Fatalf("boundary points must be infinite: %v", d)
+	}
+	if d[1] <= d[3] {
+		t.Fatalf("middle point should be less crowded than near-boundary: %v", d)
+	}
+	if got := CrowdingDistance(p, []int{0, 1}, minmin); !math.IsInf(got[0], 1) || !math.IsInf(got[1], 1) {
+		t.Fatal("tiny fronts are all-infinite")
+	}
+	if got := CrowdingDistance(p, nil, minmin); len(got) != 0 {
+		t.Fatal("empty front")
+	}
+}
+
+func TestHypervolume2D(t *testing.T) {
+	p := pts([2]float64{1, 2}, [2]float64{2, 1})
+	ref := []float64{3, 3}
+	// Union of rectangles: (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1 = 3.
+	hv := Hypervolume2D(p, ref, minmin)
+	if math.Abs(hv-3) > 1e-12 {
+		t.Fatalf("hv=%v want 3", hv)
+	}
+	// Dominated point adds nothing.
+	p = append(p, Point{ID: 9, Values: []float64{2.5, 2.5}})
+	if hv2 := Hypervolume2D(p, ref, minmin); math.Abs(hv2-3) > 1e-12 {
+		t.Fatalf("hv with dominated point %v", hv2)
+	}
+	// Point outside ref contributes nothing.
+	if hv3 := Hypervolume2D(pts([2]float64{4, 4}), ref, minmin); hv3 != 0 {
+		t.Fatalf("outside ref hv %v", hv3)
+	}
+}
+
+func TestHypervolumeMonotoneProperty(t *testing.T) {
+	// Adding a point never decreases hypervolume.
+	f := func(raw []uint8) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		ref := []float64{300, 300}
+		var p []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			p = append(p, Point{ID: i, Values: []float64{float64(raw[i]), float64(raw[i+1])}})
+		}
+		prev := -1.0
+		for n := 1; n <= len(p); n++ {
+			hv := Hypervolume2D(p[:n], ref, minmin)
+			if hv < prev-1e-9 {
+				return false
+			}
+			prev = hv
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnee(t *testing.T) {
+	// Clear knee at (2,2) between extremes (0,10) and (10,0).
+	p := pts([2]float64{0, 10}, [2]float64{2, 2}, [2]float64{10, 0})
+	if k := Knee(p, minmin); k != 1 {
+		t.Fatalf("knee=%d want 1", k)
+	}
+	if Knee(nil, minmin) != -1 {
+		t.Fatal("empty knee should be -1")
+	}
+	single := pts([2]float64{1, 1})
+	if Knee(single, minmin) != 0 {
+		t.Fatal("single-point knee")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Minimize.String() != "min" || Maximize.String() != "max" {
+		t.Fatal("Direction strings wrong")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dominates([]float64{1}, []float64{1, 2}, minmin)
+}
+
+func TestEpsilonFrontMonotoneInEps(t *testing.T) {
+	// A larger tolerance can only admit more points.
+	f := func(raw []uint8, e1, e2 uint8) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		lo, hi := float64(e1)/512, float64(e2)/512
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var p []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			p = append(p, Point{ID: i, Values: []float64{float64(raw[i]) + 1, float64(raw[i+1]) + 1}})
+		}
+		small := map[int]bool{}
+		for _, i := range EpsilonFront(p, minmin, lo) {
+			small[i] = true
+		}
+		for i := range small {
+			found := false
+			for _, j := range EpsilonFront(p, minmin, hi) {
+				if j == i {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpsilonFrontNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative eps should panic")
+		}
+	}()
+	EpsilonFront(pts([2]float64{1, 1}), minmin, -0.1)
+}

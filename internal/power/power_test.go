@@ -1,0 +1,89 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurveValidation(t *testing.T) {
+	cases := []struct {
+		pts  []Point
+		want bool
+	}{
+		{[]Point{{0, 10}, {1, 40}}, true},
+		{[]Point{{0, 10}}, false},                    // too few
+		{[]Point{{0.1, 10}, {1, 40}}, false},         // no zero point
+		{[]Point{{0, 10}, {0.9, 40}}, false},         // no full point
+		{[]Point{{0, 10}, {0.5, 5}, {1, 40}}, false}, // decreasing
+		{[]Point{{0, 10}, {1, 40}, {0.5, 20}}, false},
+	}
+	for i, c := range cases {
+		_, err := NewCurve(c.pts)
+		if (err == nil) != c.want {
+			t.Errorf("case %d: err=%v want ok=%v", i, err, c.want)
+		}
+	}
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c := MustCurve([]Point{{0, 10}, {0.5, 20}, {1, 40}})
+	cases := []struct{ u, want float64 }{
+		{0, 10}, {0.25, 15}, {0.5, 20}, {0.75, 30}, {1, 40},
+		{-1, 10}, {2, 40},
+	}
+	for _, cs := range cases {
+		if got := c.Watts(cs.u); math.Abs(got-cs.want) > 1e-12 {
+			t.Errorf("Watts(%v)=%v want %v", cs.u, got, cs.want)
+		}
+	}
+	if c.IdleWatts() != 10 || c.MaxWatts() != 40 {
+		t.Error("Idle/Max wrong")
+	}
+}
+
+func TestCurveMonotoneProperty(t *testing.T) {
+	c := XeonW2102()
+	f := func(a, b uint8) bool {
+		ua, ub := float64(a)/255, float64(b)/255
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return c.Watts(ua) <= c.Watts(ub)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXeonAnchors(t *testing.T) {
+	c := XeonW2102()
+	if c.IdleWatts() != 10 || c.MaxWatts() != 42 {
+		t.Fatalf("Xeon curve anchors: idle=%v max=%v", c.IdleWatts(), c.MaxWatts())
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(MustCurve([]Point{{0, 10}, {1, 40}}))
+	m.Add(1, 100)   // 4000 J
+	m.Add(0, 50)    // 500 J
+	m.Add(0.5, 100) // 2500 J
+	if math.Abs(m.Joules()-7000) > 1e-9 {
+		t.Fatalf("Joules=%v want 7000", m.Joules())
+	}
+	if math.Abs(m.KiloJoules()-7) > 1e-12 {
+		t.Fatal("KiloJoules wrong")
+	}
+	if m.Seconds() != 250 {
+		t.Fatal("Seconds wrong")
+	}
+}
+
+func TestMeterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration should panic")
+		}
+	}()
+	NewMeter(XeonW2102()).Add(0.5, -1)
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rldecide/internal/core"
+)
+
+// HTML writes a self-contained decision-analysis report: the case-study
+// header, the trial table, and one embedded SVG scatter per requested
+// trade-off — the shareable artifact a decision meeting would look at.
+func HTML(w io.Writer, rep *core.Report, plots []ScatterSpec) error {
+	trials := rep.Completed()
+	fmt.Fprintln(w, "<!DOCTYPE html>")
+	fmt.Fprintln(w, `<html><head><meta charset="utf-8">`)
+	fmt.Fprintf(w, "<title>%s — decision analysis</title>\n", xmlEscape(rep.CaseStudy.Name))
+	fmt.Fprintln(w, `<style>
+body { font-family: sans-serif; margin: 2em auto; max-width: 60em; color: #222; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: 0.3em 0.7em; text-align: right; }
+th { background: #f4f4f4; }
+td.param { text-align: left; }
+.front { background: #fdeaea; font-weight: bold; }
+figure { margin: 2em 0; }
+</style></head><body>`)
+	fmt.Fprintf(w, "<h1>%s</h1>\n", xmlEscape(rep.CaseStudy.Name))
+	if rep.CaseStudy.Description != "" {
+		fmt.Fprintf(w, "<p>%s</p>\n", xmlEscape(rep.CaseStudy.Description))
+	}
+	fmt.Fprintf(w, "<p>explorer: <b>%s</b> · ranking: <b>%s</b> · %d completed trials</p>\n",
+		xmlEscape(rep.Explorer), xmlEscape(rep.Ranker), len(trials))
+
+	// Front membership (first front of the study ranking) for row
+	// highlighting.
+	onFront := map[int]bool{}
+	if len(rep.Ranking.Fronts) > 0 {
+		for _, idx := range rep.Ranking.Fronts[0] {
+			if idx >= 0 && idx < len(trials) {
+				onFront[trials[idx].ID] = true
+			}
+		}
+	}
+
+	if len(trials) > 0 {
+		var paramNames []string
+		for name := range trials[0].Params {
+			paramNames = append(paramNames, name)
+		}
+		sort.Strings(paramNames)
+		fmt.Fprintln(w, "<table><tr><th>#</th>")
+		for _, p := range paramNames {
+			fmt.Fprintf(w, "<th>%s</th>", xmlEscape(p))
+		}
+		for _, m := range rep.Metrics {
+			label := m.Name
+			if m.Unit != "" {
+				label += " (" + m.Unit + ")"
+			}
+			fmt.Fprintf(w, "<th>%s [%s]</th>", xmlEscape(label), m.Direction)
+		}
+		fmt.Fprintln(w, "</tr>")
+		for _, t := range trials {
+			cls := ""
+			if onFront[t.ID] {
+				cls = ` class="front"`
+			}
+			fmt.Fprintf(w, "<tr%s><td>%d</td>", cls, t.ID)
+			for _, p := range paramNames {
+				fmt.Fprintf(w, `<td class="param">%s</td>`, xmlEscape(t.Params[p].String()))
+			}
+			for _, m := range rep.Metrics {
+				fmt.Fprintf(w, "<td>%.3f</td>", t.Values[m.Name])
+			}
+			fmt.Fprintln(w, "</tr>")
+		}
+		fmt.Fprintln(w, "</table>")
+		fmt.Fprintln(w, `<p>highlighted rows are on the study's first Pareto front</p>`)
+	}
+
+	for _, spec := range plots {
+		fmt.Fprintln(w, "<figure>")
+		var svg strings.Builder
+		if err := SVGScatter(&svg, rep, spec); err != nil {
+			return fmt.Errorf("report: plot %s/%s: %w", spec.X, spec.Y, err)
+		}
+		fmt.Fprintln(w, svg.String())
+		fmt.Fprintf(w, "<figcaption>%s</figcaption>\n", xmlEscape(spec.Title))
+		fmt.Fprintln(w, "</figure>")
+	}
+
+	_, err := fmt.Fprintln(w, "</body></html>")
+	return err
+}

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHTMLReport(t *testing.T) {
+	rep := fakeReport(t)
+	var b bytes.Buffer
+	err := HTML(&b, rep, []ScatterSpec{
+		{X: "time", Y: "reward", Title: "Reward vs Time"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"airdrop",
+		"<svg",
+		"Reward vs Time",
+		`class="front"`,
+		"</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	// 4 trials -> 4 data rows.
+	if got := strings.Count(out, "<tr>") + strings.Count(out, `<tr class="front">`); got != 5 { // header + 4
+		t.Errorf("row count %d want 5", got)
+	}
+}
+
+func TestHTMLBadPlot(t *testing.T) {
+	var b bytes.Buffer
+	err := HTML(&b, fakeReport(t), []ScatterSpec{{X: "nope", Y: "reward"}})
+	if err == nil {
+		t.Fatal("unknown metric plot should error")
+	}
+}
+
+func TestHTMLNoPlots(t *testing.T) {
+	var b bytes.Buffer
+	if err := HTML(&b, fakeReport(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "<figure>") {
+		t.Fatal("no figures expected")
+	}
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a LineChartSVG (e.g. a learning curve:
+// X = training steps, Y = mean episode return).
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// seriesPalette colors successive series.
+var seriesPalette = []string{"#2980b9", "#c0392b", "#27ae60", "#8e44ad", "#f39c12", "#16a085"}
+
+// LineChartSVG renders one or more series as a standalone SVG line chart
+// with a legend — used for learning curves and scaling sweeps.
+func LineChartSVG(w io.Writer, title, xLabel, yLabel string, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series to plot")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("report: all series empty")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	const W, H, margin = 640, 400, 56
+	sx := func(v float64) float64 { return margin + (v-minX)/(maxX-minX)*(W-2*margin) }
+	sy := func(v float64) float64 { return H - margin - (v-minY)/(maxY-minY)*(H-2*margin) }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", W, H, W, H)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", W, H)
+	fmt.Fprintf(w, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n", margin, xmlEscape(title))
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", margin, H-margin, W-margin, H-margin)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", margin, margin, margin, H-margin)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n", W/2-30, H-16, xmlEscape(xLabel))
+	fmt.Fprintf(w, `<text x="14" y="%d" font-family="sans-serif" font-size="12" transform="rotate(-90 14 %d)">%s</text>`+"\n", H/2, H/2, xmlEscape(yLabel))
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%.3g</text>`+"\n", margin, H-margin+14, minX)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%.3g</text>`+"\n", W-margin, H-margin+14, maxX)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%.3g</text>`+"\n", margin-4, H-margin, minY)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%.3g</text>`+"\n", margin-4, margin+4, maxY)
+
+	for si, s := range series {
+		color := seriesPalette[si%len(seriesPalette)]
+		if len(s.X) > 0 {
+			var b strings.Builder
+			for i := range s.X {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%.1f,%.1f", sx(s.X[i]), sy(s.Y[i]))
+			}
+			fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", b.String(), color)
+		}
+		// Legend entry.
+		lx, ly := W-margin-150, margin+16*si
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n", lx, ly, lx+18, ly, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n", lx+24, ly+4, xmlEscape(s.Name))
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

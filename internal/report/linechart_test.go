@@ -1,0 +1,54 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLineChartSVG(t *testing.T) {
+	var b bytes.Buffer
+	err := LineChartSVG(&b, "learning curves", "steps", "return", []Series{
+		{Name: "ppo", X: []float64{0, 1000, 2000}, Y: []float64{-5, -1, -0.4}},
+		{Name: "sac", X: []float64{0, 1000, 2000}, Y: []float64{-5, -4.5, -4.2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("bad svg:\n%s", out)
+	}
+	if !strings.Contains(out, "ppo") || !strings.Contains(out, "sac") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "learning curves") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	var b bytes.Buffer
+	if err := LineChartSVG(&b, "t", "x", "y", nil); err == nil {
+		t.Fatal("empty series list should error")
+	}
+	if err := LineChartSVG(&b, "t", "x", "y", []Series{{Name: "bad", X: []float64{1}, Y: nil}}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if err := LineChartSVG(&b, "t", "x", "y", []Series{{Name: "empty"}}); err == nil {
+		t.Fatal("all-empty should error")
+	}
+}
+
+func TestLineChartDegenerateRange(t *testing.T) {
+	var b bytes.Buffer
+	err := LineChartSVG(&b, "flat", "x", "y", []Series{
+		{Name: "const", X: []float64{1, 1}, Y: []float64{2, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<polyline") {
+		t.Fatal("flat series should still render")
+	}
+}

@@ -1,0 +1,163 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rldecide/internal/core"
+	"rldecide/internal/param"
+	"rldecide/internal/pareto"
+)
+
+// fakeReport builds a small report with a known front.
+func fakeReport(t *testing.T) *core.Report {
+	t.Helper()
+	mk := func(id int, f string, rew, tm float64) core.Trial {
+		return core.Trial{
+			ID:     id,
+			Params: param.Assignment{"framework": param.Str(f), "rk_order": param.Int(3)},
+			Values: map[string]float64{"reward": rew, "time": tm},
+		}
+	}
+	rep := &core.Report{
+		CaseStudy: core.CaseStudy{Name: "airdrop"},
+		Metrics: []core.Metric{
+			{Name: "reward", Direction: pareto.Maximize},
+			{Name: "time", Unit: "min", Direction: pareto.Minimize},
+		},
+		Trials: []core.Trial{
+			mk(1, "rllib", -0.6, 46),
+			mk(2, "tfagents", -0.5, 49),
+			mk(3, "stablebaselines", -0.45, 65),
+			mk(4, "rllib", -0.9, 80), // dominated
+		},
+		Explorer: "random",
+		Ranker:   "pareto",
+	}
+	rep.Ranking = core.ParetoRanker{}.Rank(rep.Completed(), rep.Metrics)
+	return rep
+}
+
+func TestTable(t *testing.T) {
+	var b bytes.Buffer
+	if err := Table(&b, fakeReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "| # | framework | rk_order | reward | time (min) |") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "stablebaselines") || !strings.Contains(out, "-0.450") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 6 { // header + sep + 4 rows
+		t.Fatalf("unexpected line count:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	rep := &core.Report{Metrics: []core.Metric{{Name: "m"}}}
+	var b bytes.Buffer
+	if err := Table(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no completed trials") {
+		t.Fatal("empty notice missing")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := CSV(&b, fakeReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "id,framework,rk_order,reward,time" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("csv rows %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "1,rllib,3,-0.6,46") {
+		t.Fatalf("csv row %q", lines[1])
+	}
+	var empty bytes.Buffer
+	if err := CSV(&empty, &core.Report{Metrics: []core.Metric{{Name: "m"}}}); err == nil {
+		t.Fatal("empty CSV should error")
+	}
+}
+
+func TestJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := JSON(&b, fakeReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	if out["case_study"] != "airdrop" {
+		t.Fatal("case study missing")
+	}
+	trials := out["trials"].([]any)
+	if len(trials) != 4 {
+		t.Fatalf("trials %d", len(trials))
+	}
+}
+
+func TestASCIIScatter(t *testing.T) {
+	var b bytes.Buffer
+	spec := ScatterSpec{X: "time", Y: "reward", Title: "Reward vs Time"}
+	if err := ASCIIScatter(&b, fakeReport(t), spec); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Reward vs Time") || !strings.Contains(out, "Pareto front") {
+		t.Fatalf("plot furniture missing:\n%s", out)
+	}
+	// Front members 1,2,3 rendered as digits; dominated 4 as dot.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "·") {
+		t.Fatalf("points missing:\n%s", out)
+	}
+	if err := ASCIIScatter(&b, fakeReport(t), ScatterSpec{X: "nope", Y: "reward"}); err == nil {
+		t.Fatal("unknown metric should error")
+	}
+}
+
+func TestSVGScatter(t *testing.T) {
+	var b bytes.Buffer
+	spec := ScatterSpec{X: "time", Y: "reward", Title: "Fig 4 <reward>"}
+	if err := SVGScatter(&b, fakeReport(t), spec); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an svg")
+	}
+	if !strings.Contains(out, "polyline") {
+		t.Fatal("front polyline missing")
+	}
+	if !strings.Contains(out, "Fig 4 &lt;reward&gt;") {
+		t.Fatal("title not escaped")
+	}
+	if strings.Count(out, "<circle") != 4 {
+		t.Fatalf("expected 4 points:\n%s", out)
+	}
+}
+
+func TestSVGScatterEps(t *testing.T) {
+	rep := fakeReport(t)
+	var strict, loose bytes.Buffer
+	if err := SVGScatter(&strict, rep, ScatterSpec{X: "time", Y: "reward"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SVGScatter(&loose, rep, ScatterSpec{X: "time", Y: "reward", Eps: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// With a huge epsilon, more points join the front (red markers).
+	if strings.Count(loose.String(), "#c0392b") < strings.Count(strict.String(), "#c0392b") {
+		t.Fatal("eps front should not shrink")
+	}
+}

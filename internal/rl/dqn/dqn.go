@@ -1,0 +1,218 @@
+// Package dqn implements Deep Q-Networks (Mnih et al. 2015) with the
+// standard refinements: experience replay, a target network with periodic
+// hard updates, ε-greedy exploration with linear decay, and optional
+// double-DQN action selection. The paper's background (§II-A) names
+// value-based methods such as Q-learning among the RL algorithm families a
+// methodology user might choose from; this package extends the algorithm
+// pool beyond the evaluation's PPO/SAC pair.
+package dqn
+
+import (
+	"math/rand/v2"
+
+	"rldecide/internal/mathx"
+	"rldecide/internal/nn"
+	"rldecide/internal/rl"
+	"rldecide/internal/tensor"
+)
+
+// Config holds DQN hyperparameters. Zero fields are replaced by defaults.
+type Config struct {
+	Hidden        []int   // hidden sizes (default [64, 64])
+	LR            float64 // Adam learning rate (default 1e-3)
+	Gamma         float64 // discount (default 0.99)
+	BufferSize    int     // replay capacity (default 50_000)
+	Batch         int     // minibatch size (default 64)
+	StartSteps    int     // uniform-random warmup (default 500)
+	UpdateEvery   int     // env steps between gradient steps (default 1)
+	TargetEvery   int     // gradient steps between target syncs (default 500)
+	EpsStart      float64 // initial exploration rate (default 1.0)
+	EpsEnd        float64 // final exploration rate (default 0.05)
+	EpsDecaySteps int     // steps to anneal ε over (default 10_000)
+	Double        bool    // double-DQN target selection
+}
+
+// WithDefaults returns cfg with zero fields filled in.
+func (c Config) WithDefaults() Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 64}
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 50_000
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	if c.StartSteps == 0 {
+		c.StartSteps = 500
+	}
+	if c.UpdateEvery == 0 {
+		c.UpdateEvery = 1
+	}
+	if c.TargetEvery == 0 {
+		c.TargetEvery = 500
+	}
+	if c.EpsStart == 0 {
+		c.EpsStart = 1.0
+	}
+	if c.EpsEnd == 0 {
+		c.EpsEnd = 0.05
+	}
+	if c.EpsDecaySteps == 0 {
+		c.EpsDecaySteps = 10_000
+	}
+	return c
+}
+
+// Stats reports one gradient step's diagnostics.
+type Stats struct {
+	Loss    float64
+	Epsilon float64
+	MeanQ   float64
+}
+
+// DQN is the learner.
+type DQN struct {
+	Cfg      Config
+	ObsDim   int
+	NActions int
+
+	Q, QT  *nn.MLP
+	Buffer *rl.ReplayBuffer
+
+	opt       *nn.Adam
+	rng       *rand.Rand
+	steps     int
+	gradSteps int
+}
+
+// New returns a DQN learner for obsDim observations and nActions discrete
+// actions.
+func New(cfg Config, obsDim, nActions int, seed uint64) *DQN {
+	cfg = cfg.WithDefaults()
+	rng := mathx.NewRand(seed)
+	sizes := append(append([]int{obsDim}, cfg.Hidden...), nActions)
+	d := &DQN{
+		Cfg:      cfg,
+		ObsDim:   obsDim,
+		NActions: nActions,
+		Q:        nn.NewMLP(rng, sizes, nn.ReLU{}, 1.0),
+		Buffer:   rl.NewReplayBuffer(cfg.BufferSize),
+		rng:      rng,
+	}
+	d.QT = d.Q.Clone()
+	d.opt = nn.NewAdam(d.Q.Params(), cfg.LR)
+	return d
+}
+
+// Epsilon returns the current exploration rate.
+func (d *DQN) Epsilon() float64 {
+	if d.steps >= d.Cfg.EpsDecaySteps {
+		return d.Cfg.EpsEnd
+	}
+	f := float64(d.steps) / float64(d.Cfg.EpsDecaySteps)
+	return d.Cfg.EpsStart + f*(d.Cfg.EpsEnd-d.Cfg.EpsStart)
+}
+
+// GradSteps returns the number of gradient steps taken.
+func (d *DQN) GradSteps() int { return d.gradSteps }
+
+// Act selects an ε-greedy action for obs.
+func (d *DQN) Act(obs []float64) int {
+	if d.steps < d.Cfg.StartSteps || d.rng.Float64() < d.Epsilon() {
+		return d.rng.IntN(d.NActions)
+	}
+	return d.ActGreedy(obs)
+}
+
+// ActGreedy returns argmax_a Q(obs, a).
+func (d *DQN) ActGreedy(obs []float64) int {
+	return nn.Argmax(d.Q.Forward1(obs))
+}
+
+// Policy returns an rl.Policy view of the greedy policy.
+func (d *DQN) Policy() rl.Policy {
+	return rl.PolicyFunc(func(obs []float64) []float64 {
+		return []float64{float64(d.ActGreedy(obs))}
+	})
+}
+
+// Observe feeds one transition and runs the scheduled gradient step. It
+// returns the step's stats with ok=false when no update ran.
+func (d *DQN) Observe(t rl.Transition) (Stats, bool) {
+	d.Buffer.Add(t)
+	d.steps++
+	if d.steps < d.Cfg.StartSteps || d.steps%d.Cfg.UpdateEvery != 0 {
+		return Stats{}, false
+	}
+	if d.Buffer.Len() < d.Cfg.Batch {
+		return Stats{}, false
+	}
+	return d.update(), true
+}
+
+// update runs one gradient step on a sampled minibatch.
+func (d *DQN) update() Stats {
+	batch := d.Buffer.Sample(d.rng, d.Cfg.Batch, nil)
+	bs := len(batch)
+
+	x := tensor.New(bs, d.ObsDim)
+	xn := tensor.New(bs, d.ObsDim)
+	for i, t := range batch {
+		copy(x.Row(i), t.Obs)
+		copy(xn.Row(i), t.NextObs)
+	}
+
+	// Targets: y = r + γ max_a QT(s', a), with double-DQN optionally
+	// selecting the argmax with the online network.
+	qtNext := d.QT.Forward(xn).Clone()
+	var qNext *tensor.Mat
+	if d.Cfg.Double {
+		qNext = d.Q.Forward(xn).Clone()
+	}
+	targets := make([]float64, bs)
+	for i, t := range batch {
+		y := t.Reward
+		if !t.Done {
+			var best int
+			if d.Cfg.Double {
+				best = nn.Argmax(qNext.Row(i))
+			} else {
+				best = nn.Argmax(qtNext.Row(i))
+			}
+			y += d.Cfg.Gamma * qtNext.At(i, best)
+		}
+		targets[i] = y
+	}
+
+	// Gradient step: MSE on the taken action's Q-value.
+	d.Q.ZeroGrad()
+	q := d.Q.Forward(x)
+	dq := tensor.New(bs, d.NActions)
+	var loss, meanQ float64
+	for i, t := range batch {
+		diff := q.At(i, t.Action) - targets[i]
+		loss += 0.5 * diff * diff
+		meanQ += q.At(i, t.Action)
+		dq.Set(i, t.Action, diff/float64(bs))
+	}
+	d.Q.Backward(dq)
+	nn.ClipGrads(d.Q.Params(), 10)
+	d.opt.Step()
+
+	d.gradSteps++
+	if d.gradSteps%d.Cfg.TargetEvery == 0 {
+		d.QT.CopyFrom(d.Q)
+	}
+	return Stats{
+		Loss:    loss / float64(bs),
+		Epsilon: d.Epsilon(),
+		MeanQ:   meanQ / float64(bs),
+	}
+}

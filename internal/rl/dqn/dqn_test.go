@@ -1,0 +1,150 @@
+package dqn
+
+import (
+	"math"
+	"testing"
+
+	"rldecide/internal/gym/toy"
+	"rldecide/internal/mathx"
+	"rldecide/internal/rl"
+)
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.LR != 1e-3 || c.Batch != 64 || c.EpsStart != 1.0 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}
+
+func TestEpsilonDecay(t *testing.T) {
+	d := New(Config{EpsDecaySteps: 100, EpsStart: 1, EpsEnd: 0.1, StartSteps: 1}, 1, 2, 1)
+	if d.Epsilon() != 1 {
+		t.Fatalf("eps start %v", d.Epsilon())
+	}
+	tr := rl.Transition{Obs: []float64{0}, NextObs: []float64{0}}
+	for i := 0; i < 50; i++ {
+		d.Observe(tr)
+	}
+	mid := d.Epsilon()
+	if math.Abs(mid-0.55) > 1e-9 {
+		t.Fatalf("eps midpoint %v want 0.55", mid)
+	}
+	for i := 0; i < 100; i++ {
+		d.Observe(tr)
+	}
+	if d.Epsilon() != 0.1 {
+		t.Fatalf("eps end %v", d.Epsilon())
+	}
+}
+
+func TestWarmupActsRandomly(t *testing.T) {
+	d := New(Config{StartSteps: 1000}, 1, 3, 2)
+	counts := [3]int{}
+	for i := 0; i < 3000; i++ {
+		counts[d.Act([]float64{0})]++
+	}
+	for a, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("warmup action %d count %d", a, c)
+		}
+	}
+}
+
+func TestObserveSchedulesUpdates(t *testing.T) {
+	d := New(Config{StartSteps: 10, Batch: 8, BufferSize: 100, UpdateEvery: 4}, 2, 2, 3)
+	tr := rl.Transition{Obs: []float64{0, 0}, NextObs: []float64{0, 0}}
+	updates := 0
+	for i := 0; i < 100; i++ {
+		if st, ok := d.Observe(tr); ok {
+			updates++
+			if math.IsNaN(st.Loss) {
+				t.Fatal("NaN loss")
+			}
+		}
+	}
+	if updates == 0 || d.GradSteps() != updates {
+		t.Fatalf("updates=%d gradsteps=%d", updates, d.GradSteps())
+	}
+}
+
+func TestTargetSyncHappens(t *testing.T) {
+	d := New(Config{StartSteps: 5, Batch: 4, BufferSize: 100, TargetEvery: 3, LR: 0.05}, 1, 2, 4)
+	tr := rl.Transition{Obs: []float64{0.5}, NextObs: []float64{0.2}, Reward: 1}
+	for i := 0; i < 20; i++ {
+		d.Observe(tr)
+	}
+	// After >= 3 gradient steps the target must equal the online net at
+	// some sync point; check they're at least not the initial clone.
+	wQ, wT := d.Q.Weights(), d.QT.Weights()
+	same := true
+	for i := range wQ {
+		if wQ[i] != wT[i] {
+			same = false
+			break
+		}
+	}
+	// The target lags the online net except right at a sync boundary;
+	// either way it must have moved from initialization eventually.
+	_ = same
+	init := New(Config{}, 1, 2, 4).QT.Weights()
+	moved := false
+	for i := range init {
+		if wT[i] != init[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("target network never synced")
+	}
+}
+
+func trainChain(t *testing.T, double bool) float64 {
+	t.Helper()
+	cfg := Config{
+		StartSteps:    200,
+		Batch:         32,
+		BufferSize:    10_000,
+		LR:            1e-3,
+		Gamma:         0.9,
+		TargetEvery:   200,
+		EpsDecaySteps: 4000,
+		Double:        double,
+	}
+	seeder := mathx.NewSeeder(13)
+	env := toy.NewChain(7, seeder.Next())
+	d := New(cfg, 1, 2, seeder.Next())
+	obs := env.Reset()
+	for step := 0; step < 6000; step++ {
+		a := d.Act(obs)
+		res := env.Step([]float64{float64(a)})
+		d.Observe(rl.Transition{
+			Obs: obs, Action: a, Reward: res.Reward,
+			NextObs: res.Obs, Done: res.Done && !res.Truncated,
+		})
+		obs = res.Obs
+		if res.Done {
+			obs = env.Reset()
+		}
+	}
+	eval := rl.Evaluate(toy.NewChain(7, 991), d.Policy(), 20)
+	return eval.MeanReturn
+}
+
+func TestDQNLearnsChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	if r := trainChain(t, false); r < 0.9 {
+		t.Fatalf("DQN failed to learn the chain: %v", r)
+	}
+}
+
+func TestDoubleDQNLearnsChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	if r := trainChain(t, true); r < 0.9 {
+		t.Fatalf("double DQN failed to learn the chain: %v", r)
+	}
+}

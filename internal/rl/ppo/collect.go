@@ -1,0 +1,134 @@
+package ppo
+
+import (
+	"rldecide/internal/gym"
+	"rldecide/internal/rl"
+)
+
+// Collector gathers fixed-size on-policy rollouts from a vectorized
+// environment, carrying episode state across rollouts. The policy used to
+// act may be the learner itself or a (stale) worker copy — the recorded
+// log-probs and values always come from the acting policy, as PPO requires.
+type Collector struct {
+	Vec *gym.VecEnv
+
+	obs     [][]float64
+	pending []pendingStep
+	has     []bool
+	epRet   []float64
+	epLen   []int
+
+	episodes []float64
+	epLens   []int
+}
+
+type pendingStep struct {
+	obs   []float64
+	act   int
+	logp  float64
+	val   float64
+	rew   float64
+	done  bool
+	trunc bool
+	next  float64
+}
+
+// NewCollector resets vec and prepares per-env episode state.
+func NewCollector(vec *gym.VecEnv) *Collector {
+	c := &Collector{
+		Vec:     vec,
+		pending: make([]pendingStep, vec.N()),
+		has:     make([]bool, vec.N()),
+		epRet:   make([]float64, vec.N()),
+		epLen:   make([]int, vec.N()),
+	}
+	c.obs = vec.Reset()
+	return c
+}
+
+// Collect advances every environment nSteps times under p's stochastic
+// policy and returns the resulting rollout (one segment per environment,
+// nSteps each).
+func (c *Collector) Collect(p *PPO, nSteps int) *rl.Rollout {
+	n := c.Vec.N()
+	segs := make([]*rl.Segment, n)
+	for i := range segs {
+		segs[i] = &rl.Segment{}
+	}
+	actions := make([][]float64, n)
+	for i := range actions {
+		actions[i] = []float64{0}
+	}
+
+	for t := 0; t < nSteps; t++ {
+		acts := make([]int, n)
+		logps := make([]float64, n)
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a, lp, v := p.Act(c.obs[i])
+			acts[i], logps[i], vals[i] = a, lp, v
+			actions[i][0] = float64(a)
+			// The value of this state is the successor value of the
+			// pending (previous) step of the same env.
+			if c.has[i] {
+				c.pending[i].next = v
+				segs[i].Push(c.pending[i].obs, c.pending[i].act, c.pending[i].logp,
+					c.pending[i].val, c.pending[i].rew, c.pending[i].done,
+					c.pending[i].trunc, c.pending[i].next)
+				c.has[i] = false
+			}
+		}
+		steps := c.Vec.Step(actions)
+		for i, s := range steps {
+			c.epRet[i] += s.Reward
+			c.epLen[i]++
+			ps := pendingStep{
+				obs:  c.obs[i],
+				act:  acts[i],
+				logp: logps[i],
+				val:  vals[i],
+				rew:  s.Reward,
+				done: s.Done && !s.Truncated,
+			}
+			if s.Done {
+				if s.Truncated {
+					ps.trunc = true
+					ps.next = p.Value(s.FinalObs)
+				}
+				segs[i].Push(ps.obs, ps.act, ps.logp, ps.val, ps.rew, ps.done, ps.trunc, ps.next)
+				c.episodes = append(c.episodes, c.epRet[i])
+				c.epLens = append(c.epLens, c.epLen[i])
+				c.epRet[i] = 0
+				c.epLen[i] = 0
+			} else {
+				c.pending[i] = ps
+				c.has[i] = true
+			}
+			c.obs[i] = s.Obs
+		}
+	}
+	// Bootstrap the still-pending steps with the value of the state the
+	// rollout stopped in (treated as a truncation for GAE purposes).
+	for i := 0; i < n; i++ {
+		if c.has[i] {
+			ps := c.pending[i]
+			ps.trunc = true
+			ps.next = p.Value(c.obs[i])
+			segs[i].Push(ps.obs, ps.act, ps.logp, ps.val, ps.rew, ps.done, ps.trunc, ps.next)
+			c.has[i] = false
+		}
+	}
+	return &rl.Rollout{Segments: segs}
+}
+
+// TakeEpisodes returns the returns of episodes completed since the last
+// call and clears the internal list.
+func (c *Collector) TakeEpisodes() []float64 {
+	out := c.episodes
+	c.episodes = nil
+	c.epLens = nil
+	return out
+}
+
+// EpisodeCount returns the number of completed, not-yet-taken episodes.
+func (c *Collector) EpisodeCount() int { return len(c.episodes) }

@@ -1,0 +1,112 @@
+package ppo
+
+import (
+	"math"
+	"testing"
+
+	"rldecide/internal/gym"
+	"rldecide/internal/gym/toy"
+	"rldecide/internal/mathx"
+	"rldecide/internal/rl"
+)
+
+func TestContinuousActShapes(t *testing.T) {
+	p := NewContinuous(Config{}, 3, 2, 1)
+	a, logp, v := p.Act([]float64{0.1, 0.2, 0.3})
+	if len(a) != 2 {
+		t.Fatalf("action dim %d want 2", len(a))
+	}
+	if math.IsNaN(logp) || math.IsNaN(v) {
+		t.Fatal("NaN outputs")
+	}
+	if len(p.ActMean([]float64{0, 0, 0})) != 2 {
+		t.Fatal("mean dim wrong")
+	}
+	if p.Value([]float64{0, 0, 0}) != v {
+		// Same obs would give same value; different obs not asserted.
+		_ = v
+	}
+}
+
+func TestContinuousGAEBoundaries(t *testing.T) {
+	// Hand-built rollout: two chains, each ending in a boundary; the
+	// recursion must not leak from chain 2 into chain 1.
+	roll := &ContRollout{Steps: []ContStep{
+		{Val: 1, Rew: 1, NextVal: 2},                  // chain 1 step
+		{Val: 2, Rew: 0, Done: true, NextVal: 99},     // chain 1 terminal
+		{Val: 0.5, Rew: 1, Trunc: true, NextVal: 1.0}, // chain 2 truncated
+	}}
+	adv, ret := roll.computeGAE(0.5, 0.5)
+	// t=2: delta = 1 + 0.5*1 - 0.5 = 1.0; boundary → adv = 1.0
+	if math.Abs(adv[2]-1.0) > 1e-12 {
+		t.Fatalf("adv[2]=%v", adv[2])
+	}
+	// t=1: terminal: delta = 0 + 0 - 2 = -2 (NextVal ignored); adv=-2.
+	if math.Abs(adv[1]-(-2)) > 1e-12 {
+		t.Fatalf("adv[1]=%v", adv[1])
+	}
+	// t=0: delta = 1 + 0.5*2 - 1 = 1; chain continues: adv = 1 + 0.25*(-2) = 0.5.
+	if math.Abs(adv[0]-0.5) > 1e-12 {
+		t.Fatalf("adv[0]=%v", adv[0])
+	}
+	if math.Abs(ret[0]-1.5) > 1e-12 {
+		t.Fatalf("ret[0]=%v", ret[0])
+	}
+}
+
+func TestContinuousLearnsSteering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	seeder := mathx.NewSeeder(5)
+	vec := gym.NewVec(toy.MakeSteer1DC(), 8, seeder, false)
+	p := NewContinuous(Config{}, vec.ObservationSpace().Dim(), 1, seeder.Next())
+	for it := 0; it < 40; it++ {
+		roll := CollectContinuous(vec, p, 128)
+		p.Update(roll)
+	}
+	env := toy.NewSteer1DC(999)
+	res := rl.Evaluate(env, rl.PolicyFunc(func(obs []float64) []float64 {
+		return p.ActMean(obs)
+	}), 40)
+	// Random/zero policies land around -4; the mean policy should get
+	// close to the target.
+	if res.MeanReturn < -1.0 {
+		t.Fatalf("continuous PPO failed to learn: %v", res)
+	}
+	if p.Updates() != 40 {
+		t.Fatalf("updates=%d", p.Updates())
+	}
+}
+
+func TestContinuousLogStdBounded(t *testing.T) {
+	seeder := mathx.NewSeeder(9)
+	vec := gym.NewVec(toy.MakeSteer1DC(), 2, seeder, false)
+	p := NewContinuous(Config{LR: 0.05}, vec.ObservationSpace().Dim(), 1, seeder.Next())
+	for it := 0; it < 5; it++ {
+		p.Update(CollectContinuous(vec, p, 64))
+	}
+	for _, ls := range p.LogStd {
+		if ls < -4-1e-9 || ls > 1+1e-9 {
+			t.Fatalf("log-std escaped bounds: %v", ls)
+		}
+	}
+}
+
+func TestContinuousEmptyUpdate(t *testing.T) {
+	p := NewContinuous(Config{}, 2, 1, 3)
+	if st := p.Update(&ContRollout{}); st.Steps != 0 {
+		t.Fatal("empty rollout should no-op")
+	}
+}
+
+func TestContinuousOnAirdropInterface(t *testing.T) {
+	// The airdrop env's continuous mode must be drivable end to end.
+	// (Uses the toy continuous env's maker shape; airdrop continuous mode
+	// is exercised in its own package tests.)
+	mk := toy.MakeSteer1DC()
+	env := mk(4)
+	if _, ok := env.ActionSpace().(gym.Box); !ok {
+		t.Fatal("continuous env must expose Box actions")
+	}
+}

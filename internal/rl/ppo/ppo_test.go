@@ -1,0 +1,139 @@
+package ppo
+
+import (
+	"testing"
+
+	"rldecide/internal/gym"
+	"rldecide/internal/gym/toy"
+	"rldecide/internal/mathx"
+	"rldecide/internal/rl"
+)
+
+func trainOn(t *testing.T, maker gym.EnvMaker, nEnvs, nSteps, iters int, seed uint64) (*PPO, *Collector) {
+	t.Helper()
+	seeder := mathx.NewSeeder(seed)
+	vec := gym.NewVec(maker, nEnvs, seeder, false)
+	p := New(Config{}, vec.ObservationSpace().Dim(), actionCount(vec.ActionSpace()), seeder.Next())
+	col := NewCollector(vec)
+	for i := 0; i < iters; i++ {
+		roll := col.Collect(p, nSteps)
+		p.Update(roll)
+	}
+	return p, col
+}
+
+func actionCount(s gym.Space) int {
+	d, ok := s.(gym.Discrete)
+	if !ok {
+		panic("test: discrete space expected")
+	}
+	return d.N
+}
+
+func TestPPOLearnsChain(t *testing.T) {
+	p, _ := trainOn(t, toy.MakeChain(7), 4, 64, 25, 11)
+	env := toy.NewChain(7, 99)
+	res := rl.Evaluate(env, p.Policy(), 20)
+	if res.MeanReturn < 0.9 {
+		t.Fatalf("PPO failed to learn the chain: %v", res)
+	}
+}
+
+func TestPPOLearnsSteer1D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	p, col := trainOn(t, toy.MakeSteer1D(), 8, 128, 40, 21)
+	env := toy.NewSteer1D(1234)
+	res := rl.Evaluate(env, p.Policy(), 40)
+	// Random policy scores around -4; a trained policy should land near 0.
+	if res.MeanReturn < -1.2 {
+		t.Fatalf("PPO failed to learn steering: %v", res)
+	}
+	if col.EpisodeCount() == 0 && len(col.TakeEpisodes()) == 0 {
+		// episodes were consumed during training checks; fine
+		_ = col
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	a, _ := trainOn(t, toy.MakeChain(5), 2, 32, 3, 7)
+	b, _ := trainOn(t, toy.MakeChain(5), 2, 32, 3, 7)
+	wa, wb := a.Weights(), b.Weights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("same seed produced different trained weights")
+		}
+	}
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	p := New(Config{}, 3, 2, 1)
+	q := New(Config{}, 3, 2, 2)
+	q.SetWeights(p.Weights())
+	obs := []float64{0.1, -0.2, 0.3}
+	if p.Value(obs) != q.Value(obs) {
+		t.Fatal("critic weights not transferred")
+	}
+	if p.ActGreedy(obs) != q.ActGreedy(obs) {
+		t.Fatal("actor weights not transferred")
+	}
+	if p.NumWeights() != len(p.Weights()) {
+		t.Fatal("NumWeights mismatch")
+	}
+}
+
+func TestUpdateStats(t *testing.T) {
+	seeder := mathx.NewSeeder(3)
+	vec := gym.NewVec(toy.MakeChain(7), 2, seeder, false)
+	p := New(Config{}, vec.ObservationSpace().Dim(), 2, seeder.Next())
+	col := NewCollector(vec)
+	roll := col.Collect(p, 32)
+	if roll.Steps() != 64 {
+		t.Fatalf("rollout steps=%d want 64", roll.Steps())
+	}
+	st := p.Update(roll)
+	if st.Steps != 64 {
+		t.Fatalf("stats steps=%d", st.Steps)
+	}
+	if st.Entropy <= 0 {
+		t.Fatalf("entropy should be positive early: %v", st.Entropy)
+	}
+	if p.Updates() != 1 {
+		t.Fatal("update counter wrong")
+	}
+	eps := col.TakeEpisodes()
+	if len(eps) == 0 {
+		t.Fatal("no episodes recorded on chain in 32 steps")
+	}
+	if col.EpisodeCount() != 0 {
+		t.Fatal("TakeEpisodes did not clear")
+	}
+}
+
+func TestEmptyRolloutUpdate(t *testing.T) {
+	p := New(Config{}, 2, 2, 1)
+	st := p.Update(&rl.Rollout{})
+	if st.Steps != 0 {
+		t.Fatal("empty rollout should be a no-op")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.LR != 3e-4 || c.Gamma != 0.99 || !c.NormAdv || c.Epochs != 8 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	d := Config{}.DisableAdvNorm().WithDefaults()
+	if d.NormAdv {
+		t.Fatal("DisableAdvNorm ignored")
+	}
+}
+
+func TestStochasticPolicyActs(t *testing.T) {
+	p := New(Config{}, 2, 3, 5)
+	a := p.StochasticPolicy().Act([]float64{0.1, 0.2})
+	if len(a) != 1 || a[0] < 0 || a[0] > 2 {
+		t.Fatalf("bad action %v", a)
+	}
+}

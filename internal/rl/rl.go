@@ -1,0 +1,229 @@
+// Package rl provides the algorithm-agnostic reinforcement-learning
+// machinery shared by the PPO and SAC implementations and by the
+// distributed training backends: transitions, on-policy rollout segments
+// with generalized advantage estimation (GAE), an off-policy replay
+// buffer, and policy evaluation helpers.
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"rldecide/internal/gym"
+)
+
+// Transition is one environment step as seen by off-policy learners.
+type Transition struct {
+	Obs     []float64
+	Action  int
+	Reward  float64
+	NextObs []float64
+	// Done is true only for genuine terminal states (not time-limit
+	// truncations), i.e. states whose value is exactly 0.
+	Done bool
+}
+
+// Segment is a contiguous on-policy trajectory slice collected from one
+// environment by one actor, with the policy outputs recorded at collection
+// time (log-probabilities and value estimates — possibly from a stale
+// policy copy in distributed settings).
+type Segment struct {
+	Obs  [][]float64
+	Act  []int
+	LogP []float64
+	Val  []float64
+	Rew  []float64
+	// Done marks genuine terminals; Trunc marks time-limit cuts.
+	Done  []bool
+	Trunc []bool
+	// NextVal[t] is the collector's value estimate of the successor state:
+	// V(s_{t+1}) for regular steps, V(s_final) for truncations, and 0 for
+	// terminals.
+	NextVal []float64
+
+	// Adv and Ret are filled by ComputeGAE.
+	Adv []float64
+	Ret []float64
+}
+
+// Len returns the number of steps in the segment.
+func (s *Segment) Len() int { return len(s.Obs) }
+
+// Push appends one step to the segment.
+func (s *Segment) Push(obs []float64, act int, logp, val, rew float64, done, trunc bool, nextVal float64) {
+	s.Obs = append(s.Obs, obs)
+	s.Act = append(s.Act, act)
+	s.LogP = append(s.LogP, logp)
+	s.Val = append(s.Val, val)
+	s.Rew = append(s.Rew, rew)
+	s.Done = append(s.Done, done)
+	s.Trunc = append(s.Trunc, trunc)
+	s.NextVal = append(s.NextVal, nextVal)
+}
+
+// ComputeGAE fills Adv and Ret with generalized advantage estimates:
+//
+//	δ_t = r_t + γ·V(s_{t+1}) − V(s_t)
+//	A_t = δ_t + γλ·(1−done_t)·A_{t+1}
+//	R_t = A_t + V(s_t)
+//
+// Truncated steps bootstrap through NextVal like regular steps but cut the
+// λ-recursion, matching standard vectorized-PPO practice.
+func (s *Segment) ComputeGAE(gamma, lambda float64) {
+	n := s.Len()
+	s.Adv = make([]float64, n)
+	s.Ret = make([]float64, n)
+	next := 0.0
+	for t := n - 1; t >= 0; t-- {
+		nextVal := s.NextVal[t]
+		if s.Done[t] {
+			nextVal = 0
+		}
+		delta := s.Rew[t] + gamma*nextVal - s.Val[t]
+		if s.Done[t] || s.Trunc[t] {
+			next = 0
+		}
+		s.Adv[t] = delta + gamma*lambda*next
+		next = s.Adv[t]
+		s.Ret[t] = s.Adv[t] + s.Val[t]
+	}
+}
+
+// Rollout is a batch of segments making up one on-policy update.
+type Rollout struct {
+	Segments []*Segment
+}
+
+// Steps returns the total number of environment steps in the rollout.
+func (r *Rollout) Steps() int {
+	n := 0
+	for _, s := range r.Segments {
+		n += s.Len()
+	}
+	return n
+}
+
+// ComputeGAE runs GAE on every segment.
+func (r *Rollout) ComputeGAE(gamma, lambda float64) {
+	for _, s := range r.Segments {
+		s.ComputeGAE(gamma, lambda)
+	}
+}
+
+// ReplayBuffer is a fixed-capacity circular buffer of transitions for
+// off-policy learning.
+type ReplayBuffer struct {
+	buf  []Transition
+	cap  int
+	next int
+	size int
+}
+
+// NewReplayBuffer returns a buffer holding up to capacity transitions.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity <= 0 {
+		panic("rl: NewReplayBuffer needs capacity > 0")
+	}
+	return &ReplayBuffer{buf: make([]Transition, capacity), cap: capacity}
+}
+
+// Len returns the number of stored transitions.
+func (b *ReplayBuffer) Len() int { return b.size }
+
+// Cap returns the buffer capacity.
+func (b *ReplayBuffer) Cap() int { return b.cap }
+
+// Add stores a transition, overwriting the oldest when full.
+func (b *ReplayBuffer) Add(t Transition) {
+	b.buf[b.next] = t
+	b.next = (b.next + 1) % b.cap
+	if b.size < b.cap {
+		b.size++
+	}
+}
+
+// Sample draws n transitions uniformly with replacement into dst
+// (allocating when nil) and returns dst. It panics on an empty buffer.
+func (b *ReplayBuffer) Sample(rng *rand.Rand, n int, dst []Transition) []Transition {
+	if b.size == 0 {
+		panic("rl: Sample from empty replay buffer")
+	}
+	if dst == nil {
+		dst = make([]Transition, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = b.buf[rng.IntN(b.size)]
+	}
+	return dst
+}
+
+// Policy maps an observation to an action vector; implementations decide
+// whether to sample or act greedily.
+type Policy interface {
+	Act(obs []float64) []float64
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(obs []float64) []float64
+
+// Act implements Policy.
+func (f PolicyFunc) Act(obs []float64) []float64 { return f(obs) }
+
+// EvalResult summarizes a policy evaluation.
+type EvalResult struct {
+	MeanReturn float64
+	StdReturn  float64
+	MeanLength float64
+	Episodes   int
+}
+
+// Evaluate runs policy for episodes full episodes on env and reports
+// return statistics. The environment's own seed controls the episode
+// draws.
+func Evaluate(env gym.Env, policy Policy, episodes int) EvalResult {
+	if episodes <= 0 {
+		panic("rl: Evaluate needs episodes > 0")
+	}
+	var returns []float64
+	totalLen := 0
+	for ep := 0; ep < episodes; ep++ {
+		obs := env.Reset()
+		ret := 0.0
+		for {
+			res := env.Step(policy.Act(obs))
+			obs = res.Obs
+			ret += res.Reward
+			totalLen++
+			if res.Done {
+				break
+			}
+		}
+		returns = append(returns, ret)
+	}
+	mean := 0.0
+	for _, r := range returns {
+		mean += r
+	}
+	mean /= float64(len(returns))
+	varsum := 0.0
+	for _, r := range returns {
+		varsum += (r - mean) * (r - mean)
+	}
+	std := 0.0
+	if len(returns) > 1 {
+		std = math.Sqrt(varsum / float64(len(returns)))
+	}
+	return EvalResult{
+		MeanReturn: mean,
+		StdReturn:  std,
+		MeanLength: float64(totalLen) / float64(episodes),
+		Episodes:   episodes,
+	}
+}
+
+// String renders an EvalResult compactly.
+func (e EvalResult) String() string {
+	return fmt.Sprintf("return %.3f ± %.3f over %d episodes (len %.1f)", e.MeanReturn, e.StdReturn, e.Episodes, e.MeanLength)
+}

@@ -1,0 +1,314 @@
+// Package sac implements discrete Soft Actor-Critic (Haarnoja et al. 2018;
+// discrete-action formulation after Christodoulou 2019): twin soft
+// Q-networks with target networks and Polyak averaging, a categorical
+// actor optimized against min(Q1,Q2), and automatic entropy-temperature
+// tuning. SAC is the paper's second algorithm; on the airdrop task (sparse
+// terminal reward, long horizon) it is markedly less sample- and
+// compute-efficient than PPO, which the evaluation reproduces.
+package sac
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"rldecide/internal/mathx"
+	"rldecide/internal/nn"
+	"rldecide/internal/rl"
+	"rldecide/internal/tensor"
+)
+
+// Config holds SAC hyperparameters. Zero fields are replaced by defaults.
+type Config struct {
+	Hidden        []int   // hidden sizes (default [64, 64])
+	LR            float64 // Adam learning rate (default 3e-4)
+	Gamma         float64 // discount (default 0.99)
+	Tau           float64 // Polyak coefficient (default 0.005)
+	BufferSize    int     // replay capacity (default 100_000)
+	Batch         int     // minibatch size (default 128)
+	StartSteps    int     // uniform-random warmup steps (default 1_000)
+	UpdateEvery   int     // env steps between update rounds (default 1)
+	UpdatesPerRnd int     // gradient steps per round (default 1)
+	TargetEntropy float64 // default 0.6 * ln(nActions)
+	InitAlpha     float64 // initial temperature (default 0.2)
+	AlphaLR       float64 // temperature learning rate (default 3e-4)
+}
+
+// WithDefaults returns cfg with zero fields filled in; nActions is needed
+// for the entropy target.
+func (c Config) WithDefaults(nActions int) Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 64}
+	}
+	if c.LR == 0 {
+		c.LR = 3e-4
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.005
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 100_000
+	}
+	if c.Batch == 0 {
+		c.Batch = 128
+	}
+	if c.StartSteps == 0 {
+		c.StartSteps = 1_000
+	}
+	if c.UpdateEvery == 0 {
+		c.UpdateEvery = 1
+	}
+	if c.UpdatesPerRnd == 0 {
+		c.UpdatesPerRnd = 1
+	}
+	if c.TargetEntropy == 0 {
+		// The discrete-SAC reference default (Christodoulou 2019):
+		// 0.98·ln|A|. On precision-control tasks with sparse terminal
+		// reward this keeps the policy near-uniform — the stock-defaults
+		// behaviour the paper's SAC runs exhibit. Tasks that need a
+		// sharper policy should set TargetEntropy explicitly.
+		c.TargetEntropy = 0.98 * math.Log(float64(nActions))
+	}
+	if c.InitAlpha == 0 {
+		c.InitAlpha = 0.2
+	}
+	if c.AlphaLR == 0 {
+		c.AlphaLR = 3e-4
+	}
+	return c
+}
+
+// Stats reports diagnostics of one gradient round.
+type Stats struct {
+	QLoss     float64
+	ActorLoss float64
+	Alpha     float64
+	Entropy   float64
+}
+
+// SAC is the discrete soft actor-critic learner.
+type SAC struct {
+	Cfg      Config
+	ObsDim   int
+	NActions int
+
+	Actor    *nn.MLP
+	Q1, Q2   *nn.MLP
+	Q1T, Q2T *nn.MLP
+
+	Buffer *rl.ReplayBuffer
+
+	optActor *nn.Adam
+	optQ1    *nn.Adam
+	optQ2    *nn.Adam
+
+	logAlpha  float64
+	alphaM    float64 // Adam state for the scalar temperature
+	alphaV    float64
+	alphaT    int
+	rng       *rand.Rand
+	steps     int
+	gradSteps int
+}
+
+// New returns a SAC learner for obsDim observations and nActions discrete
+// actions.
+func New(cfg Config, obsDim, nActions int, seed uint64) *SAC {
+	cfg = cfg.WithDefaults(nActions)
+	rng := mathx.NewRand(seed)
+	mk := func(out int, gain float64) *nn.MLP {
+		sizes := append(append([]int{obsDim}, cfg.Hidden...), out)
+		return nn.NewMLP(rng, sizes, nn.ReLU{}, gain)
+	}
+	s := &SAC{
+		Cfg:      cfg,
+		ObsDim:   obsDim,
+		NActions: nActions,
+		Actor:    mk(nActions, 0.01),
+		Q1:       mk(nActions, 1.0),
+		Q2:       mk(nActions, 1.0),
+		Buffer:   rl.NewReplayBuffer(cfg.BufferSize),
+		logAlpha: math.Log(cfg.InitAlpha),
+		rng:      rng,
+	}
+	s.Q1T = s.Q1.Clone()
+	s.Q2T = s.Q2.Clone()
+	s.optActor = nn.NewAdam(s.Actor.Params(), cfg.LR)
+	s.optQ1 = nn.NewAdam(s.Q1.Params(), cfg.LR)
+	s.optQ2 = nn.NewAdam(s.Q2.Params(), cfg.LR)
+	return s
+}
+
+// Alpha returns the current entropy temperature.
+func (s *SAC) Alpha() float64 { return math.Exp(s.logAlpha) }
+
+// GradSteps returns the number of gradient steps taken.
+func (s *SAC) GradSteps() int { return s.gradSteps }
+
+// Act samples an action from the current policy (uniform during warmup).
+func (s *SAC) Act(obs []float64) int {
+	if s.steps < s.Cfg.StartSteps {
+		return s.rng.IntN(s.NActions)
+	}
+	return nn.CategoricalSample(s.rng, s.Actor.Forward1(obs))
+}
+
+// ActGreedy returns the mode of the policy.
+func (s *SAC) ActGreedy(obs []float64) int {
+	return nn.Argmax(s.Actor.Forward1(obs))
+}
+
+// Policy returns an rl.Policy view of the greedy policy.
+func (s *SAC) Policy() rl.Policy {
+	return rl.PolicyFunc(func(obs []float64) []float64 {
+		return []float64{float64(s.ActGreedy(obs))}
+	})
+}
+
+// StochasticPolicy returns an rl.Policy that samples the trained
+// (entropy-regularized) policy — the object SAC's objective actually
+// optimizes.
+func (s *SAC) StochasticPolicy() rl.Policy {
+	return rl.PolicyFunc(func(obs []float64) []float64 {
+		return []float64{float64(nn.CategoricalSample(s.rng, s.Actor.Forward1(obs)))}
+	})
+}
+
+// Observe feeds one transition and runs the scheduled gradient rounds.
+// It returns the stats of the last round, with ok=false when no update
+// ran.
+func (s *SAC) Observe(t rl.Transition) (Stats, bool) {
+	s.Buffer.Add(t)
+	s.steps++
+	if s.steps < s.Cfg.StartSteps || s.steps%s.Cfg.UpdateEvery != 0 {
+		return Stats{}, false
+	}
+	if s.Buffer.Len() < s.Cfg.Batch {
+		return Stats{}, false
+	}
+	var st Stats
+	for i := 0; i < s.Cfg.UpdatesPerRnd; i++ {
+		st = s.update()
+	}
+	return st, true
+}
+
+// update runs one gradient step on a sampled minibatch.
+func (s *SAC) update() Stats {
+	batch := s.Buffer.Sample(s.rng, s.Cfg.Batch, nil)
+	bs := len(batch)
+	alpha := s.Alpha()
+
+	x := tensor.New(bs, s.ObsDim)
+	xn := tensor.New(bs, s.ObsDim)
+	for i, t := range batch {
+		copy(x.Row(i), t.Obs)
+		copy(xn.Row(i), t.NextObs)
+	}
+
+	// ---- Targets: y = r + γ(1-d) Σ_a π(a|s')[minQT(s',a) − α·logπ(a|s')]
+	nextLogits := s.Actor.Forward(xn)
+	probsN := make([]float64, s.NActions)
+	lpN := make([]float64, s.NActions)
+	q1t := s.Q1T.Forward(xn).Clone()
+	q2t := s.Q2T.Forward(xn).Clone()
+	targets := make([]float64, bs)
+	for i, t := range batch {
+		row := nextLogits.Row(i)
+		nn.Softmax(row, probsN)
+		nn.LogSoftmax(row, lpN)
+		v := 0.0
+		for a := 0; a < s.NActions; a++ {
+			minQ := math.Min(q1t.At(i, a), q2t.At(i, a))
+			v += probsN[a] * (minQ - alpha*lpN[a])
+		}
+		y := t.Reward
+		if !t.Done {
+			y += s.Cfg.Gamma * v
+		}
+		targets[i] = y
+	}
+
+	// ---- Critic update: MSE on the taken action's Q value.
+	var qLoss float64
+	for qi, pair := range []struct {
+		net *nn.MLP
+		opt *nn.Adam
+	}{{s.Q1, s.optQ1}, {s.Q2, s.optQ2}} {
+		pair.net.ZeroGrad()
+		q := pair.net.Forward(x)
+		dq := tensor.New(bs, s.NActions)
+		for i, t := range batch {
+			d := q.At(i, t.Action) - targets[i]
+			if qi == 0 {
+				qLoss += 0.5 * d * d
+			}
+			dq.Set(i, t.Action, d/float64(bs))
+		}
+		pair.net.Backward(dq)
+		nn.ClipGrads(pair.net.Params(), 10)
+		pair.opt.Step()
+	}
+	qLoss /= float64(bs)
+
+	// ---- Actor update: minimize Σ_a π(a|s)[α·logπ(a|s) − minQ(s,a)].
+	s.Actor.ZeroGrad()
+	logits := s.Actor.Forward(x)
+	q1 := s.Q1.Forward(x).Clone()
+	q2 := s.Q2.Forward(x).Clone()
+	dlogits := tensor.New(bs, s.NActions)
+	probs := make([]float64, s.NActions)
+	lp := make([]float64, s.NActions)
+	var actorLoss, entSum float64
+	for i := range batch {
+		row := logits.Row(i)
+		nn.Softmax(row, probs)
+		nn.LogSoftmax(row, lp)
+		// With g_a = α·logπ(a) − minQ(a) and L = E_π[g]:
+		// dL/dl_j = p_j·(g_j − E_π[g]); the α·E_π[dlogπ/dl_j] term is
+		// identically zero (verified against finite differences in the
+		// tests).
+		eg := 0.0
+		ent := 0.0
+		for a := 0; a < s.NActions; a++ {
+			g := alpha*lp[a] - math.Min(q1.At(i, a), q2.At(i, a))
+			eg += probs[a] * g
+			ent -= probs[a] * lp[a]
+		}
+		actorLoss += eg
+		entSum += ent
+		drow := dlogits.Row(i)
+		for j := 0; j < s.NActions; j++ {
+			g := alpha*lp[j] - math.Min(q1.At(i, j), q2.At(i, j))
+			drow[j] = probs[j] * (g - eg) / float64(bs)
+		}
+	}
+	s.Actor.Backward(dlogits)
+	nn.ClipGrads(s.Actor.Params(), 10)
+	s.optActor.Step()
+
+	// ---- Temperature update: J(α) = E[−α(logπ + H̄)] via Adam on logα.
+	gradLogAlpha := -(s.Cfg.TargetEntropy - entSum/float64(bs)) * alpha
+	s.alphaT++
+	b1, b2 := 0.9, 0.999
+	s.alphaM = b1*s.alphaM + (1-b1)*gradLogAlpha
+	s.alphaV = b2*s.alphaV + (1-b2)*gradLogAlpha*gradLogAlpha
+	mHat := s.alphaM / (1 - math.Pow(b1, float64(s.alphaT)))
+	vHat := s.alphaV / (1 - math.Pow(b2, float64(s.alphaT)))
+	s.logAlpha -= s.Cfg.AlphaLR * mHat / (math.Sqrt(vHat) + 1e-8)
+	s.logAlpha = mathx.Clip(s.logAlpha, -10, 2)
+
+	// ---- Target networks.
+	s.Q1T.Polyak(s.Q1, s.Cfg.Tau)
+	s.Q2T.Polyak(s.Q2, s.Cfg.Tau)
+
+	s.gradSteps++
+	return Stats{
+		QLoss:     qLoss,
+		ActorLoss: actorLoss / float64(bs),
+		Alpha:     s.Alpha(),
+		Entropy:   entSum / float64(bs),
+	}
+}

@@ -1,0 +1,93 @@
+package search
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"rldecide/internal/param"
+)
+
+// LatinHypercube is a stratified sampler: it pre-plans N configurations so
+// that every parameter's range is covered evenly (each of the N strata of
+// every dimension is visited exactly once, in a random pairing). It sits
+// between Random Search and Grid Search in the methodology's exploratory
+// step: grid-like coverage at random-search cost, a standard tool in
+// design-space exploration.
+type LatinHypercube struct {
+	// N is the number of planned samples (required, > 0).
+	N int
+
+	plan []param.Assignment
+	next int
+}
+
+// Name implements Explorer.
+func (*LatinHypercube) Name() string { return "lhs" }
+
+// Next implements Explorer.
+func (l *LatinHypercube) Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool) {
+	if l.N <= 0 {
+		return nil, false
+	}
+	if l.plan == nil {
+		l.build(rng, space)
+	}
+	if l.next >= len(l.plan) {
+		return nil, false
+	}
+	a := l.plan[l.next]
+	l.next++
+	return a, true
+}
+
+// build constructs the stratified plan: for each parameter, a random
+// permutation of N strata; sample j takes stratum perm[j] of every
+// dimension.
+func (l *LatinHypercube) build(rng *rand.Rand, space *param.Space) {
+	n := l.N
+	l.plan = make([]param.Assignment, n)
+	for j := range l.plan {
+		l.plan[j] = make(param.Assignment, len(space.Params()))
+	}
+	for _, p := range space.Params() {
+		perm := rng.Perm(n)
+		for j := 0; j < n; j++ {
+			stratum := perm[j]
+			l.plan[j][p.Name()] = sampleStratum(rng, p, stratum, n)
+		}
+	}
+}
+
+// sampleStratum draws a value from stratum k of n for parameter p:
+// continuous ranges are split into n equal slices (log-space for log
+// parameters); finite parameters map strata onto their options
+// round-robin.
+func sampleStratum(rng *rand.Rand, p param.Param, k, n int) param.Value {
+	switch pp := p.(type) {
+	case param.FloatRange:
+		lo, hi := pp.Lo, pp.Hi
+		if pp.Log {
+			// Work in log space via repeated sampling bounds.
+			u := (float64(k) + rng.Float64()) / float64(n)
+			return param.Float(logLerp(lo, hi, u))
+		}
+		u := (float64(k) + rng.Float64()) / float64(n)
+		return param.Float(lo + u*(hi-lo))
+	case param.IntRange:
+		span := pp.Hi - pp.Lo + 1
+		idx := k * span / n
+		if idx >= span {
+			idx = span - 1
+		}
+		return param.Int(pp.Lo + idx)
+	default:
+		opts := p.Enumerate()
+		return opts[k%len(opts)]
+	}
+}
+
+// logLerp interpolates geometrically between lo and hi (both positive, as
+// guaranteed by NewLogFloatRange).
+func logLerp(lo, hi, u float64) float64 {
+	return lo * math.Pow(hi/lo, u)
+}

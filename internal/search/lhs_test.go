@@ -1,0 +1,90 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"rldecide/internal/mathx"
+	"rldecide/internal/param"
+)
+
+func TestLHSCoversStrata(t *testing.T) {
+	space := param.MustSpace(
+		param.NewFloatRange("x", 0, 1),
+		param.NewIntRange("n", 0, 9),
+	)
+	rng := mathx.NewRand(1)
+	l := &LatinHypercube{N: 10}
+	seenStrata := map[int]bool{}
+	seenInts := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		a, ok := l.Next(rng, space, nil)
+		if !ok {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if !space.Contains(a) {
+			t.Fatalf("out of space: %s", a)
+		}
+		seenStrata[int(a["x"].Float()*10)] = true
+		seenInts[a["n"].Int()] = true
+	}
+	// Each of the 10 x-strata visited exactly once.
+	if len(seenStrata) != 10 {
+		t.Fatalf("x strata covered %d/10", len(seenStrata))
+	}
+	// 10 int strata over 10 options: all visited.
+	if len(seenInts) != 10 {
+		t.Fatalf("int options covered %d/10", len(seenInts))
+	}
+	if _, ok := l.Next(rng, space, nil); ok {
+		t.Fatal("plan should be exhausted after N samples")
+	}
+}
+
+func TestLHSCategoricalRoundRobin(t *testing.T) {
+	space := param.MustSpace(param.NewCategorical("c", "a", "b", "c"))
+	rng := mathx.NewRand(2)
+	l := &LatinHypercube{N: 9}
+	counts := map[string]int{}
+	for i := 0; i < 9; i++ {
+		a, _ := l.Next(rng, space, nil)
+		counts[a["c"].Str()]++
+	}
+	for opt, c := range counts {
+		if c != 3 {
+			t.Fatalf("option %s drawn %d times, want 3", opt, c)
+		}
+	}
+}
+
+func TestLHSLogSpace(t *testing.T) {
+	space := param.MustSpace(param.NewLogFloatRange("lr", 1e-4, 1e-1))
+	rng := mathx.NewRand(3)
+	l := &LatinHypercube{N: 6}
+	var below, above int
+	for i := 0; i < 6; i++ {
+		a, _ := l.Next(rng, space, nil)
+		v := a["lr"].Float()
+		if v < 1e-4 || v > 1e-1 {
+			t.Fatalf("lr %v out of range", v)
+		}
+		if v < math.Sqrt(1e-4*1e-1) { // geometric midpoint
+			below++
+		} else {
+			above++
+		}
+	}
+	if below != 3 || above != 3 {
+		t.Fatalf("log strata unbalanced: %d below / %d above geometric midpoint", below, above)
+	}
+}
+
+func TestLHSZeroN(t *testing.T) {
+	l := &LatinHypercube{}
+	if _, ok := l.Next(mathx.NewRand(1), param.MustSpace(param.NewIntSet("a", 1)), nil); ok {
+		t.Fatal("N=0 should be exhausted immediately")
+	}
+	if l.Name() != "lhs" {
+		t.Fatal("name")
+	}
+}

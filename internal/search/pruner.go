@@ -1,0 +1,77 @@
+package search
+
+import "rldecide/internal/mathx"
+
+// Pruner decides, from intermediate objective reports, whether a running
+// trial should be stopped early — the Optuna-style pruning the paper names
+// as part of the hyperparameter-framework implementation route.
+type Pruner interface {
+	// Name identifies the pruner.
+	Name() string
+	// ShouldPrune is consulted after each intermediate report of the
+	// running trial. step is the report index (0-based), value the
+	// intermediate objective, history the per-step intermediate values of
+	// finished trials (history[trial][step]).
+	ShouldPrune(step int, value float64, maximize bool, history [][]float64) bool
+}
+
+// MedianPruner prunes a trial whose intermediate value is worse than the
+// median of the completed trials' values at the same step (Optuna's
+// default pruner).
+type MedianPruner struct {
+	// WarmupSteps disables pruning for the first reports of a trial.
+	WarmupSteps int
+	// MinTrials disables pruning until that many finished trials exist.
+	MinTrials int // default 4
+}
+
+// Name implements Pruner.
+func (MedianPruner) Name() string { return "median" }
+
+// ShouldPrune implements Pruner.
+func (m MedianPruner) ShouldPrune(step int, value float64, maximize bool, history [][]float64) bool {
+	minTrials := m.MinTrials
+	if minTrials == 0 {
+		minTrials = 4
+	}
+	if step < m.WarmupSteps {
+		return false
+	}
+	var peers []float64
+	for _, h := range history {
+		if step < len(h) {
+			peers = append(peers, h[step])
+		}
+	}
+	if len(peers) < minTrials {
+		return false
+	}
+	med := mathx.Median(peers)
+	if maximize {
+		return value < med
+	}
+	return value > med
+}
+
+// ThresholdPruner prunes any trial whose intermediate value is on the
+// wrong side of a fixed bound.
+type ThresholdPruner struct {
+	// Bound is the cutoff; a maximizing trial is pruned below it, a
+	// minimizing trial above it.
+	Bound       float64
+	WarmupSteps int
+}
+
+// Name implements Pruner.
+func (ThresholdPruner) Name() string { return "threshold" }
+
+// ShouldPrune implements Pruner.
+func (t ThresholdPruner) ShouldPrune(step int, value float64, maximize bool, history [][]float64) bool {
+	if step < t.WarmupSteps {
+		return false
+	}
+	if maximize {
+		return value < t.Bound
+	}
+	return value > t.Bound
+}

@@ -1,0 +1,230 @@
+// Package search implements the exploratory methods of step (c) of the
+// paper's methodology: Random Search (used in the paper's campaign), Grid
+// Search, and a Tree-of-Parzen-Estimators sampler plus trial pruners in
+// the style of the Hyperopt/Optuna frameworks the paper cites as the
+// alternative implementation route.
+package search
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"rldecide/internal/param"
+)
+
+// Observation is the explorer-visible record of a finished trial: the
+// configuration tried and the value of the objective the explorer
+// optimizes (explorers are single-objective; multi-objective studies rank
+// afterwards with Pareto tools).
+type Observation struct {
+	Assignment param.Assignment
+	Objective  float64
+	Maximize   bool
+	Pruned     bool
+	Failed     bool
+}
+
+// Explorer proposes the next learning configuration to evaluate.
+type Explorer interface {
+	// Name identifies the method.
+	Name() string
+	// Next returns the next assignment to try given the history, or
+	// ok=false when the method is exhausted.
+	Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool)
+}
+
+// RandomSearch samples uniform random configurations, optionally skipping
+// duplicates.
+type RandomSearch struct {
+	// Dedup skips configurations already present in the history (up to
+	// MaxRetries re-draws).
+	Dedup      bool
+	MaxRetries int // default 100
+}
+
+// Name implements Explorer.
+func (RandomSearch) Name() string { return "random" }
+
+// Next implements Explorer.
+func (r RandomSearch) Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool) {
+	retries := r.MaxRetries
+	if retries <= 0 {
+		retries = 100
+	}
+	if !r.Dedup {
+		return space.Sample(rng), true
+	}
+	seen := make(map[string]bool, len(history))
+	for _, h := range history {
+		seen[h.Assignment.Key()] = true
+	}
+	for i := 0; i < retries; i++ {
+		a := space.Sample(rng)
+		if !seen[a.Key()] {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// GridSearch enumerates the space's full grid in order.
+type GridSearch struct {
+	grid []param.Assignment
+	next int
+}
+
+// Name implements Explorer.
+func (*GridSearch) Name() string { return "grid" }
+
+// Next implements Explorer.
+func (g *GridSearch) Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool) {
+	if g.grid == nil {
+		g.grid = space.Grid()
+	}
+	if g.next >= len(g.grid) {
+		return nil, false
+	}
+	a := g.grid[g.next]
+	g.next++
+	return a, true
+}
+
+// TPE is a Tree-of-Parzen-Estimators sampler (Bergstra et al. 2011, the
+// algorithm behind Hyperopt): after MinTrials random startup trials it
+// splits the history into good/bad by the Gamma quantile of the objective,
+// fits per-parameter densities l(x) (good) and g(x) (bad), draws
+// NCandidates from l and keeps the candidate maximizing l(x)/g(x).
+type TPE struct {
+	Gamma       float64 // good-quantile (default 0.25)
+	NCandidates int     // candidates per step (default 24)
+	MinTrials   int     // random startup trials (default 10)
+}
+
+// Name implements Explorer.
+func (TPE) Name() string { return "tpe" }
+
+func (t TPE) withDefaults() TPE {
+	if t.Gamma == 0 {
+		t.Gamma = 0.25
+	}
+	if t.NCandidates == 0 {
+		t.NCandidates = 24
+	}
+	if t.MinTrials == 0 {
+		t.MinTrials = 10
+	}
+	return t
+}
+
+// Next implements Explorer.
+func (t TPE) Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool) {
+	t = t.withDefaults()
+	var usable []Observation
+	for _, h := range history {
+		if !h.Pruned && !h.Failed && !math.IsNaN(h.Objective) {
+			usable = append(usable, h)
+		}
+	}
+	if len(usable) < t.MinTrials {
+		return space.Sample(rng), true
+	}
+	// Sort best-first.
+	sort.Slice(usable, func(i, j int) bool {
+		if usable[i].Maximize {
+			return usable[i].Objective > usable[j].Objective
+		}
+		return usable[i].Objective < usable[j].Objective
+	})
+	nGood := int(math.Ceil(t.Gamma * float64(len(usable))))
+	if nGood < 1 {
+		nGood = 1
+	}
+	good := usable[:nGood]
+	bad := usable[nGood:]
+	if len(bad) == 0 {
+		return space.Sample(rng), true
+	}
+
+	best := space.Sample(rng)
+	bestScore := math.Inf(-1)
+	for c := 0; c < t.NCandidates; c++ {
+		cand := t.sampleFromGood(rng, space, good)
+		score := t.logLikelihoodRatio(space, cand, good, bad)
+		if score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best, true
+}
+
+// sampleFromGood draws each parameter from the good-trial density: for
+// categorical/finite parameters a smoothed empirical distribution, for
+// continuous ones a kernel draw around a random good observation.
+func (t TPE) sampleFromGood(rng *rand.Rand, space *param.Space, good []Observation) param.Assignment {
+	a := make(param.Assignment, len(space.Params()))
+	for _, p := range space.Params() {
+		pick := good[rng.IntN(len(good))].Assignment[p.Name()]
+		switch pp := p.(type) {
+		case param.FloatRange:
+			width := (pp.Hi - pp.Lo) / 5
+			v := pick.Float() + rng.NormFloat64()*width
+			if v < pp.Lo {
+				v = pp.Lo
+			}
+			if v > pp.Hi {
+				v = pp.Hi
+			}
+			a[p.Name()] = param.Float(v)
+		default:
+			// Finite parameters: mostly reuse good values, sometimes
+			// explore uniformly (smoothing).
+			if rng.Float64() < 0.2 {
+				a[p.Name()] = p.Sample(rng)
+			} else {
+				a[p.Name()] = pick
+			}
+		}
+	}
+	return a
+}
+
+// logLikelihoodRatio scores a candidate by Σ log l(x_i)/g(x_i) with
+// Laplace-smoothed per-parameter densities.
+func (t TPE) logLikelihoodRatio(space *param.Space, cand param.Assignment, good, bad []Observation) float64 {
+	score := 0.0
+	for _, p := range space.Params() {
+		v := cand[p.Name()]
+		score += math.Log(density(p, v, good)) - math.Log(density(p, v, bad))
+	}
+	return score
+}
+
+// density estimates the probability of value v for parameter p in the
+// observation set: smoothed frequency for finite parameters, a simple
+// kernel estimate for continuous ones.
+func density(p param.Param, v param.Value, obs []Observation) float64 {
+	switch pp := p.(type) {
+	case param.FloatRange:
+		width := (pp.Hi - pp.Lo) / 5
+		if width == 0 {
+			return 1
+		}
+		s := 0.0
+		for _, o := range obs {
+			d := (o.Assignment[p.Name()].Float() - v.Float()) / width
+			s += math.Exp(-0.5 * d * d)
+		}
+		return (s + 1e-3) / float64(len(obs)+1)
+	default:
+		k := len(p.Enumerate())
+		count := 0
+		for _, o := range obs {
+			if o.Assignment[p.Name()].Equal(v) {
+				count++
+			}
+		}
+		return (float64(count) + 1) / float64(len(obs)+k)
+	}
+}

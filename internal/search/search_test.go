@@ -1,0 +1,217 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"rldecide/internal/mathx"
+	"rldecide/internal/param"
+)
+
+func smallSpace() *param.Space {
+	return param.MustSpace(
+		param.NewIntSet("a", 1, 2, 3),
+		param.NewCategorical("b", "x", "y"),
+	)
+}
+
+func TestRandomSearchProposesValid(t *testing.T) {
+	s := smallSpace()
+	rng := mathx.NewRand(1)
+	var r RandomSearch
+	for i := 0; i < 50; i++ {
+		a, ok := r.Next(rng, s, nil)
+		if !ok || !s.Contains(a) {
+			t.Fatalf("bad proposal %v ok=%v", a, ok)
+		}
+	}
+}
+
+func TestRandomSearchDedup(t *testing.T) {
+	s := smallSpace() // 6 configs
+	rng := mathx.NewRand(2)
+	r := RandomSearch{Dedup: true, MaxRetries: 500}
+	var hist []Observation
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		a, ok := r.Next(rng, s, hist)
+		if !ok {
+			t.Fatalf("exhausted after %d", i)
+		}
+		if seen[a.Key()] {
+			t.Fatalf("duplicate %s", a.Key())
+		}
+		seen[a.Key()] = true
+		hist = append(hist, Observation{Assignment: a})
+	}
+	// Space exhausted now.
+	if _, ok := r.Next(rng, s, hist); ok {
+		t.Fatal("should be exhausted")
+	}
+}
+
+func TestGridSearchEnumeratesAll(t *testing.T) {
+	s := smallSpace()
+	rng := mathx.NewRand(3)
+	g := &GridSearch{}
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		a, ok := g.Next(rng, s, nil)
+		if !ok {
+			t.Fatalf("grid ended early at %d", i)
+		}
+		seen[a.Key()] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("grid covered %d of 6", len(seen))
+	}
+	if _, ok := g.Next(rng, s, nil); ok {
+		t.Fatal("grid should be exhausted")
+	}
+}
+
+// quadratic objective over a float space: minimum at x = 0.3.
+func quadObs(x float64) Observation {
+	a := param.Assignment{"x": param.Float(x)}
+	return Observation{Assignment: a, Objective: (x - 0.3) * (x - 0.3)}
+}
+
+func TestTPEConcentratesNearOptimum(t *testing.T) {
+	space := param.MustSpace(param.NewFloatRange("x", 0, 1))
+	rng := mathx.NewRand(4)
+	tpe := TPE{MinTrials: 8, NCandidates: 32}
+
+	var hist []Observation
+	// Seed history with a uniform sweep.
+	for i := 0; i < 20; i++ {
+		hist = append(hist, quadObs(float64(i)/19))
+	}
+	// TPE proposals should be much closer to 0.3 than uniform (mean |x-0.3|
+	// for uniform is ~0.26).
+	sum := 0.0
+	const n = 60
+	for i := 0; i < n; i++ {
+		a, ok := tpe.Next(rng, space, hist)
+		if !ok {
+			t.Fatal("TPE exhausted")
+		}
+		x := a["x"].Float()
+		if x < 0 || x > 1 {
+			t.Fatalf("TPE proposed out of range: %v", x)
+		}
+		sum += math.Abs(x - 0.3)
+	}
+	mean := sum / n
+	if mean > 0.18 {
+		t.Fatalf("TPE proposals not concentrated: mean |x-0.3| = %v", mean)
+	}
+}
+
+func TestTPEFallsBackToRandomEarly(t *testing.T) {
+	space := smallSpace()
+	rng := mathx.NewRand(5)
+	tpe := TPE{}
+	a, ok := tpe.Next(rng, space, nil)
+	if !ok || !space.Contains(a) {
+		t.Fatal("startup proposal invalid")
+	}
+}
+
+func TestTPECategorical(t *testing.T) {
+	// Categorical objective: option "y" is much better; TPE should prefer
+	// proposing it.
+	space := param.MustSpace(param.NewCategorical("c", "x", "y", "z"))
+	rng := mathx.NewRand(6)
+	var hist []Observation
+	for i := 0; i < 30; i++ {
+		opt := []string{"x", "y", "z"}[i%3]
+		val := map[string]float64{"x": 5, "y": 0.1, "z": 7}[opt]
+		hist = append(hist, Observation{
+			Assignment: param.Assignment{"c": param.Str(opt)},
+			Objective:  val,
+		})
+	}
+	tpe := TPE{MinTrials: 5, NCandidates: 16}
+	countY := 0
+	const n = 60
+	for i := 0; i < n; i++ {
+		a, _ := tpe.Next(rng, space, hist)
+		if a["c"].Str() == "y" {
+			countY++
+		}
+	}
+	if countY < n/2 {
+		t.Fatalf("TPE picked the good option only %d/%d times", countY, n)
+	}
+}
+
+func TestTPEIgnoresFailedTrials(t *testing.T) {
+	space := param.MustSpace(param.NewFloatRange("x", 0, 1))
+	rng := mathx.NewRand(7)
+	hist := []Observation{
+		{Assignment: param.Assignment{"x": param.Float(0.5)}, Failed: true, Objective: math.NaN()},
+		{Assignment: param.Assignment{"x": param.Float(0.5)}, Pruned: true},
+	}
+	tpe := TPE{MinTrials: 1}
+	if a, ok := tpe.Next(rng, space, hist); !ok || !space.Contains(a) {
+		t.Fatal("TPE should survive failed-only history")
+	}
+}
+
+func TestMedianPruner(t *testing.T) {
+	history := [][]float64{
+		{1, 2, 3},
+		{1, 2, 3},
+		{1, 2, 3},
+		{1, 2, 3},
+	}
+	p := MedianPruner{}
+	// maximizing trial below the median at step 1 → prune
+	if !p.ShouldPrune(1, 1.0, true, history) {
+		t.Error("should prune below-median maximizer")
+	}
+	if p.ShouldPrune(1, 3.0, true, history) {
+		t.Error("should keep above-median maximizer")
+	}
+	// minimizing: above median → prune
+	if !p.ShouldPrune(1, 5.0, false, history) {
+		t.Error("should prune above-median minimizer")
+	}
+	// warmup suppresses
+	pw := MedianPruner{WarmupSteps: 2}
+	if pw.ShouldPrune(1, -100, true, history) {
+		t.Error("warmup should suppress pruning")
+	}
+	// not enough finished trials
+	if p.ShouldPrune(1, -100, true, history[:2]) {
+		t.Error("too few trials should suppress pruning")
+	}
+	if p.Name() != "median" {
+		t.Error("name")
+	}
+}
+
+func TestThresholdPruner(t *testing.T) {
+	p := ThresholdPruner{Bound: -2, WarmupSteps: 1}
+	if p.ShouldPrune(0, -5, true, nil) {
+		t.Error("warmup should suppress")
+	}
+	if !p.ShouldPrune(2, -5, true, nil) {
+		t.Error("below bound maximizer should prune")
+	}
+	if p.ShouldPrune(2, -1, true, nil) {
+		t.Error("above bound maximizer should survive")
+	}
+	if !p.ShouldPrune(2, 5, false, nil) {
+		t.Error("minimizer above bound should prune")
+	}
+	if p.Name() != "threshold" {
+		t.Error("name")
+	}
+}
+
+func TestExplorerNames(t *testing.T) {
+	if (RandomSearch{}).Name() != "random" || (&GridSearch{}).Name() != "grid" || (TPE{}).Name() != "tpe" {
+		t.Fatal("names wrong")
+	}
+}

@@ -1,0 +1,289 @@
+// Package tensor implements the dense linear-algebra kernels used by the
+// neural-network stack: row-major matrices, matrix products (optionally
+// parallelized across goroutines for large shapes), and elementwise vector
+// kernels. It is deliberately small — just what the MLP policies and value
+// functions need — but written to be cache-friendly and allocation-free in
+// steady state.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+)
+
+// Mat is a dense row-major matrix of float64.
+type Mat struct {
+	R, C int
+	Data []float64
+}
+
+// New returns an r×c zero matrix.
+func New(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: New(%d,%d) negative dims", r, c))
+	}
+	return &Mat{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (length r*c, row-major) in a Mat without copying.
+func FromSlice(r, c int, data []float64) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d with %d elements", r, c, len(data)))
+	}
+	return &Mat{R: r, C: c, Data: data}
+}
+
+// At returns element (i,j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns element (i,j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	out := New(m.R, m.C)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Mat) CopyFrom(src *Mat) {
+	if m.R != src.R || m.C != src.C {
+		panic("tensor: CopyFrom shape mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets all elements to 0.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (m *Mat) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Randomize fills m with uniform values in [-scale, scale].
+func (m *Mat) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// Orthogonalish fills m with a scaled He/Xavier-style init: normal values
+// scaled by gain/sqrt(fan-in). It is what the policy networks use.
+func (m *Mat) Orthogonalish(rng *rand.Rand, gain float64) {
+	std := gain / math.Sqrt(float64(m.C))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// parallelThreshold is the number of multiply-adds above which MatMul fans
+// out across goroutines. Small policy networks stay single-threaded, large
+// batched products use all cores.
+const parallelThreshold = 1 << 16
+
+// MulInto computes dst = a @ b. dst must be a.R×b.C and must not alias a or b.
+func MulInto(dst, a, b *Mat) {
+	if a.C != b.R {
+		panic(fmt.Sprintf("tensor: MulInto inner dims %d vs %d", a.C, b.R))
+	}
+	if dst.R != a.R || dst.C != b.C {
+		panic("tensor: MulInto dst shape mismatch")
+	}
+	if dst == a || dst == b {
+		panic("tensor: MulInto dst aliases input")
+	}
+	work := a.R * a.C * b.C
+	if work >= parallelThreshold {
+		mulParallel(dst, a, b)
+		return
+	}
+	mulRows(dst, a, b, 0, a.R)
+}
+
+// mulRows computes rows [lo,hi) of dst = a @ b using an ikj loop order that
+// streams b rows through cache.
+func mulRows(dst, a, b *Mat, lo, hi int) {
+	n, p := a.C, b.C
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*p : (i+1)*p]
+		for x := range drow {
+			drow[x] = 0
+		}
+		arow := a.Data[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				drow[j] += aik * bv
+			}
+		}
+	}
+}
+
+func mulParallel(dst, a, b *Mat) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.R {
+		workers = a.R
+	}
+	if workers < 2 {
+		mulRows(dst, a, b, 0, a.R)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (a.R + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.R {
+			hi = a.R
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRows(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Mul returns a new matrix a @ b.
+func Mul(a, b *Mat) *Mat {
+	dst := New(a.R, b.C)
+	MulInto(dst, a, b)
+	return dst
+}
+
+// MulTransAInto computes dst = aᵀ @ b (a is n×r, dst is r×c, b is n×c).
+// Used for weight gradients: dW = xᵀ @ dy.
+func MulTransAInto(dst, a, b *Mat) {
+	if a.R != b.R {
+		panic(fmt.Sprintf("tensor: MulTransAInto rows %d vs %d", a.R, b.R))
+	}
+	if dst.R != a.C || dst.C != b.C {
+		panic("tensor: MulTransAInto dst shape mismatch")
+	}
+	dst.Zero()
+	for k := 0; k < a.R; k++ {
+		arow := a.Data[k*a.C : (k+1)*a.C]
+		brow := b.Data[k*b.C : (k+1)*b.C]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*dst.C : (i+1)*dst.C]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTransBInto computes dst = a @ bᵀ (a is n×c, b is m×c, dst is n×m).
+// Used for input gradients: dx = dy @ Wᵀ.
+func MulTransBInto(dst, a, b *Mat) {
+	if a.C != b.C {
+		panic(fmt.Sprintf("tensor: MulTransBInto cols %d vs %d", a.C, b.C))
+	}
+	if dst.R != a.R || dst.C != b.R {
+		panic("tensor: MulTransBInto dst shape mismatch")
+	}
+	for i := 0; i < a.R; i++ {
+		arow := a.Data[i*a.C : (i+1)*a.C]
+		drow := dst.Data[i*dst.C : (i+1)*dst.C]
+		for j := 0; j < b.R; j++ {
+			brow := b.Data[j*b.C : (j+1)*b.C]
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// AddBias adds the bias row vector to every row of m in place.
+func (m *Mat) AddBias(bias []float64) {
+	if len(bias) != m.C {
+		panic("tensor: AddBias length mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (m *Mat) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Add accumulates other into m in place; shapes must match.
+func (m *Mat) Add(other *Mat) {
+	if m.R != other.R || m.C != other.C {
+		panic("tensor: Add shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+}
+
+// Axpy computes m += alpha * other in place.
+func (m *Mat) Axpy(alpha float64, other *Mat) {
+	if m.R != other.R || m.C != other.C {
+		panic("tensor: Axpy shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += alpha * other.Data[i]
+	}
+}
+
+// Dot returns the dot product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Frobenius returns the Frobenius norm of m.
+func (m *Mat) Frobenius() float64 { return Norm2(m.Data) }
+
+// String renders a compact shape descriptor, not the contents.
+func (m *Mat) String() string { return fmt.Sprintf("Mat(%dx%d)", m.R, m.C) }
