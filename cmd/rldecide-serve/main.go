@@ -1,0 +1,61 @@
+// Command rldecide-serve runs studyd, the resumable study-execution
+// service: a daemon that accepts study submissions over HTTP, runs their
+// trials on a shared bounded worker pool, journals every finished trial,
+// and serves live Pareto rankings while campaigns execute.
+//
+// Usage:
+//
+//	rldecide-serve [-addr :8080] [-dir studyd-state] [-workers 4] [-drain 30s]
+//
+// The state directory holds one <id>.spec.json and one <id>.trials.jsonl
+// per study. Killing the daemon (SIGINT/SIGTERM, or a crash) never loses
+// finished trials: on the next start it repairs torn journal tails,
+// replays the journals, and resumes every unfinished campaign exactly
+// where it stopped, re-executing only trials that never completed.
+//
+// API:
+//
+//	GET  /healthz              liveness + pool occupancy
+//	GET  /studies              all studies
+//	POST /studies              submit a study spec (JSON)
+//	GET  /studies/{id}         one study's summary
+//	GET  /studies/{id}/trials  finished trials so far
+//	GET  /studies/{id}/front   current Pareto ranking
+//	POST /studies/{id}/cancel  stop a study (resumable later)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rldecide/internal/studyd"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dir     = flag.String("dir", "studyd-state", "state directory (specs + trial journals)")
+		workers = flag.Int("workers", 4, "shared worker-pool size (max concurrent trials across studies)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	d, err := studyd.New(studyd.Config{Dir: *dir, Workers: *workers})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rldecide-serve: %v\n", err)
+		os.Exit(1)
+	}
+	d.Start()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := d.ListenAndServe(ctx, *addr, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "rldecide-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

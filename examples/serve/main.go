@@ -1,0 +1,108 @@
+// Serve example: drive the studyd HTTP API end to end as a client.
+//
+// Start the daemon in one terminal:
+//
+//	go run ./cmd/rldecide-serve -dir /tmp/studyd-demo
+//
+// then run this client in another:
+//
+//	go run ./examples/serve [-addr http://localhost:8080]
+//
+// It submits a two-metric sphere study with artificial per-trial latency,
+// watches the Pareto front sharpen live while trials finish, and prints
+// the final ranking. Kill the daemon mid-run and restart it to watch the
+// campaign resume from its journal — the final front is identical to an
+// uninterrupted run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "rldecide-serve base URL")
+	flag.Parse()
+
+	spec := map[string]any{
+		"name":        "serve-demo",
+		"description": "live Pareto inspection over HTTP",
+		"params": []map[string]any{
+			{"name": "x", "type": "floatrange", "lo": -2, "hi": 2},
+			{"name": "y", "type": "floatrange", "lo": -2, "hi": 2},
+		},
+		"explorer": map[string]any{"type": "random"},
+		"metrics": []map[string]any{
+			{"name": "f", "direction": "min"},
+			{"name": "cost", "unit": "au", "direction": "min"},
+		},
+		"objective":   "sphere",
+		"sleep_ms":    150,
+		"budget":      40,
+		"parallelism": 4,
+		"seed":        7,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(*addr+"/studies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatalf("submitting study: %v (is rldecide-serve running?)", err)
+	}
+	var sum struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Budget int    `json:"budget"`
+		Error  string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		fatalf("decoding submission response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		fatalf("submission rejected (%d): %s", resp.StatusCode, sum.Error)
+	}
+	fmt.Printf("submitted study %s (budget %d)\n", sum.ID, sum.Budget)
+
+	for {
+		time.Sleep(500 * time.Millisecond)
+		var st struct {
+			Status   string `json:"status"`
+			Finished int    `json:"finished"`
+		}
+		getJSON(*addr+"/studies/"+sum.ID, &st)
+		var front struct {
+			Fronts    [][]int `json:"fronts"`
+			Completed int     `json:"completed"`
+		}
+		getJSON(*addr+"/studies/"+sum.ID+"/front", &front)
+		first := []int{}
+		if len(front.Fronts) > 0 {
+			first = front.Fronts[0]
+		}
+		fmt.Printf("  %s: %d/%d trials, live front %v\n", st.Status, st.Finished, sum.Budget, first)
+		if st.Status == "done" || st.Status == "failed" || st.Status == "interrupted" {
+			fmt.Printf("final status: %s\n", st.Status)
+			break
+		}
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		fatalf("decoding %s: %v", url, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serve example: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -19,7 +19,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"rldecide/internal/mathx"
@@ -58,9 +61,28 @@ type Trial struct {
 // Recorder is handed to the objective to report metric values and
 // intermediate progress.
 type Recorder struct {
-	study *Study
-	trial *Trial
-	mu    sync.Mutex
+	study       *Study
+	trial       *Trial
+	ctx         context.Context
+	mu          sync.Mutex
+	interrupted bool
+}
+
+// Context returns the run context of the trial. Long-running objectives
+// should watch it and return its error when cancelled so the study can
+// drain quickly; an interrupted trial is discarded (not recorded, not
+// journaled) and is re-proposed when the campaign resumes.
+func (r *Recorder) Context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
+}
+
+func (r *Recorder) wasInterrupted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.interrupted
 }
 
 // Report records the final value of a metric. Unknown metric names panic:
@@ -79,6 +101,15 @@ func (r *Recorder) Report(metric string, value float64) {
 // that support pruning should return early (ErrPruned) when it returns
 // false.
 func (r *Recorder) Intermediate(value float64) bool {
+	if r.ctx != nil && r.ctx.Err() != nil {
+		// The run was cancelled: stop the objective through the same
+		// early-return path pruning uses. The trial is discarded, not
+		// recorded as pruned.
+		r.mu.Lock()
+		r.interrupted = true
+		r.mu.Unlock()
+		return false
+	}
 	r.mu.Lock()
 	step := len(r.trial.Intermediate)
 	r.trial.Intermediate = append(r.trial.Intermediate, value)
@@ -143,11 +174,13 @@ type Study struct {
 	Seed uint64
 
 	// OnTrial, when set, is called once for every finished trial (in
-	// completion order, serialized) — the hook the journal package uses
-	// to persist campaigns.
+	// completion order, serialized even when Parallelism > 1) — the hook
+	// the journal package uses to persist campaigns. Trials interrupted
+	// by context cancellation are never passed to OnTrial.
 	OnTrial func(Trial)
 
 	mu     sync.Mutex
+	hookMu sync.Mutex
 	trials []Trial
 }
 
@@ -240,9 +273,64 @@ func (s *Study) finishedIntermediates() [][]float64 {
 	return out
 }
 
+// Resume seeds the study with previously finished trials (typically loaded
+// from a journal) before Run/RunContext is called. Resumed trials count
+// against the trial budget and are visible to the explorer as history;
+// RunContext replays the explorer over their IDs and re-executes only the
+// missing ones, so a campaign restarted with the same Seed and a
+// deterministic explorer (Random Search, Grid Search) produces exactly the
+// trials — and therefore the ranking — of an uninterrupted run.
+func (s *Study) Resume(trials []Trial) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[int]bool, len(s.trials))
+	for _, t := range s.trials {
+		seen[t.ID] = true
+	}
+	for _, t := range trials {
+		if t.ID <= 0 {
+			return fmt.Errorf("core: resumed trial has invalid ID %d", t.ID)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("core: duplicate resumed trial ID %d", t.ID)
+		}
+		seen[t.ID] = true
+		if t.Values == nil {
+			t.Values = map[string]float64{}
+		}
+		s.trials = append(s.trials, t)
+	}
+	return nil
+}
+
+// Snapshot returns a copy of the trials finished so far, in ID order. It is
+// safe to call concurrently with a running study, which is how studyd
+// serves live results.
+func (s *Study) Snapshot() []Trial {
+	s.mu.Lock()
+	trials := append([]Trial(nil), s.trials...)
+	s.mu.Unlock()
+	sortTrialsByID(trials)
+	return trials
+}
+
+func sortTrialsByID(trials []Trial) {
+	sort.Slice(trials, func(i, j int) bool { return trials[i].ID < trials[j].ID })
+}
+
 // Run executes up to nTrials trials and returns the study report. It stops
 // early when the explorer is exhausted (e.g. a completed grid).
 func (s *Study) Run(nTrials int) (*Report, error) {
+	return s.RunContext(context.Background(), nTrials)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the study
+// stops proposing trials, discards in-flight trials that observe the
+// cancellation (through Recorder.Context or Recorder.Intermediate), waits
+// for the workers to drain, and returns the partial report alongside
+// ctx's error. Discarded trials are re-proposed on the next run when the
+// study is reseeded with Resume, which is what makes campaigns crash-safe.
+func (s *Study) RunContext(ctx context.Context, nTrials int) (*Report, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -254,6 +342,8 @@ func (s *Study) Run(nTrials int) (*Report, error) {
 		workers = 1
 	}
 
+	// The seed schedule is a pure function of s.Seed and the trial index,
+	// so a resumed run rebuilds the exact per-trial seeds of the original.
 	seeder := mathx.NewSeeder(s.Seed)
 	explorerRng := seeder.NewRand()
 	trialSeeds := make([]uint64, nTrials)
@@ -261,57 +351,67 @@ func (s *Study) Run(nTrials int) (*Report, error) {
 		trialSeeds[i] = seeder.Next()
 	}
 
-	type job struct {
-		trial Trial
+	s.mu.Lock()
+	finished := make(map[int]bool, len(s.trials))
+	for _, t := range s.trials {
+		finished[t.ID] = true
 	}
-	jobs := make(chan job)
+	s.mu.Unlock()
+	for id := range finished {
+		if id > nTrials {
+			return nil, fmt.Errorf("core: resumed trial ID %d exceeds the %d-trial budget", id, nTrials)
+		}
+	}
+
+	jobs := make(chan Trial)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				s.runTrial(j.trial)
+			for t := range jobs {
+				if ctx.Err() != nil {
+					// Drained, not executed: the trial is re-proposed when
+					// the campaign resumes.
+					continue
+				}
+				s.runTrial(ctx, t)
 			}
 		}()
 	}
 
-	proposed := 0
-	var exhausted bool
-	for proposed < nTrials {
+	var spaceErr error
+	for id := 1; id <= nTrials && ctx.Err() == nil; id++ {
 		a, ok := s.Explorer.Next(explorerRng, s.Space, s.history())
 		if !ok {
-			exhausted = true
-			break
+			break // explorer exhausted
 		}
 		if !s.Space.Contains(a) {
-			close(jobs)
-			wg.Wait()
-			return nil, fmt.Errorf("core: explorer %s proposed an assignment outside the space: %s", s.Explorer.Name(), a)
+			spaceErr = fmt.Errorf("core: explorer %s proposed an assignment outside the space: %s", s.Explorer.Name(), a)
+			break
 		}
-		jobs <- job{trial: Trial{
-			ID:     proposed + 1,
-			Params: a,
-			Values: map[string]float64{},
-			Seed:   trialSeeds[proposed],
-		}}
-		proposed++
+		if finished[id] {
+			// Replay: the proposal reproduces a trial that already finished
+			// in a previous run; advance the explorer but skip execution.
+			continue
+		}
+		t := Trial{ID: id, Params: a, Values: map[string]float64{}, Seed: trialSeeds[id-1]}
+		select {
+		case jobs <- t:
+		case <-ctx.Done():
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	_ = exhausted
+	if spaceErr != nil {
+		return nil, spaceErr
+	}
 
 	s.mu.Lock()
 	trials := append([]Trial(nil), s.trials...)
 	s.mu.Unlock()
 	// Present trials in ID order regardless of completion order.
-	for i := 0; i < len(trials); i++ {
-		for j := i + 1; j < len(trials); j++ {
-			if trials[j].ID < trials[i].ID {
-				trials[i], trials[j] = trials[j], trials[i]
-			}
-		}
-	}
+	sortTrialsByID(trials)
 
 	rep := &Report{
 		CaseStudy: s.CaseStudy,
@@ -321,12 +421,15 @@ func (s *Study) Run(nTrials int) (*Report, error) {
 	}
 	rep.Ranking = s.Ranker.Rank(rep.completed(), s.Metrics)
 	rep.Ranker = s.Ranker.Name()
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 	return rep, nil
 }
 
 // runTrial executes one trial and appends it to the study history.
-func (s *Study) runTrial(t Trial) {
-	rec := &Recorder{study: s, trial: &t}
+func (s *Study) runTrial(ctx context.Context, t Trial) {
+	rec := &Recorder{study: s, trial: &t, ctx: ctx}
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -335,6 +438,13 @@ func (s *Study) runTrial(t Trial) {
 		}()
 		return s.Objective(t.Params, t.Seed, rec)
 	}()
+	if ctx.Err() != nil {
+		// Distinguish "failed" from "interrupted": a trial cut short by
+		// cancellation is dropped entirely so resume re-runs it.
+		if rec.wasInterrupted() || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return
+		}
+	}
 	if err != nil && err != ErrPruned {
 		t.Err = err
 	}
@@ -343,6 +453,10 @@ func (s *Study) runTrial(t Trial) {
 	hook := s.OnTrial
 	s.mu.Unlock()
 	if hook != nil {
+		// Serialize the hook so journal consumers see one trial at a time
+		// even under Parallelism > 1.
+		s.hookMu.Lock()
 		hook(t)
+		s.hookMu.Unlock()
 	}
 }

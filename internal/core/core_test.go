@@ -1,10 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"rldecide/internal/mathx"
 	"rldecide/internal/param"
 	"rldecide/internal/pareto"
 	"rldecide/internal/search"
@@ -383,5 +390,229 @@ func TestNaNObjectiveStillRecorded(t *testing.T) {
 	}
 	if !math.IsNaN(rep.Trials[0].Values["cost"]) {
 		t.Fatal("NaN lost")
+	}
+}
+
+func TestRunContextCancelReturnsPartialReport(t *testing.T) {
+	s := newStudy()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	var executed atomic.Int32
+	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		executed.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		if executed.Load() > 3 {
+			// Later trials wait on the context like a real training job.
+			<-rec.Context().Done()
+			return rec.Context().Err()
+		}
+		rec.Report("cost", a["x"].Float())
+		rec.Report("quality", 1)
+		return nil
+	}
+	done := make(chan struct{})
+	var rep *Report
+	var runErr error
+	go func() {
+		rep, runErr = s.RunContext(ctx, 100)
+		close(done)
+	}()
+	<-started
+	for executed.Load() <= 3 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("err=%v want context.Canceled", runErr)
+	}
+	if rep == nil {
+		t.Fatal("cancelled run must still return the partial report")
+	}
+	if len(rep.Trials) == 0 || len(rep.Trials) >= 100 {
+		t.Fatalf("partial trials=%d", len(rep.Trials))
+	}
+	for _, tr := range rep.Trials {
+		if tr.Err != nil {
+			t.Fatalf("interrupted trial leaked into the report as failed: %v", tr.Err)
+		}
+	}
+}
+
+func TestIntermediateStopsOnCancel(t *testing.T) {
+	s := newStudy()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	recorded := false
+	s.OnTrial = func(Trial) { recorded = true }
+	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		for rec.Intermediate(0) {
+			t.Fatal("Intermediate must return false once the context is cancelled")
+		}
+		return ErrPruned
+	}
+	// The proposal loop observes the cancelled context before submitting
+	// anything, so drive runTrial directly.
+	s.PrimaryMetric = "quality"
+	if err := s.validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.runTrial(ctx, Trial{ID: 1, Params: testSpace().Sample(mathxRand(1)), Values: map[string]float64{}})
+	if recorded {
+		t.Fatal("interrupted trial must not reach OnTrial")
+	}
+	if got := s.Snapshot(); len(got) != 0 {
+		t.Fatalf("interrupted trial recorded: %v", got)
+	}
+}
+
+func mathxRand(seed uint64) *rand.Rand { return mathx.NewRand(seed) }
+
+// TestResumeReproducesUninterruptedRun is the determinism core of campaign
+// resume: running 10 trials, seeding a fresh study with them, and finishing
+// to 20 must yield exactly the trials and front of a straight 20-trial run.
+func TestResumeReproducesUninterruptedRun(t *testing.T) {
+	full, err := newStudy().Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half, err := newStudy().Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := newStudy()
+	var executed []int
+	var mu sync.Mutex
+	inner := resumed.Objective
+	resumed.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		mu.Lock()
+		executed = append(executed, 1)
+		mu.Unlock()
+		return inner(a, seed, rec)
+	}
+	if err := resumed.Resume(half.Trials); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := resumed.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(executed) != 10 {
+		t.Fatalf("resume re-executed finished trials: %d executions, want 10", len(executed))
+	}
+	if len(rep.Trials) != 20 {
+		t.Fatalf("resumed run has %d trials", len(rep.Trials))
+	}
+	for i := range rep.Trials {
+		a, b := rep.Trials[i], full.Trials[i]
+		if a.ID != b.ID || a.Params.Key() != b.Params.Key() || a.Seed != b.Seed {
+			t.Fatalf("trial %d diverged: %+v vs %+v", i, a, b)
+		}
+		if a.Values["cost"] != b.Values["cost"] || a.Values["quality"] != b.Values["quality"] {
+			t.Fatalf("trial %d values diverged", i)
+		}
+	}
+	fullFront, _ := full.FrontIDs(0, "cost", "quality")
+	resFront, _ := rep.FrontIDs(0, "cost", "quality")
+	if fmt.Sprint(fullFront) != fmt.Sprint(resFront) {
+		t.Fatalf("fronts diverged: %v vs %v", fullFront, resFront)
+	}
+}
+
+// TestResumeWithGap covers the parallel-crash shape: trials 1 and 3 were
+// journaled, trial 2 was in flight and lost. Resume must re-execute only
+// trial 2 (and the remainder) with its original parameters.
+func TestResumeWithGap(t *testing.T) {
+	full, err := newStudy().Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := newStudy()
+	if err := resumed.Resume([]Trial{full.Trials[0], full.Trials[2]}); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	executedIDs := map[string]bool{}
+	inner := resumed.Objective
+	resumed.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		mu.Lock()
+		executedIDs[a.Key()] = true
+		mu.Unlock()
+		return inner(a, seed, rec)
+	}
+	rep, err := resumed.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) != 5 {
+		t.Fatalf("trials=%d", len(rep.Trials))
+	}
+	if len(executedIDs) != 3 {
+		t.Fatalf("executions=%d want 3 (trials 2, 4, 5)", len(executedIDs))
+	}
+	if executedIDs[full.Trials[0].Params.Key()] || executedIDs[full.Trials[2].Params.Key()] {
+		t.Fatal("finished trial re-executed")
+	}
+	if !executedIDs[full.Trials[1].Params.Key()] {
+		t.Fatal("lost trial 2 was not re-executed")
+	}
+	for i := range rep.Trials {
+		if rep.Trials[i].Params.Key() != full.Trials[i].Params.Key() {
+			t.Fatalf("trial %d params diverged after gap resume", i+1)
+		}
+	}
+}
+
+func TestResumeRejectsBadTrials(t *testing.T) {
+	s := newStudy()
+	if err := s.Resume([]Trial{{ID: 0}}); err == nil {
+		t.Fatal("ID 0 must be rejected")
+	}
+	if err := s.Resume([]Trial{{ID: 1}, {ID: 1}}); err == nil {
+		t.Fatal("duplicate IDs must be rejected")
+	}
+	if err := s.Resume([]Trial{{ID: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resume([]Trial{{ID: 2}}); err == nil {
+		t.Fatal("cross-call duplicate IDs must be rejected")
+	}
+	if _, err := s.Run(1); err == nil {
+		t.Fatal("resumed ID beyond budget must fail the run")
+	}
+}
+
+func TestSnapshotDuringRun(t *testing.T) {
+	s := newStudy()
+	s.Parallelism = 2
+	gate := make(chan struct{})
+	var once sync.Once
+	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
+		rec.Report("cost", a["x"].Float())
+		rec.Report("quality", 1)
+		once.Do(func() { close(gate) })
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		if _, err := s.Run(30); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	<-gate
+	snap := s.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].ID <= snap[i-1].ID {
+			t.Fatal("snapshot not in ID order")
+		}
+	}
+	<-done
+	if len(s.Snapshot()) != 30 {
+		t.Fatalf("final snapshot %d", len(s.Snapshot()))
 	}
 }

@@ -6,10 +6,13 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"rldecide/internal/core"
@@ -129,24 +132,47 @@ func (w *Writer) Observer(errSink func(error)) func(core.Trial) {
 	}
 }
 
-// Read loads all records from r.
+// ErrTruncated reports that the journal's final record was cut short —
+// the signature of a crash in the middle of an append. Read returns it
+// alongside the valid record prefix, so resumable consumers can keep the
+// intact records (errors.Is(err, ErrTruncated)) while strict consumers
+// still see an error.
+var ErrTruncated = errors.New("journal: truncated final record")
+
+// Read loads all records from r. A malformed final line yields the valid
+// prefix plus an error wrapping ErrTruncated; malformed lines followed by
+// further records are corruption and fail the whole read.
 func Read(r io.Reader) ([]Record, error) {
 	var out []Record
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	line := 0
+	var badErr error
+	badLine := 0
 	for sc.Scan() {
 		line++
-		if len(sc.Bytes()) == 0 {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
 			continue
+		}
+		if badErr != nil {
+			// The malformed line was not the last one: mid-file corruption.
+			return nil, fmt.Errorf("journal: line %d: %w", badLine, badErr)
 		}
 		var rec Record
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("journal: line %d: %w", line, err)
+			badErr = err
+			badLine = line
+			continue
 		}
 		out = append(out, rec)
 	}
-	return out, sc.Err()
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	if badErr != nil {
+		return out, fmt.Errorf("journal: line %d: %v: %w", badLine, badErr, ErrTruncated)
+	}
+	return out, nil
 }
 
 // ReadFile loads all records from path.
@@ -157,6 +183,48 @@ func ReadFile(path string) ([]Record, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// WriteFile atomically replaces path with the given records (write to a
+// temporary file in the same directory, then rename).
+func WriteFile(path string, records []Record) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-*")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(tmp)
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// RepairFile reads path tolerating a truncated final record and, when one
+// is found, rewrites the file to exactly the valid prefix so that later
+// appends start on a fresh line instead of extending the torn record. A
+// missing file is an empty journal. Any other read error is returned as
+// is.
+func RepairFile(path string) ([]Record, error) {
+	records, err := ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return nil, nil
+	case errors.Is(err, ErrTruncated):
+		if werr := WriteFile(path, records); werr != nil {
+			return records, werr
+		}
+		return records, nil
+	default:
+		return records, err
+	}
 }
 
 // Trials converts records back into trials against space.

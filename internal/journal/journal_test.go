@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -179,5 +180,195 @@ func TestParseValueFallbacks(t *testing.T) {
 	bad := Record{ID: 2, Params: map[string]string{"order": "9", "fw": "a", "lr": "0.1"}}
 	if _, err := bad.ToTrial(space); err == nil {
 		t.Fatal("out-of-space value should error")
+	}
+}
+
+func TestReadTruncatedFinalLine(t *testing.T) {
+	// A crash mid-append leaves a torn final line; Read must return the
+	// valid prefix plus ErrTruncated.
+	in := `{"id":1,"params":{"fw":"a"},"seed":1}
+{"id":2,"params":{"fw":"b"},"seed":2}
+{"id":3,"params":{"fw":`
+	recs, err := Read(strings.NewReader(in))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err=%v want ErrTruncated", err)
+	}
+	if len(recs) != 2 || recs[0].ID != 1 || recs[1].ID != 2 {
+		t.Fatalf("prefix lost: %+v", recs)
+	}
+}
+
+func TestReadMidFileCorruptionStillFails(t *testing.T) {
+	in := "{\"id\":1}\ngarbage\n{\"id\":2}\n"
+	recs, err := Read(strings.NewReader(in))
+	if err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("mid-file corruption must be a hard error, got %v (%d recs)", err, len(recs))
+	}
+}
+
+func TestRepairFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trials.jsonl")
+	torn := "{\"id\":1,\"seed\":9}\n{\"id\":2,\"se"
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := RepairFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != 1 || recs[0].Seed != 9 {
+		t.Fatalf("repair kept wrong records: %+v", recs)
+	}
+	// The torn tail must be gone, so a reopened writer appends on a clean
+	// line instead of extending the dead record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	if err := w.Append(core.Trial{ID: 2, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].ID != 2 || recs[1].Seed != 7 {
+		t.Fatalf("post-repair append broken: %+v", recs)
+	}
+
+	// Missing file: empty journal, no error.
+	if recs, err := RepairFile(filepath.Join(dir, "absent.jsonl")); err != nil || len(recs) != 0 {
+		t.Fatalf("missing file: %v %v", recs, err)
+	}
+}
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+	in := []Record{{ID: 1, Seed: 4}, {ID: 2, Seed: 5, Values: map[string]float64{"m": 1}}}
+	if err := WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].Values["m"] != 1 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+}
+
+// TestConcurrentAppendUnderParallelStudy drives the OnTrial observer from
+// a Parallelism > 1 study (run under -race in CI): every finished trial
+// must land in the journal exactly once, each on its own line.
+func TestConcurrentAppendUnderParallelStudy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trials.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	space := testSpace()
+	study := &core.Study{
+		CaseStudy:   core.CaseStudy{Name: "parallel-journal"},
+		Space:       space,
+		Explorer:    search.RandomSearch{},
+		Metrics:     []core.Metric{{Name: "m", Direction: pareto.Maximize}},
+		Ranker:      core.SortedRanker{By: "m"},
+		Parallelism: 8,
+		Objective: func(a param.Assignment, seed uint64, rec *core.Recorder) error {
+			rec.Report("m", a["lr"].Float())
+			return nil
+		},
+		Seed:    11,
+		OnTrial: w.Observer(func(err error) { t.Errorf("journal write: %v", err) }),
+	}
+	if _, err := study.Run(64); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 64 {
+		t.Fatalf("journaled %d/64 trials", len(recs))
+	}
+	ids := map[int]bool{}
+	for _, r := range recs {
+		if ids[r.ID] {
+			t.Fatalf("trial %d journaled twice", r.ID)
+		}
+		ids[r.ID] = true
+	}
+}
+
+// TestJournalResumeRoundTrip interrupts a campaign after half its budget,
+// restores the journal into a fresh study via Resume, and checks the
+// completed campaign matches an uninterrupted one exactly.
+func TestJournalResumeRoundTrip(t *testing.T) {
+	space := testSpace()
+	metrics := []core.Metric{{Name: "m", Direction: pareto.Maximize}}
+	newStudy := func(onTrial func(core.Trial)) *core.Study {
+		return &core.Study{
+			CaseStudy: core.CaseStudy{Name: "roundtrip"},
+			Space:     space,
+			Explorer:  search.RandomSearch{},
+			Metrics:   metrics,
+			Ranker:    core.SortedRanker{By: "m"},
+			Objective: func(a param.Assignment, seed uint64, rec *core.Recorder) error {
+				rec.Report("m", a["lr"].Float()*float64(a["order"].Int()))
+				return nil
+			},
+			Seed:    21,
+			OnTrial: onTrial,
+		}
+	}
+
+	full, err := newStudy(nil).Run(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trials.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	if _, err := newStudy(w.Observer(nil)).Run(8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Trials(recs, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := newStudy(nil)
+	if err := resumed.Resume(restored); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := resumed.Run(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) != 16 {
+		t.Fatalf("resumed campaign has %d trials", len(rep.Trials))
+	}
+	for i := range rep.Trials {
+		a, b := rep.Trials[i], full.Trials[i]
+		if a.ID != b.ID || a.Params.Key() != b.Params.Key() || a.Seed != b.Seed || a.Values["m"] != b.Values["m"] {
+			t.Fatalf("trial %d diverged after journal round trip:\n%+v\n%+v", i, a, b)
+		}
 	}
 }

@@ -28,7 +28,7 @@ type Config struct {
 	StartSteps    int     // uniform-random warmup steps (default 1_000)
 	UpdateEvery   int     // env steps between update rounds (default 1)
 	UpdatesPerRnd int     // gradient steps per round (default 1)
-	TargetEntropy float64 // default 0.6 * ln(nActions)
+	TargetEntropy float64 // default 0.98 * ln(nActions) (discrete-SAC reference)
 	InitAlpha     float64 // initial temperature (default 0.2)
 	AlphaLR       float64 // temperature learning rate (default 3e-4)
 }

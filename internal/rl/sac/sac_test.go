@@ -17,7 +17,7 @@ func TestConfigDefaults(t *testing.T) {
 	if c.LR != 3e-4 || c.Tau != 0.005 || c.Batch != 128 {
 		t.Fatalf("defaults wrong: %+v", c)
 	}
-	if math.Abs(c.TargetEntropy-0.6*math.Log(3)) > 1e-12 {
+	if math.Abs(c.TargetEntropy-0.98*math.Log(3)) > 1e-12 {
 		t.Fatalf("target entropy %v", c.TargetEntropy)
 	}
 }

@@ -31,6 +31,16 @@ type Explorer interface {
 	Name() string
 	// Next returns the next assignment to try given the history, or
 	// ok=false when the method is exhausted.
+	//
+	// Replay contract: Next must be a deterministic function of the rng
+	// stream, the space, and the history it is shown — no hidden
+	// randomness or wall-clock state. Campaign resume (core.Study.Resume)
+	// relies on this: it re-drives a fresh explorer through the already
+	// finished trial IDs with the original seed to restore the proposal
+	// stream, then executes only the missing trials. History-independent
+	// explorers (RandomSearch without Dedup, GridSearch) replay exactly;
+	// history-dependent ones (TPE, Dedup) replay approximately because
+	// the resumed history is shown all at once rather than incrementally.
 	Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool)
 }
 

@@ -1,0 +1,139 @@
+package studyd
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config configures a daemon.
+type Config struct {
+	// Dir is the state directory (specs + journals). Required.
+	Dir string
+	// Workers is the shared pool size: the max number of trials executing
+	// concurrently across all studies (default 4).
+	Workers int
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Daemon is the study-execution service: store + scheduler + HTTP API.
+type Daemon struct {
+	cfg   Config
+	store *Store
+	pool  *Pool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+// New opens the state directory (loading any persisted studies) and
+// returns a daemon ready to Start.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("studyd: Config.Dir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	store, err := OpenStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Daemon{cfg: cfg, store: store, pool: NewPool(cfg.Workers), ctx: ctx, cancel: cancel}, nil
+}
+
+// Store exposes the study registry (used by tests and the CLI).
+func (d *Daemon) Store() *Store { return d.store }
+
+// Start resumes every persisted study that still has budget left. Call it
+// once, after New and before serving traffic.
+func (d *Daemon) Start() {
+	for _, m := range d.store.Resumable() {
+		sum := m.Summary()
+		d.cfg.Logf("studyd: resuming study %s (%q) at %d/%d trials", m.ID, sum.Name, sum.Finished, sum.Budget)
+		d.launch(m)
+	}
+}
+
+// Submit registers, persists and schedules a new study.
+func (d *Daemon) Submit(spec Spec) (*ManagedStudy, error) {
+	d.mu.Lock()
+	stopped := d.stopped
+	d.mu.Unlock()
+	if stopped {
+		return nil, fmt.Errorf("studyd: daemon is shutting down")
+	}
+	m, err := d.store.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	d.cfg.Logf("studyd: accepted study %s (%q): budget %d, objective %s", m.ID, spec.Name, spec.Budget, spec.Objective)
+	d.launch(m)
+	return m, nil
+}
+
+func (d *Daemon) launch(m *ManagedStudy) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		m.run(d.ctx, d.pool)
+		sum := m.Summary()
+		d.cfg.Logf("studyd: study %s is %s (%d/%d trials)", m.ID, sum.Status, sum.Finished, sum.Budget)
+	}()
+}
+
+// Shutdown stops the daemon: new submissions are refused, every running
+// study's context is cancelled (in-flight trials that watch their
+// Recorder.Context stop and are discarded — everything already finished
+// is safe in the journal), and Shutdown waits for the runners to drain
+// until ctx expires. A daemon that misses the deadline can be killed
+// outright: startup repair plus journal replay restores the exact state.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	d.stopped = true
+	d.mu.Unlock()
+	d.cancel()
+	drained := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		d.cfg.Logf("studyd: drained cleanly")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("studyd: drain deadline exceeded: %w", ctx.Err())
+	}
+}
+
+// ListenAndServe serves the daemon's HTTP API on addr until ctx is
+// cancelled, then shuts the server down and drains studies with the given
+// grace period.
+func (d *Daemon) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	srv := &http.Server{Addr: addr, Handler: d.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	d.cfg.Logf("studyd: serving on %s (pool=%d, dir=%s)", addr, d.pool.Cap(), d.cfg.Dir)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	return d.Shutdown(shutdownCtx)
+}

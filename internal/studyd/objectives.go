@@ -1,0 +1,131 @@
+package studyd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"rldecide/internal/core"
+	"rldecide/internal/mathx"
+	"rldecide/internal/param"
+)
+
+// ObjectiveFactory builds a study objective for a submitted spec. The
+// daemon cannot execute arbitrary code from the network, so every
+// objective a spec may name must be registered in-process — the same
+// pattern RL serving systems use for environment registries.
+type ObjectiveFactory func(spec Spec, metrics []core.Metric) (core.Objective, error)
+
+var (
+	objMu       sync.RWMutex
+	objRegistry = map[string]ObjectiveFactory{}
+)
+
+// RegisterObjective makes an objective available to submitted specs under
+// the given name, replacing any previous registration.
+func RegisterObjective(name string, f ObjectiveFactory) {
+	if name == "" || f == nil {
+		panic("studyd: RegisterObjective needs a name and a factory")
+	}
+	objMu.Lock()
+	defer objMu.Unlock()
+	objRegistry[name] = f
+}
+
+// Objectives lists the registered objective names, sorted.
+func Objectives() []string {
+	objMu.RLock()
+	defer objMu.RUnlock()
+	out := make([]string, 0, len(objRegistry))
+	for name := range objRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func buildObjective(spec Spec, metrics []core.Metric) (core.Objective, error) {
+	objMu.RLock()
+	f, ok := objRegistry[spec.Objective]
+	objMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("studyd: unknown objective %q (registered: %v)", spec.Objective, Objectives())
+	}
+	return f(spec, metrics)
+}
+
+func init() {
+	RegisterObjective("sphere", syntheticObjective(func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v * v
+		}
+		return s
+	}))
+	RegisterObjective("rastrigin", syntheticObjective(func(x []float64) float64 {
+		s := 10.0 * float64(len(x))
+		for _, v := range x {
+			s += v*v - 10*math.Cos(2*math.Pi*v)
+		}
+		return s
+	}))
+}
+
+// syntheticObjective adapts a numeric test function into a study
+// objective: metric 0 gets f over the numeric parameters, metric 1 (when
+// declared) gets the L1 norm as an antagonistic "cost", so two-metric
+// studies have a real Pareto trade-off. Values depend only on (params,
+// seed) — the determinism resume needs.
+func syntheticObjective(f func([]float64) float64) ObjectiveFactory {
+	return func(spec Spec, metrics []core.Metric) (core.Objective, error) {
+		if len(metrics) > 2 {
+			return nil, fmt.Errorf("studyd: objective %q supports at most 2 metrics, got %d", spec.Objective, len(metrics))
+		}
+		sleep := time.Duration(spec.SleepMs) * time.Millisecond
+		return func(a param.Assignment, seed uint64, rec *core.Recorder) error {
+			if sleep > 0 {
+				select {
+				case <-time.After(sleep):
+				case <-rec.Context().Done():
+					return rec.Context().Err()
+				}
+			}
+			x := numericValues(a)
+			noise := 0.0
+			if spec.Noise > 0 {
+				noise = mathx.NewRand(seed).NormFloat64() * spec.Noise
+			}
+			rec.Report(metrics[0].Name, f(x)+noise)
+			if len(metrics) > 1 {
+				l1 := 0.0
+				for _, v := range x {
+					if v < 0 {
+						v = -v
+					}
+					l1 += v
+				}
+				rec.Report(metrics[1].Name, l1+noise)
+			}
+			return nil
+		}, nil
+	}
+}
+
+// numericValues extracts the numeric parameters of an assignment in a
+// deterministic (name-sorted) order.
+func numericValues(a param.Assignment) []float64 {
+	names := make([]string, 0, len(a))
+	for name, v := range a {
+		if v.Kind() == param.KindInt || v.Kind() == param.KindFloat {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]float64, len(names))
+	for i, name := range names {
+		out[i] = a[name].Float()
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package studyd
+
+import (
+	"context"
+
+	"rldecide/internal/core"
+	"rldecide/internal/param"
+)
+
+// Pool is the daemon's shared trial scheduler: a counting semaphore that
+// bounds how many trials execute concurrently across every study. Each
+// study still runs its own Parallelism workers, but a worker must acquire
+// a pool slot before its objective runs, so N studies submitted at once
+// share the machine instead of oversubscribing it. Slots are released the
+// moment a trial finishes, which makes the pool work-conserving: studies
+// with ready trials absorb whatever capacity others leave idle.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool returns a pool with n execution slots (n < 1 is treated as 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{slots: make(chan struct{}, n)}
+}
+
+// Cap returns the pool's slot count.
+func (p *Pool) Cap() int { return cap(p.slots) }
+
+// InUse returns the number of slots currently held.
+func (p *Pool) InUse() int { return len(p.slots) }
+
+// Acquire blocks until a slot is free or ctx is cancelled.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken with Acquire.
+func (p *Pool) Release() { <-p.slots }
+
+// Wrap gates an objective on the pool: the trial waits for a slot (giving
+// up when its run context is cancelled, so queued trials drain instantly
+// on shutdown and are re-proposed at the next resume) and releases it when
+// the objective returns.
+func (p *Pool) Wrap(obj core.Objective) core.Objective {
+	return func(a param.Assignment, seed uint64, rec *core.Recorder) error {
+		if err := p.Acquire(rec.Context()); err != nil {
+			return err
+		}
+		defer p.Release()
+		return obj(a, seed, rec)
+	}
+}

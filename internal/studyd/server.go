@@ -1,0 +1,113 @@
+package studyd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"rldecide/internal/journal"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /healthz              liveness + pool occupancy
+//	GET  /studies              all studies (summaries)
+//	POST /studies              submit a Spec (JSON) -> 201 + summary
+//	GET  /studies/{id}         one study's summary
+//	GET  /studies/{id}/trials  finished trials (journal records, ID order)
+//	GET  /studies/{id}/front   current Pareto ranking of completed trials
+//	POST /studies/{id}/cancel  stop the study's run (resumable later)
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /studies", d.handleList)
+	mux.HandleFunc("POST /studies", d.handleSubmit)
+	mux.HandleFunc("GET /studies/{id}", d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
+		writeJSON(w, http.StatusOK, m.Summary())
+	}))
+	mux.HandleFunc("GET /studies/{id}/trials", d.handleStudy(d.serveTrials))
+	mux.HandleFunc("GET /studies/{id}/front", d.handleStudy(d.serveFront))
+	mux.HandleFunc("POST /studies/{id}/cancel", d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
+		m.Cancel()
+		writeJSON(w, http.StatusAccepted, m.Summary())
+	}))
+	return mux
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"studies": len(d.store.List()),
+		"pool":    map[string]int{"cap": d.pool.Cap(), "in_use": d.pool.InUse()},
+	})
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	studies := d.store.List()
+	out := make([]Summary, len(studies))
+	for i, m := range studies {
+		out[i] = m.Summary()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"studies": out})
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := d.Submit(spec)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, m.Summary())
+}
+
+func (d *Daemon) handleStudy(h func(http.ResponseWriter, *http.Request, *ManagedStudy)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m, ok := d.store.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no study %q", r.PathValue("id")))
+			return
+		}
+		h(w, r, m)
+	}
+}
+
+func (d *Daemon) serveTrials(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
+	trials := m.Trials()
+	records := make([]journal.Record, len(trials))
+	for i, t := range trials {
+		records[i] = journal.FromTrial(t)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trials": records})
+}
+
+func (d *Daemon) serveFront(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
+	front, err := m.Front()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, front)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}

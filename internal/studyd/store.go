@@ -1,0 +1,382 @@
+package studyd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"rldecide/internal/core"
+	"rldecide/internal/journal"
+)
+
+// Status is the lifecycle state of a managed study.
+type Status string
+
+// Study lifecycle states.
+const (
+	// StatusPending: loaded or submitted, not yet scheduled.
+	StatusPending Status = "pending"
+	// StatusRunning: trials are executing.
+	StatusRunning Status = "running"
+	// StatusDone: the campaign completed its budget (or exhausted its
+	// explorer).
+	StatusDone Status = "done"
+	// StatusInterrupted: stopped by shutdown/cancel before completing;
+	// resumable from the journal.
+	StatusInterrupted Status = "interrupted"
+	// StatusFailed: the study could not run (bad spec rebuild, journal
+	// I/O failure, ...).
+	StatusFailed Status = "failed"
+)
+
+// ManagedStudy is one study under the daemon's control: its spec, its
+// journal, and the finished trials accumulated across every run.
+type ManagedStudy struct {
+	ID   string
+	Spec Spec
+
+	journalPath string
+
+	mu         sync.Mutex
+	status     Status
+	errMsg     string
+	journalErr string
+	trials     []core.Trial
+	resumed    int // trials seeded from the journal at load time
+	cancel     context.CancelFunc
+	done       chan struct{}
+}
+
+// Status returns the study's current lifecycle state.
+func (m *ManagedStudy) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.status
+}
+
+// Done is closed when the study's current run finishes (any terminal or
+// interrupted state).
+func (m *ManagedStudy) Done() <-chan struct{} { return m.done }
+
+// Cancel stops the study's current run, leaving it resumable.
+func (m *ManagedStudy) Cancel() {
+	m.mu.Lock()
+	cancel := m.cancel
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Trials returns the finished trials so far, in ID order.
+func (m *ManagedStudy) Trials() []core.Trial {
+	m.mu.Lock()
+	out := append([]core.Trial(nil), m.trials...)
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Summary is the API-facing digest of a managed study.
+type Summary struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Status      Status `json:"status"`
+	Error       string `json:"error,omitempty"`
+	JournalErr  string `json:"journal_error,omitempty"`
+	Objective   string `json:"objective"`
+	Explorer    string `json:"explorer"`
+	Budget      int    `json:"budget"`
+	Finished    int    `json:"finished"`
+	Resumed     int    `json:"resumed"`
+	Parallelism int    `json:"parallelism"`
+	Seed        uint64 `json:"seed"`
+}
+
+// Summary returns the study digest.
+func (m *ManagedStudy) Summary() Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	explorer := m.Spec.Explorer.Type
+	if explorer == "" {
+		explorer = "random"
+	}
+	return Summary{
+		ID:          m.ID,
+		Name:        m.Spec.Name,
+		Status:      m.status,
+		Error:       m.errMsg,
+		JournalErr:  m.journalErr,
+		Objective:   m.Spec.Objective,
+		Explorer:    explorer,
+		Budget:      m.Spec.Budget,
+		Finished:    len(m.trials),
+		Resumed:     m.resumed,
+		Parallelism: m.Spec.Parallelism,
+		Seed:        m.Spec.Seed,
+	}
+}
+
+// Front is the live decision analysis of a study: successive Pareto fronts
+// of completed trials, by trial ID.
+type Front struct {
+	Metrics []MetricSpec `json:"metrics"`
+	// Fronts[0] holds the IDs of the non-dominated trials.
+	Fronts [][]int `json:"fronts"`
+	// Completed counts the trials the ranking is over.
+	Completed int `json:"completed"`
+}
+
+// Front ranks the completed trials finished so far with the study's
+// Pareto ranker. It is safe to call while the study runs — that is the
+// live-inspection feature.
+func (m *ManagedStudy) Front() (Front, error) {
+	metrics, err := m.Spec.metrics()
+	if err != nil {
+		return Front{}, err
+	}
+	rep := &core.Report{Metrics: metrics, Trials: m.Trials()}
+	completed := rep.Completed()
+	ranking := core.ParetoRanker{Eps: m.Spec.Eps}.Rank(completed, metrics)
+	fr := Front{Metrics: m.Spec.Metrics, Completed: len(completed), Fronts: make([][]int, len(ranking.Fronts))}
+	for i, front := range ranking.Fronts {
+		ids := make([]int, len(front))
+		for j, idx := range front {
+			ids[j] = completed[idx].ID
+		}
+		sort.Ints(ids)
+		fr.Fronts[i] = ids
+	}
+	return fr, nil
+}
+
+// run executes (or resumes) the study's campaign under ctx, gating every
+// trial on the shared pool and journaling each finished trial. It must be
+// called at most once per daemon lifetime per study.
+func (m *ManagedStudy) run(ctx context.Context, pool *Pool) {
+	defer close(m.done)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	m.mu.Lock()
+	m.cancel = cancel
+	m.status = StatusRunning
+	seed := append([]core.Trial(nil), m.trials...)
+	m.mu.Unlock()
+
+	fail := func(err error) {
+		m.mu.Lock()
+		m.status = StatusFailed
+		m.errMsg = err.Error()
+		m.mu.Unlock()
+	}
+
+	study, err := m.Spec.build(pool.Wrap)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := study.Resume(seed); err != nil {
+		fail(err)
+		return
+	}
+
+	jf, err := os.OpenFile(m.journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fail(err)
+		return
+	}
+	jw := journal.NewWriter(jf)
+	study.OnTrial = func(t core.Trial) {
+		if err := jw.Append(t); err != nil {
+			m.mu.Lock()
+			if m.journalErr == "" {
+				m.journalErr = err.Error()
+			}
+			m.mu.Unlock()
+		}
+		m.mu.Lock()
+		m.trials = append(m.trials, t)
+		m.mu.Unlock()
+	}
+
+	_, err = study.RunContext(ctx, m.Spec.Budget)
+	closeErr := jf.Close()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cancel = nil
+	switch {
+	case err == nil:
+		m.status = StatusDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The journal holds everything that finished; the next daemon
+		// start resumes from here.
+		m.status = StatusInterrupted
+	default:
+		m.status = StatusFailed
+		m.errMsg = err.Error()
+	}
+	if closeErr != nil && m.journalErr == "" {
+		m.journalErr = closeErr.Error()
+	}
+}
+
+// Store is the daemon's persistent study registry: one <id>.spec.json and
+// one <id>.trials.jsonl per study under dir.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	studies map[string]*ManagedStudy
+	order   []string
+	nextID  int
+}
+
+// OpenStore opens (creating if needed) the state directory and loads every
+// persisted study: the spec is re-read, the journal is repaired (torn
+// final record truncated) and replayed, and studies whose journals hold
+// fewer trials than their budget come back StatusInterrupted, ready for
+// resume.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, studies: map[string]*ManagedStudy{}, nextID: 1}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".spec.json"); ok {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m, err := st.load(id)
+		if err != nil {
+			return nil, fmt.Errorf("studyd: loading study %s: %w", id, err)
+		}
+		st.studies[id] = m
+		st.order = append(st.order, id)
+		var n int
+		if _, err := fmt.Sscanf(id, "s%d", &n); err == nil && n >= st.nextID {
+			st.nextID = n + 1
+		}
+	}
+	return st, nil
+}
+
+func (st *Store) load(id string) (*ManagedStudy, error) {
+	raw, err := os.ReadFile(filepath.Join(st.dir, id+".spec.json"))
+	if err != nil {
+		return nil, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &ManagedStudy{
+		ID:          id,
+		Spec:        spec,
+		journalPath: filepath.Join(st.dir, id+".trials.jsonl"),
+		status:      StatusPending,
+		done:        make(chan struct{}),
+	}
+	// Crash safety: a torn final record (append cut short by the crash)
+	// is truncated away so the journal is clean for both replay and the
+	// appends of the resumed run.
+	records, err := journal.RepairFile(m.journalPath)
+	if err != nil {
+		return nil, err
+	}
+	space, err := spec.Space()
+	if err != nil {
+		return nil, err
+	}
+	trials, err := journal.Trials(records, space)
+	if err != nil {
+		return nil, err
+	}
+	m.trials = trials
+	m.resumed = len(trials)
+	if len(trials) >= spec.Budget {
+		m.status = StatusDone
+		close(m.done)
+	}
+	return m, nil
+}
+
+// Submit validates and persists a new study spec and registers it as
+// pending. The caller (the daemon) schedules it.
+func (st *Store) Submit(spec Spec) (*ManagedStudy, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	id := fmt.Sprintf("s%04d", st.nextID)
+	st.nextID++
+	st.mu.Unlock()
+
+	raw, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(st.dir, id+".spec.json"), raw, 0o644); err != nil {
+		return nil, err
+	}
+	m := &ManagedStudy{
+		ID:          id,
+		Spec:        spec,
+		journalPath: filepath.Join(st.dir, id+".trials.jsonl"),
+		status:      StatusPending,
+		done:        make(chan struct{}),
+	}
+	st.mu.Lock()
+	st.studies[id] = m
+	st.order = append(st.order, id)
+	st.mu.Unlock()
+	return m, nil
+}
+
+// Get returns the study with the given ID.
+func (st *Store) Get(id string) (*ManagedStudy, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m, ok := st.studies[id]
+	return m, ok
+}
+
+// List returns all studies in submission order.
+func (st *Store) List() []*ManagedStudy {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*ManagedStudy, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.studies[id])
+	}
+	return out
+}
+
+// Resumable returns the loaded studies that still have budget left and are
+// not yet scheduled — the set a starting daemon must resume.
+func (st *Store) Resumable() []*ManagedStudy {
+	var out []*ManagedStudy
+	for _, m := range st.List() {
+		if m.Status() == StatusPending {
+			out = append(out, m)
+		}
+	}
+	return out
+}
