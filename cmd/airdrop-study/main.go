@@ -26,6 +26,7 @@ import (
 
 	"rldecide/internal/core"
 	"rldecide/internal/experiments"
+	"rldecide/internal/power"
 	"rldecide/internal/report"
 )
 
@@ -68,12 +69,15 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "running %d trials at %s scale (%d steps/config)...\n", n, *scaleName, scale.TotalSteps)
-	start := time.Now()
+	// Wall-clock progress timing is display-only and flows through the
+	// power package's Stopwatch seam — the campaign's computation-time
+	// metric comes from the virtual cluster model, never from this clock.
+	watch := power.StartStopwatch()
 	rep, err := study.Run(n)
 	if err != nil {
 		fatalf("campaign failed: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "campaign finished in %s\n\n", time.Since(start).Round(time.Second))
+	fmt.Fprintf(os.Stderr, "campaign finished in %s\n\n", watch.Elapsed().Round(time.Second))
 
 	if err := report.Table(os.Stdout, rep); err != nil {
 		fatalf("render table: %v", err)

@@ -3,19 +3,22 @@ package main
 import (
 	"fmt"
 	"os"
-	"time"
 
 	"rldecide/internal/experiments"
+	"rldecide/internal/power"
 )
 
 func main() {
-	start := time.Now()
+	// Wall-clock timing goes through the power package's Stopwatch seam:
+	// commands never read time.Now directly, so all timing that could
+	// reach trial output originates in the measurement layer.
+	watch := power.StartStopwatch()
 	rep, err := experiments.Campaign(experiments.DefaultScale(), 7, 1)
 	if err != nil {
 		fmt.Println("ERR", err)
 		os.Exit(1)
 	}
-	fmt.Println("campaign wall:", time.Since(start))
+	fmt.Println("campaign wall:", watch.Elapsed())
 	for _, o := range experiments.Outcomes(rep) {
 		fmt.Printf("%-45s reward=%7.3f time=%6.1fmin power=%7.1fkJ util=%.2f\n", o.Solution, o.Reward, o.TimeMinutes, o.PowerKJ, o.Utilization)
 	}

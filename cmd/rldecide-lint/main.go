@@ -1,0 +1,77 @@
+// Command rldecide-lint runs the repo's determinism-and-safety static
+// analysis suite (internal/lint) over the module and reports violations
+// of the replay contract: global-RNG draws, stray wall-clock reads,
+// order-sensitive map iteration, exact float comparisons, context-less
+// blocking APIs, and silently dropped errors.
+//
+// Usage:
+//
+//	rldecide-lint [-json] [-rules] [patterns...]
+//
+// Patterns are directories, optionally suffixed with /... for recursion;
+// the default is ./... (the whole module, skipping testdata). The exit
+// code is 0 when clean, 1 when findings are reported, 2 on usage or load
+// errors. Findings can be suppressed in source with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the offending line or the line above it. See docs/lint.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rldecide/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	listRules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.AllRules() {
+			fmt.Printf("%-15s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	root, err := os.Getwd()
+	if err != nil {
+		fatalf("getwd: %v", err)
+	}
+	pkgs, err := lint.Load(root, flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	findings := lint.NewRunner().Run(pkgs)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatalf("encode: %v", err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "rldecide-lint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rldecide-lint: "+format+"\n", args...)
+	os.Exit(2)
+}

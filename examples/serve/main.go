@@ -61,7 +61,7 @@ func main() {
 	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
 		fatalf("decoding submission response: %v", err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
 		fatalf("submission rejected (%d): %s", resp.StatusCode, sum.Error)
 	}

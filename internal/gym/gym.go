@@ -47,6 +47,7 @@ func (d Discrete) Contains(x []float64) bool {
 		return false
 	}
 	i := int(x[0])
+	//lint:ignore float-eq membership in a Discrete space requires x[0] to be exactly integral
 	return float64(i) == x[0] && i >= 0 && i < d.N
 }
 

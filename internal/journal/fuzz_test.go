@@ -1,0 +1,108 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the journal line parser. Invariants:
+// Read never panics, a nil/ErrTruncated result yields records that
+// round-trip through re-encoding, and a truncated read is a prefix of
+// what a strict re-read of the re-encoded records returns.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"id":1,"params":{"lr":"0.01"},"values":{"reward":1.5},"seed":42}` + "\n"))
+	f.Add([]byte(`{"id":1,"seed":1}` + "\n" + `{"id":2,"seed":2}` + "\n"))
+	f.Add([]byte(`{"id":1,"seed":1}` + "\n" + `{"id":2,"se`)) // torn tail
+	f.Add([]byte(`not json at all` + "\n" + `{"id":3,"seed":3}` + "\n"))
+	f.Add([]byte(`{"id":-5,"error":"boom","pruned":true,"seed":0}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := Read(bytes.NewReader(data))
+		if err != nil && !errors.Is(err, ErrTruncated) {
+			// Corrupt input is rejected; nothing more to check.
+			return
+		}
+		// Accepted records must round-trip bit-for-bit: re-encode and
+		// strict-read them back.
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, rec := range records {
+			if encErr := enc.Encode(rec); encErr != nil {
+				t.Fatalf("re-encode accepted record %+v: %v", rec, encErr)
+			}
+		}
+		again, err2 := Read(&buf)
+		if err2 != nil {
+			t.Fatalf("strict re-read of re-encoded records failed: %v", err2)
+		}
+		if len(again) != len(records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(records), len(again))
+		}
+		for i := range records {
+			if !reflect.DeepEqual(normalize(records[i]), normalize(again[i])) {
+				t.Fatalf("record %d changed in round trip:\n  %+v\n  %+v", i, records[i], again[i])
+			}
+		}
+	})
+}
+
+// normalize erases the nil-vs-empty map distinction, which omitempty
+// intentionally collapses on re-encode.
+func normalize(r Record) Record {
+	if len(r.Params) == 0 {
+		r.Params = nil
+	}
+	if len(r.Values) == 0 {
+		r.Values = nil
+	}
+	return r
+}
+
+// FuzzRepairFile writes arbitrary bytes as a journal file and repairs it.
+// Invariants: RepairFile never panics, a successful repair leaves a file
+// that strict ReadFile accepts with no truncation, and repair is
+// idempotent.
+func FuzzRepairFile(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(`{"id":1,"seed":1}` + "\n"))
+	f.Add([]byte(`{"id":1,"seed":1}` + "\n" + `{"id":2,"seed":2}`)) // missing newline
+	f.Add([]byte(`{"id":1,"seed":1}` + "\n" + `{"tor`))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "journal.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		records, err := RepairFile(path)
+		if err != nil {
+			// Mid-file corruption: the file must be left untouched.
+			after, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("file vanished after failed repair: %v", rerr)
+			}
+			if !bytes.Equal(after, data) {
+				t.Fatalf("failed repair modified the file")
+			}
+			return
+		}
+		// A successful repair leaves a strict-readable file.
+		again, err2 := ReadFile(path)
+		if err2 != nil {
+			t.Fatalf("post-repair strict read failed: %v", err2)
+		}
+		if !reflect.DeepEqual(records, again) {
+			t.Fatalf("post-repair read mismatch:\n  %+v\n  %+v", records, again)
+		}
+		// And repairing again is a no-op.
+		again2, err3 := RepairFile(path)
+		if err3 != nil || !reflect.DeepEqual(records, again2) {
+			t.Fatalf("repair not idempotent: %v\n  %+v\n  %+v", err3, records, again2)
+		}
+	})
+}

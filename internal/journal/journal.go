@@ -195,13 +195,13 @@ func WriteFile(path string, records []Record) error {
 	enc := json.NewEncoder(tmp)
 	for _, rec := range records {
 		if err := enc.Encode(rec); err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
 			return err
 		}
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	return os.Rename(tmp.Name(), path)

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxBlocking requires exported blocking functions in internal/core and
+// internal/studyd to take a context.Context as their first parameter.
+// Those are the packages the daemon builds on: a blocking call without a
+// context cannot be drained on SIGTERM, which turns graceful shutdown —
+// and therefore crash-safe journaling — into a race.
+//
+// "Blocking" is detected syntactically: the function body performs a
+// channel send/receive, a select, time.Sleep, or calls a Wait/Acquire
+// method. Function literals and go statements are excluded (work launched
+// asynchronously does not block the caller). Thin wrappers whose entire
+// body delegates to a context-taking variant with context.Background() or
+// context.TODO() are exempt — that is the sanctioned convenience-API
+// shape.
+type CtxBlocking struct{}
+
+// Name implements Rule.
+func (CtxBlocking) Name() string { return "ctx-blocking" }
+
+// Doc implements Rule.
+func (CtxBlocking) Doc() string {
+	return "exported blocking funcs in internal/core and internal/studyd take ctx first"
+}
+
+// ctxScopes are the package path segment sequences the rule applies to.
+var ctxScopes = []string{"internal/core", "internal/studyd"}
+
+// Check implements Rule.
+func (r CtxBlocking) Check(pkg *Package, report ReportFunc) {
+	inScope := false
+	for _, seg := range ctxScopes {
+		if pathHasSegments(pkg.Path, seg) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, name := range pkg.SortedFileNames() {
+		if IsTestFile(name) {
+			continue
+		}
+		file := pkg.Files[name]
+		timeName := importName(file, "time")
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if firstParamIsContext(fn) || isCtxDelegator(fn) {
+				continue
+			}
+			if op := blockingOp(fn.Body, timeName); op != "" {
+				report(r.Name(), fn.Pos(),
+					"exported %s blocks (%s) but does not take a context.Context first parameter; without one the daemon cannot drain it on shutdown",
+					fn.Name.Name, op)
+			}
+		}
+	}
+}
+
+// firstParamIsContext reports whether fn's first parameter is typed
+// context.Context.
+func firstParamIsContext(fn *ast.FuncDecl) bool {
+	params := fn.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	sel, ok := params.List[0].Type.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}
+
+// isCtxDelegator reports whether fn's body is a single statement that
+// calls something with context.Background() or context.TODO() as the
+// first argument — the convenience-wrapper shape (Run → RunContext).
+func isCtxDelegator(fn *ast.FuncDecl) bool {
+	if len(fn.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch st := fn.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(st.Results) == 1 {
+			call, _ = st.Results[0].(*ast.CallExpr)
+		}
+	case *ast.ExprStmt:
+		call, _ = st.X.(*ast.CallExpr)
+	}
+	if call == nil || len(call.Args) == 0 {
+		return false
+	}
+	argCall, ok := call.Args[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := argCall.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}
+
+// blockingOp returns a description of the first synchronous blocking
+// operation in body, or "". Bodies of go statements and function literals
+// are skipped: they run on other goroutines or at another time.
+func blockingOp(body *ast.BlockStmt, timeName string) string {
+	op := ""
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			op = "channel send"
+		case *ast.UnaryExpr:
+			if v.Op.String() == "<-" {
+				op = "channel receive"
+			}
+		case *ast.SelectStmt:
+			op = "select"
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				switch {
+				case sel.Sel.Name == "Sleep" && isPkgRef(sel.X, timeName):
+					op = "time.Sleep"
+				case sel.Sel.Name == "Wait" || sel.Sel.Name == "Acquire":
+					op = sel.Sel.Name + " call"
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return op
+}

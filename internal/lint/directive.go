@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// directivePrefix marks an inline suppression comment:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The directive silences findings of exactly the named rule on the
+// directive's own line and on the line immediately below it — covering
+// both a trailing comment on the offending line and a comment on the line
+// above. The reason is mandatory; a directive without one (or without a
+// rule name) is reported under the bad-ignore pseudo-rule.
+const directivePrefix = "//lint:ignore"
+
+// BadIgnoreRule is the pseudo-rule name malformed directives are reported
+// under.
+const BadIgnoreRule = "bad-ignore"
+
+type suppression struct {
+	rule string
+	line int
+}
+
+// applySuppressions filters findings covered by well-formed //lint:ignore
+// directives in pkg and appends a bad-ignore finding for every malformed
+// directive.
+func applySuppressions(pkg *Package, findings []Finding) []Finding {
+	var sups []suppression
+	var out []Finding
+	for _, name := range pkg.SortedFileNames() {
+		file := pkg.Files[name]
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+				if len(fields) < 2 {
+					out = append(out, Finding{
+						Rule:    BadIgnoreRule,
+						Pos:     pos,
+						File:    pos.Filename,
+						Line:    pos.Line,
+						Col:     pos.Column,
+						Message: "malformed directive: want //lint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				sups = append(sups, suppression{rule: fields[0], line: pos.Line})
+			}
+		}
+	}
+	for _, f := range findings {
+		if !suppressed(sups, f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func suppressed(sups []suppression, f Finding) bool {
+	for _, s := range sups {
+		if s.rule == f.Rule && (s.line == f.Line || s.line == f.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// importName returns the local name under which file imports path, or
+// "" when the import is absent. Blank and dot imports return "".
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		// Default name: last non-version path segment, so that
+		// "math/rand/v2" resolves to "rand".
+		segs := strings.Split(path, "/")
+		name := segs[len(segs)-1]
+		if len(segs) > 1 && len(name) >= 2 && name[0] == 'v' && name[1] >= '0' && name[1] <= '9' {
+			name = segs[len(segs)-2]
+		}
+		return name
+	}
+	return ""
+}
+
+// isPkgRef reports whether e is a reference to the package imported under
+// name — an identifier with that name that the parser did not resolve to a
+// local declaration (shadowing).
+func isPkgRef(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && name != "" && id.Name == name && id.Obj == nil
+}
+
+// pathHasSegments reports whether the slash-separated import path contains
+// the given consecutive segment sequence (e.g. "internal/power").
+func pathHasSegments(path, segs string) bool {
+	if path == segs {
+		return true
+	}
+	return strings.HasPrefix(path, segs+"/") ||
+		strings.HasSuffix(path, "/"+segs) ||
+		strings.Contains(path, "/"+segs+"/")
+}

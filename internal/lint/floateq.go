@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between float operands. Exact float equality is
+// almost always a latent bug — two mathematically identical campaigns can
+// diverge on an exact comparison after any reordering of arithmetic — and
+// when exactness IS intended (replay verification) that deserves an
+// explicit //lint:ignore with the reason. Comparisons should go through
+// the mathx tolerance helpers (mathx.ApproxEq).
+//
+// Detection is syntactic: an operand counts as float when it is a float
+// literal, a float64/float32 conversion, an identifier declared float in
+// the same function, an index into a declared []float64, arithmetic over
+// any of those, or a math.* call returning float.
+type FloatEq struct{}
+
+// Name implements Rule.
+func (FloatEq) Name() string { return "float-eq" }
+
+// Doc implements Rule.
+func (FloatEq) Doc() string {
+	return "no ==/!= on float operands; use mathx.ApproxEq"
+}
+
+// Check implements Rule.
+func (r FloatEq) Check(pkg *Package, report ReportFunc) {
+	for _, name := range pkg.SortedFileNames() {
+		if IsTestFile(name) {
+			// Replay tests compare bit-for-bit on purpose.
+			continue
+		}
+		file := pkg.Files[name]
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sc := funcScope(file, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if sc.exprKind(bin.X) != kindFloat && sc.exprKind(bin.Y) != kindFloat {
+					return true
+				}
+				report(r.Name(), bin.Pos(),
+					"%s on float operands is exact-equality and breaks under any arithmetic reordering; use mathx.ApproxEq (or suppress with a reason when exactness is the point)",
+					bin.Op)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// kind is the coarse syntactic type class the map-order and float-eq rules
+// reason about. The analyzer has no go/types information (it lints a
+// module without building it), so kinds are inferred from declarations and
+// literal shapes inside a single function; anything unprovable is
+// kindUnknown and never flagged — the rules trade recall for zero
+// type-checker dependencies.
+type kind int
+
+const (
+	kindUnknown kind = iota
+	kindMap
+	kindFloat
+	kindFloatSlice
+)
+
+// mathFloatFuncs are math package functions whose result is a float.
+var mathFloatFuncs = map[string]bool{
+	"Abs": true, "Ceil": true, "Copysign": true, "Cos": true, "Exp": true,
+	"Exp2": true, "Floor": true, "Hypot": true, "Inf": true, "Log": true,
+	"Log10": true, "Log1p": true, "Log2": true, "Max": true, "Min": true,
+	"Mod": true, "NaN": true, "Pow": true, "Remainder": true, "Round": true,
+	"Sin": true, "Sqrt": true, "Tan": true, "Tanh": true, "Trunc": true,
+}
+
+// scope tracks identifier kinds declared within one function.
+type scope struct {
+	vars map[string]kind
+	// mathName is the file's local name for the math import ("" if absent).
+	mathName string
+}
+
+// funcScope infers the kinds of identifiers declared in fn: receiver and
+// parameters from their declared types, plus var declarations and :=
+// assignments whose right-hand side has a provable kind.
+func funcScope(file *ast.File, fn *ast.FuncDecl) *scope {
+	sc := &scope{vars: map[string]kind{}, mathName: importName(file, "math")}
+	declare := func(names []*ast.Ident, k kind) {
+		if k == kindUnknown {
+			return
+		}
+		for _, n := range names {
+			if n.Name != "_" {
+				sc.vars[n.Name] = k
+			}
+		}
+	}
+	fields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			declare(f.Names, typeKind(f.Type))
+		}
+	}
+	fields(fn.Recv)
+	if fn.Type != nil {
+		fields(fn.Type.Params)
+		fields(fn.Type.Results)
+	}
+	if fn.Body == nil {
+		return sc
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if vs.Type != nil {
+						declare(vs.Names, typeKind(vs.Type))
+					} else if len(vs.Values) == len(vs.Names) {
+						for i, name := range vs.Names {
+							declare([]*ast.Ident{name}, sc.exprKind(vs.Values[i]))
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					declare([]*ast.Ident{id}, sc.exprKind(st.Rhs[i]))
+				}
+			}
+		}
+		return true
+	})
+	return sc
+}
+
+// typeKind classifies a declared type expression.
+func typeKind(t ast.Expr) kind {
+	switch tt := t.(type) {
+	case *ast.MapType:
+		return kindMap
+	case *ast.Ident:
+		if tt.Name == "float64" || tt.Name == "float32" {
+			return kindFloat
+		}
+	case *ast.ArrayType:
+		if typeKind(tt.Elt) == kindFloat {
+			return kindFloatSlice
+		}
+	case *ast.ParenExpr:
+		return typeKind(tt.X)
+	}
+	return kindUnknown
+}
+
+// exprKind classifies an expression's kind from its syntactic shape plus
+// the identifiers already tracked in the scope.
+func (sc *scope) exprKind(e ast.Expr) kind {
+	switch ex := e.(type) {
+	case *ast.ParenExpr:
+		return sc.exprKind(ex.X)
+	case *ast.Ident:
+		return sc.vars[ex.Name]
+	case *ast.BasicLit:
+		if ex.Kind == token.FLOAT {
+			return kindFloat
+		}
+	case *ast.CompositeLit:
+		return typeKind(ex.Type)
+	case *ast.UnaryExpr:
+		if ex.Op == token.SUB || ex.Op == token.ADD {
+			return sc.exprKind(ex.X)
+		}
+	case *ast.BinaryExpr:
+		switch ex.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			if sc.exprKind(ex.X) == kindFloat || sc.exprKind(ex.Y) == kindFloat {
+				return kindFloat
+			}
+		}
+	case *ast.IndexExpr:
+		if sc.exprKind(ex.X) == kindFloatSlice {
+			return kindFloat
+		}
+	case *ast.CallExpr:
+		switch fn := ex.Fun.(type) {
+		case *ast.Ident:
+			switch fn.Name {
+			case "float64", "float32":
+				return kindFloat
+			case "make", "new":
+				if len(ex.Args) > 0 {
+					if k := typeKind(ex.Args[0]); k != kindUnknown {
+						return k
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if isPkgRef(fn.X, sc.mathName) && mathFloatFuncs[fn.Sel.Name] {
+				return kindFloat
+			}
+		case *ast.ArrayType, *ast.MapType:
+			// Conversion to a composite type, e.g. []float64(xs).
+			return typeKind(fn)
+		}
+	}
+	return kindUnknown
+}

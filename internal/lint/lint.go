@@ -1,0 +1,260 @@
+// Package lint is rldecide's repo-specific static analysis suite. It
+// enforces the determinism-and-safety invariants the replay contract
+// depends on: crash-safe resume (core.Study.Resume + journal replay) only
+// reproduces a campaign bit-for-bit if no code path draws from the
+// process-global RNG, reads the wall clock outside the measurement layer,
+// serializes map iteration order, compares floats exactly, blocks without
+// a context, or drops errors on the floor.
+//
+// The analyzer is stdlib-only (go/ast, go/parser, go/token): it parses the
+// module from source, runs each registered Rule over every package, and
+// reports findings with file:line:column positions. Findings can be
+// silenced one at a time with a directive comment:
+//
+//	//lint:ignore <rule> <reason>
+//
+// placed on the offending line or on the line directly above it. The rule
+// name must match exactly and the reason is mandatory — an ignore without
+// a justification is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Rule    string         `json:"rule"`
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Message string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Package is one parsed directory of Go source.
+type Package struct {
+	// Path is the slash-separated import path (module name + relative
+	// directory), the key rules use for allowlists.
+	Path string
+	// Dir is the on-disk directory.
+	Dir string
+	// Fset positions every file in the package.
+	Fset *token.FileSet
+	// Files maps file names (absolute) to parsed files, including _test.go
+	// files.
+	Files map[string]*ast.File
+}
+
+// IsTestFile reports whether name is a _test.go file.
+func IsTestFile(name string) bool { return strings.HasSuffix(name, "_test.go") }
+
+// SortedFileNames returns the package's file names in deterministic order.
+func (p *Package) SortedFileNames() []string {
+	names := make([]string, 0, len(p.Files))
+	for name := range p.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ReportFunc records one finding against a node.
+type ReportFunc func(rule string, pos token.Pos, format string, args ...any)
+
+// Rule checks one invariant over a whole package. Package-level granularity
+// lets rules that need cross-file declaration info (err-drop) build it once.
+type Rule interface {
+	// Name is the identifier used in output and //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description for -help style output.
+	Doc() string
+	// Check inspects pkg and reports findings.
+	Check(pkg *Package, report ReportFunc)
+}
+
+// Runner loads packages and applies rules.
+type Runner struct {
+	Rules []Rule
+}
+
+// NewRunner returns a Runner with the full rldecide rule set.
+func NewRunner() *Runner {
+	return &Runner{Rules: AllRules()}
+}
+
+// AllRules returns the complete rule suite in stable order.
+func AllRules() []Rule {
+	return []Rule{
+		NondetermRand{},
+		NondetermTime{},
+		MapOrder{},
+		FloatEq{},
+		CtxBlocking{},
+		ErrDrop{},
+	}
+}
+
+// Load parses the packages selected by patterns relative to root. A
+// pattern is either a directory (linted alone) or a directory followed by
+// "/..." (linted recursively); "./..." selects the whole module.
+// Directories named "testdata", hidden directories and .git are skipped
+// during recursive expansion but can still be targeted explicitly.
+func Load(root string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	module := moduleName(root)
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		if pat == "" || pat == "." {
+			pat = root
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(root, pat)
+		}
+		if !recursive {
+			dirs[pat] = true
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && (name == "testdata" || name == ".git" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		pkg, err := loadDir(root, module, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir parses one directory, returning nil when it holds no Go files.
+func loadDir(root, module, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	files := map[string]*ast.File{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files[name] = f
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		rel = dir
+	}
+	path := filepath.ToSlash(rel)
+	if path == "." {
+		path = ""
+	}
+	if module != "" {
+		path = strings.TrimSuffix(module+"/"+path, "/")
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files}, nil
+}
+
+// moduleName reads the module path from root's go.mod, or returns "".
+func moduleName(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// Run applies every rule to every package and returns the surviving
+// findings (suppressed ones removed) sorted by position.
+func (r *Runner) Run(pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var pkgFindings []Finding
+		report := func(rule string, pos token.Pos, format string, args ...any) {
+			p := pkg.Fset.Position(pos)
+			pkgFindings = append(pkgFindings, Finding{
+				Rule:    rule,
+				Pos:     p,
+				File:    p.Filename,
+				Line:    p.Line,
+				Col:     p.Column,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		for _, rule := range r.Rules {
+			rule.Check(pkg, report)
+		}
+		findings = append(findings, applySuppressions(pkg, pkgFindings)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}

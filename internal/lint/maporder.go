@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MapOrder flags ranging over a map when the loop body feeds an
+// order-sensitive sink — appending to a slice, or writing to an
+// encoder/writer — and the enclosing function never sorts. Go randomizes
+// map iteration order on purpose, so such a loop emits journal lines,
+// report rows or explorer observations in a different order on every run,
+// which is exactly the nondeterminism the replay contract forbids.
+//
+// The rule is syntactic: it only flags ranges over expressions it can
+// prove are maps from declarations in the same function (parameters,
+// var declarations, := from make/map literals). Writing map values into
+// another map is order-insensitive and not flagged.
+type MapOrder struct{}
+
+// Name implements Rule.
+func (MapOrder) Name() string { return "map-order" }
+
+// Doc implements Rule.
+func (MapOrder) Doc() string {
+	return "no order-sensitive output from a map range without sorting"
+}
+
+// orderSinkMethods are method/function selector names whose call order is
+// observable in the output.
+var orderSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// Check implements Rule.
+func (r MapOrder) Check(pkg *Package, report ReportFunc) {
+	for _, name := range pkg.SortedFileNames() {
+		if IsTestFile(name) {
+			continue
+		}
+		file := pkg.Files[name]
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sc := funcScope(file, fn)
+			sorts := functionSorts(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || sc.exprKind(rng.X) != kindMap {
+					return true
+				}
+				sink := orderSink(rng.Body)
+				if sink == "" || sorts {
+					return true
+				}
+				report(r.Name(), rng.Pos(),
+					"range over a map feeds %s but the enclosing function never sorts; map order is randomized per run — collect keys, sort, then iterate",
+					sink)
+				return true
+			})
+		}
+	}
+}
+
+// orderSink returns a description of the first order-sensitive operation
+// in body, or "".
+func orderSink(body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			if fn.Name == "append" {
+				found = "append"
+			}
+		case *ast.SelectorExpr:
+			if orderSinkMethods[fn.Sel.Name] {
+				found = fn.Sel.Name
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// functionSorts reports whether fn calls anything that looks like a sort
+// (sort.*, slices.Sort*, or a helper whose name contains "sort").
+func functionSorts(fn *ast.FuncDecl) bool {
+	sorts := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorts {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+			if id, ok := f.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+				sorts = true
+				return false
+			}
+		}
+		if strings.Contains(strings.ToLower(name), "sort") {
+			sorts = true
+			return false
+		}
+		return true
+	})
+	return sorts
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NondetermRand forbids the package-level math/rand functions
+// (rand.Float64, rand.IntN, rand.Shuffle, ...) outside internal/mathx.
+// They draw from the process-global, auto-seeded source, so any call on a
+// trial path makes the campaign irreproducible and breaks journal-replay
+// resume. RNGs must be injected as *rand.Rand values derived from the
+// study seed (mathx.Seeder / mathx.NewRand).
+type NondetermRand struct{}
+
+// Name implements Rule.
+func (NondetermRand) Name() string { return "nondeterm-rand" }
+
+// Doc implements Rule.
+func (NondetermRand) Doc() string {
+	return "no package-level math/rand calls outside internal/mathx; inject *rand.Rand"
+}
+
+// randAllowed are the math/rand selectors that do not touch the global
+// source: deterministic constructors and type names.
+var randAllowed = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+	"NewSource": true,
+	"Rand":      true, "Source": true, "PCG": true, "ChaCha8": true, "Zipf": true,
+}
+
+// Check implements Rule.
+func (r NondetermRand) Check(pkg *Package, report ReportFunc) {
+	if pathHasSegments(pkg.Path, "internal/mathx") {
+		// mathx is the one sanctioned wrapper around math/rand.
+		return
+	}
+	for _, name := range pkg.SortedFileNames() {
+		if IsTestFile(name) {
+			continue
+		}
+		file := pkg.Files[name]
+		randName := importName(file, "math/rand/v2")
+		if randName == "" {
+			randName = importName(file, "math/rand")
+		}
+		if randName == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !isPkgRef(sel.X, randName) || randAllowed[sel.Sel.Name] {
+				return true
+			}
+			report(r.Name(), sel.Pos(),
+				"rand.%s uses the process-global source and breaks replay determinism; inject a *rand.Rand derived from the study seed (mathx.NewRand / mathx.Seeder)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,15 @@
+// Package core mirrors the internal/core import path, where the
+// ctx-blocking rule applies.
+package core
+
+import "sync"
+
+// Drain blocks on a channel receive without taking a context.
+func Drain(ch chan int) int { // want finding
+	return <-ch
+}
+
+// WaitAll blocks on a WaitGroup without taking a context.
+func WaitAll(wg *sync.WaitGroup) { // want finding
+	wg.Wait()
+}

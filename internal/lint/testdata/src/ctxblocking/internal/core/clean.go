@@ -1,0 +1,34 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// DrainContext blocks but takes a context first: allowed.
+func DrainContext(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Drain2 is a thin wrapper delegating to the context variant: allowed.
+func Drain2(ch chan int) (int, error) {
+	return DrainContext(context.Background(), ch)
+}
+
+// drainQuietly blocks but is unexported: allowed.
+func drainQuietly(ch chan int) int {
+	return <-ch
+}
+
+// Spawn only blocks inside a goroutine it launches: allowed.
+func Spawn(wg *sync.WaitGroup, ch chan int) {
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+}

@@ -1,0 +1,24 @@
+// Package errdrop is a lint fixture for the err-drop rule.
+package errdrop
+
+import "os"
+
+// save is a same-package function whose error gets dropped below.
+func save(path string) error {
+	return os.WriteFile(path, nil, 0o644)
+}
+
+// Persist drops the error from a same-package call.
+func Persist(path string) {
+	save(path) // want finding
+}
+
+// CloseQuietly drops a conventionally error-returning method call.
+func CloseQuietly(f *os.File) {
+	f.Close() // want finding
+}
+
+// Cleanup drops os.Remove's error.
+func Cleanup(path string) {
+	os.Remove(path) // want finding
+}

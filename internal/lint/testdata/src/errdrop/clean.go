@@ -1,0 +1,31 @@
+package errdrop
+
+import "os"
+
+// PersistChecked handles the error: allowed.
+func PersistChecked(path string) error {
+	if err := save(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CloseExplicit discards explicitly with the blank identifier: allowed.
+func CloseExplicit(f *os.File) {
+	_ = f.Close()
+}
+
+// ReadAll defers the close, which is exempt by convention.
+func ReadAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}

@@ -1,0 +1,19 @@
+// Package floateq is a lint fixture for the float-eq rule.
+package floateq
+
+import "math"
+
+// Converged compares two floats exactly.
+func Converged(a, b float64) bool {
+	return a == b // want finding
+}
+
+// IsZero compares against a float literal.
+func IsZero(x float64) bool {
+	return x != 0.0 // want finding
+}
+
+// SameNorm compares arithmetic results exactly.
+func SameNorm(xs []float64) bool {
+	return math.Sqrt(xs[0]) == xs[1]*2.0 // want finding
+}

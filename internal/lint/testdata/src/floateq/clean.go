@@ -1,0 +1,18 @@
+package floateq
+
+import "math"
+
+// ApproxConverged uses a tolerance, the sanctioned comparison.
+func ApproxConverged(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+// CountMatches compares integers, which is exact by nature: allowed.
+func CountMatches(a, b int) bool {
+	return a == b
+}
+
+// NameMatches compares strings: allowed.
+func NameMatches(a, b string) bool {
+	return a != b
+}

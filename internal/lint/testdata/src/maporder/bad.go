@@ -1,0 +1,23 @@
+// Package maporder is a lint fixture for the map-order rule.
+package maporder
+
+import (
+	"fmt"
+	"io"
+)
+
+// Keys appends map keys in randomized iteration order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want finding: append with no sort
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump writes map entries to w in randomized iteration order.
+func Dump(w io.Writer, m map[string]float64) {
+	for k, v := range m { // want finding: Fprintf with no sort
+		fmt.Fprintf(w, "%s=%g\n", k, v)
+	}
+}

@@ -1,0 +1,20 @@
+// Package nondetermrand is a lint fixture: every finding here is a true
+// positive for the nondeterm-rand rule.
+package nondetermrand
+
+import "math/rand/v2"
+
+// Jitter draws from the process-global source.
+func Jitter(x float64) float64 {
+	return x + rand.Float64() // want finding: package-level draw
+}
+
+// Pick uses the global source through IntN.
+func Pick(xs []int) int {
+	return xs[rand.IntN(len(xs))] // want finding
+}
+
+// ShuffleAll passes a package-level func as a value.
+func ShuffleAll(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want finding
+}

@@ -1,0 +1,20 @@
+package nondetermrand
+
+import "math/rand/v2"
+
+// Noise uses an injected deterministic generator: allowed.
+func Noise(rng *rand.Rand) float64 {
+	return rng.NormFloat64()
+}
+
+// NewRNG builds a seeded generator with the deterministic constructors:
+// allowed.
+func NewRNG(a, b uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(a, b))
+}
+
+// shadowed uses a local variable named rand, which is not the package.
+func shadowed() int {
+	rand := struct{ IntN func(int) int }{IntN: func(n int) int { return n - 1 }}
+	return rand.IntN(3)
+}

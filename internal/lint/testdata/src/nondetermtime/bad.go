@@ -1,0 +1,15 @@
+// Package nondetermtime is a lint fixture for the nondeterm-time rule:
+// this package is outside the measurement-layer allowlist.
+package nondetermtime
+
+import "time"
+
+// Stamp leaks a wall-clock read into an algorithm path.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want finding
+}
+
+// Elapsed measures wall time outside the measurement layer.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want finding
+}

@@ -1,0 +1,17 @@
+package nondetermtime
+
+import "time"
+
+// Wait uses durations but never reads the clock: allowed.
+func Wait(d time.Duration) time.Duration {
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// Clocked takes an injected clock, the sanctioned shape for logic that
+// needs timestamps.
+func Clocked(now func() time.Time) time.Time {
+	return now()
+}

@@ -1,0 +1,32 @@
+// Package suppress is a lint fixture for the //lint:ignore directive.
+package suppress
+
+import "math/rand/v2"
+
+// Suppressed has a well-formed directive naming the right rule: silenced.
+func Suppressed() float64 {
+	//lint:ignore nondeterm-rand fixture exercising a valid suppression
+	return rand.Float64()
+}
+
+// WrongRule names a different rule, so the finding survives.
+func WrongRule() float64 {
+	//lint:ignore float-eq this names the wrong rule and must not silence
+	return rand.Float64() // want finding: nondeterm-rand
+}
+
+// Unsuppressed has no directive at all.
+func Unsuppressed() float64 {
+	return rand.Float64() // want finding: nondeterm-rand
+}
+
+// Malformed has a directive without a reason, which is itself a finding.
+func Malformed() float64 {
+	//lint:ignore nondeterm-rand
+	return rand.Float64() // want findings: bad-ignore and nondeterm-rand
+}
+
+// Trailing suppresses with a same-line directive.
+func Trailing() float64 {
+	return rand.Float64() //lint:ignore nondeterm-rand trailing form is silenced
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NondetermTime forbids reading the wall clock (time.Now, time.Since)
+// outside the measurement layer. A timestamp that leaks into an algorithm
+// path or a journal record differs between the original run and its
+// replay, silently breaking bit-for-bit resume. Wall-clock reads are
+// allowed only in the allowlisted measurement/serving layers and in
+// commands, where they feed human-facing progress output — and even there
+// timing that reaches trial metrics must flow through the power package's
+// Stopwatch seam.
+type NondetermTime struct{}
+
+// Name implements Rule.
+func (NondetermTime) Name() string { return "nondeterm-time" }
+
+// Doc implements Rule.
+func (NondetermTime) Doc() string {
+	return "no time.Now/time.Since outside internal/power, internal/studyd and cmd/"
+}
+
+// timeAllowedSegments are import-path segment sequences where wall-clock
+// reads are legitimate: the power-measurement layer, the serving daemon
+// (HTTP deadlines, shutdown grace), and command entry points.
+var timeAllowedSegments = []string{"internal/power", "internal/studyd", "cmd"}
+
+// timeForbidden are the wall-clock selectors the rule flags.
+var timeForbidden = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// Check implements Rule.
+func (r NondetermTime) Check(pkg *Package, report ReportFunc) {
+	for _, seg := range timeAllowedSegments {
+		if pathHasSegments(pkg.Path, seg) {
+			return
+		}
+	}
+	for _, name := range pkg.SortedFileNames() {
+		if IsTestFile(name) {
+			continue
+		}
+		file := pkg.Files[name]
+		timeName := importName(file, "time")
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !isPkgRef(sel.X, timeName) || !timeForbidden[sel.Sel.Name] {
+				return true
+			}
+			report(r.Name(), sel.Pos(),
+				"time.%s reads the wall clock outside the measurement layer; replayed runs will observe different values — route timing through internal/power (Stopwatch) or inject a clock",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

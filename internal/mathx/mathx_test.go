@@ -241,3 +241,42 @@ func TestBootstrapCI(t *testing.T) {
 	}()
 	BootstrapCI(rng, nil, 10, 0.9)
 }
+
+func TestApproxEq(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1 + 1e-6, 1e-9, false},
+		{0, 1e-12, 1e-9, true},                 // absolute regime near zero
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true}, // relative regime for large magnitudes
+		{1e12, 1.001e12, 1e-9, false},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.Inf(1), 1e300, 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 1, 1e-9, false},
+		{-2, -2, 0, true},
+	}
+	for _, c := range cases {
+		if got := ApproxEq(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEq(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+	// Symmetry holds for arbitrary inputs.
+	sym := func(a, b float64) bool { return ApproxEq(a, b, 1e-9) == ApproxEq(b, a, 1e-9) }
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(1.0, 1.05, 0.1) || Within(1.0, 1.2, 0.1) {
+		t.Fatal("Within absolute tolerance wrong")
+	}
+	if Within(math.NaN(), math.NaN(), 1) {
+		t.Fatal("NaN must not compare within anything")
+	}
+}

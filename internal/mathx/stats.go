@@ -7,6 +7,34 @@ import (
 	"sort"
 )
 
+// ApproxEq reports whether a and b are equal within tol, absolutely for
+// small magnitudes and relatively for large ones:
+//
+//	|a-b| <= tol * max(1, |a|, |b|)
+//
+// It is the comparison the float-eq lint rule points at: exact ==/!= on
+// floats breaks under any arithmetic reordering. NaNs never compare equal;
+// equal infinities do.
+func ApproxEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		//lint:ignore float-eq infinities carry no rounding error; exact compare is the definition
+		return a == b
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Within reports whether a and b differ by at most eps in absolute terms.
+func Within(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= eps
+}
+
 // Clip bounds x to [lo, hi].
 func Clip(x, lo, hi float64) float64 {
 	if x < lo {

@@ -273,7 +273,7 @@ func Knee(points []Point, dirs []Direction) int {
 	}
 	norm := func(i, d int) float64 {
 		v := normalize(points[i].Values[d], dirs[d])
-		if hi[d] == lo[d] {
+		if hi[d] <= lo[d] { // degenerate dimension (hi >= lo by construction)
 			return 0
 		}
 		return (v - lo[d]) / (hi[d] - lo[d])

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestCurveValidation(t *testing.T) {
@@ -86,4 +87,29 @@ func TestMeterNegativePanics(t *testing.T) {
 		}
 	}()
 	NewMeter(XeonW2102()).Add(0.5, -1)
+}
+
+func TestStopwatchInjectedClock(t *testing.T) {
+	// The stopwatch measures through an injectable clock so replays can
+	// freeze time; verify it reports exactly the injected advance.
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	w := StartStopwatchAt(clock)
+	if got := w.Elapsed(); got != 0 {
+		t.Fatalf("fresh stopwatch elapsed %v, want 0", got)
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if got := w.Elapsed(); got != 1500*time.Millisecond {
+		t.Fatalf("elapsed %v, want 1.5s", got)
+	}
+	if got := w.ElapsedSeconds(); got != 1.5 {
+		t.Fatalf("elapsed seconds %v, want 1.5", got)
+	}
+}
+
+func TestStopwatchRealClock(t *testing.T) {
+	w := StartStopwatch()
+	if w.Elapsed() < 0 {
+		t.Fatal("real stopwatch went backwards")
+	}
 }

@@ -1,0 +1,35 @@
+package power
+
+import "time"
+
+// Stopwatch is the repository's single sanctioned wall-clock seam. The
+// nondeterm-time lint rule forbids time.Now/time.Since outside the
+// measurement layer because wall-clock values differ between a campaign
+// and its journal replay; anything that wants to report human-facing wall
+// time (campaign progress, trial timing headed for a metric) measures
+// through a Stopwatch instead of reading the clock directly. The clock
+// source is injectable so tests — and deterministic replays — can freeze
+// it.
+type Stopwatch struct {
+	start time.Time
+	now   func() time.Time
+}
+
+// StartStopwatch starts a stopwatch on the real clock. This function and
+// the power Meter are the only places trial-visible timing may originate.
+func StartStopwatch() *Stopwatch {
+	return StartStopwatchAt(time.Now)
+}
+
+// StartStopwatchAt starts a stopwatch on an injected clock source, for
+// tests and frozen replays.
+func StartStopwatchAt(now func() time.Time) *Stopwatch {
+	return &Stopwatch{start: now(), now: now}
+}
+
+// Elapsed returns the wall time since the stopwatch started.
+func (s *Stopwatch) Elapsed() time.Duration { return s.now().Sub(s.start) }
+
+// ElapsedSeconds returns Elapsed in seconds, the unit the power Meter and
+// the paper's computation-time metric use.
+func (s *Stopwatch) ElapsedSeconds() float64 { return s.Elapsed().Seconds() }

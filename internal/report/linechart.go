@@ -39,10 +39,10 @@ func LineChartSVG(w io.Writer, title, xLabel, yLabel string, series []Series) er
 	if math.IsInf(minX, 1) {
 		return fmt.Errorf("report: all series empty")
 	}
-	if maxX == minX {
+	if maxX <= minX { // degenerate span (max >= min by construction)
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY <= minY {
 		maxY = minY + 1
 	}
 

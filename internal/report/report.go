@@ -238,10 +238,10 @@ func SVGScatter(w io.Writer, rep *core.Report, spec ScatterSpec) error {
 	}
 	padX := (maxX - minX) * 0.06
 	padY := (maxY - minY) * 0.06
-	if padX == 0 {
+	if padX <= 0 { // degenerate span (pads are non-negative by construction)
 		padX = 1
 	}
-	if padY == 0 {
+	if padY <= 0 {
 		padY = 1
 	}
 	minX, maxX = minX-padX, maxX+padX

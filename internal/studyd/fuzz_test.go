@@ -1,0 +1,61 @@
+package studyd
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecDecode feeds arbitrary bytes through the HTTP submission path's
+// decode-then-validate sequence. Invariants: decoding and validation
+// never panic, validation is deterministic, a valid spec builds its
+// parameter space and survives a JSON round trip, and the round-tripped
+// spec is still valid — the property the daemon's crash-safe resume
+// depends on, since specs are persisted verbatim and rebuilt on restart.
+func FuzzSpecDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"s","budget":4,"objective":"sphere",` +
+		`"params":[{"name":"x","type":"floatrange","lo":-5,"hi":5}],` +
+		`"metrics":[{"name":"loss","direction":"min"}],"seed":7}`))
+	f.Add([]byte(`{"name":"g","budget":2,"objective":"rastrigin",` +
+		`"explorer":{"type":"grid"},` +
+		`"params":[{"name":"k","type":"intset","ints":[1,2,3]},` +
+		`{"name":"alg","type":"categorical","options":["ppo","sac"]}],` +
+		`"metrics":[{"name":"reward","direction":"max"}]}`))
+	f.Add([]byte(`{"params":[{"name":"x","type":"floatrange","lo":5,"hi":-5}]}`))
+	f.Add([]byte(`{"params":[{"name":"x","type":"floatrange","lo":1e308,"hi":-1e308,"log":true}]}`))
+	f.Add([]byte(`{"budget":-1}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sp Spec
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return
+		}
+		err := sp.Validate()
+		if err2 := sp.Validate(); (err == nil) != (err2 == nil) {
+			t.Fatalf("validation not deterministic: %v vs %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		// A valid spec must materialize its space and survive the persist/
+		// reload round trip the daemon performs on restart.
+		if _, serr := sp.Space(); serr != nil {
+			t.Fatalf("valid spec failed to build its space: %v", serr)
+		}
+		out, merr := json.Marshal(sp)
+		if merr != nil {
+			t.Fatalf("valid spec failed to marshal: %v", merr)
+		}
+		var back Spec
+		if uerr := json.Unmarshal(out, &back); uerr != nil {
+			t.Fatalf("persisted spec failed to reload: %v", uerr)
+		}
+		if !reflect.DeepEqual(sp, back) {
+			t.Fatalf("spec changed across persist round trip:\n  %+v\n  %+v", sp, back)
+		}
+		if verr := back.Validate(); verr != nil {
+			t.Fatalf("reloaded spec no longer valid: %v", verr)
+		}
+	})
+}
