@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	rldecide-serve [-addr :8080] [-dir studyd-state] [-workers 4] [-drain 30s]
+//	rldecide-serve [-addr :8080] [-dir studyd-state] [-workers 4]
+//	               [-exec local|fleet] [-token TOKEN] [-drain 30s]
+//
+// With -exec fleet the daemon executes no trials itself: it dispatches
+// them to rldecide-worker daemons that register over HTTP and stay live
+// via heartbeats (see docs/workerd.md). -token guards study submission and
+// the worker endpoints with a static bearer token.
 //
 // The state directory holds one <id>.spec.json and one <id>.trials.jsonl
 // per study. Killing the daemon (SIGINT/SIGTERM, or a crash) never loses
@@ -22,6 +28,10 @@
 //	GET  /studies/{id}/trials  finished trials so far
 //	GET  /studies/{id}/front   current Pareto ranking
 //	POST /studies/{id}/cancel  stop a study (resumable later)
+//	GET  /workers              live fleet members
+//	POST /workers/register     add a worker to the fleet
+//	POST /workers/heartbeat    refresh a worker
+//	POST /workers/deregister   remove a worker
 package main
 
 import (
@@ -40,12 +50,14 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		dir     = flag.String("dir", "studyd-state", "state directory (specs + trial journals)")
-		workers = flag.Int("workers", 4, "shared worker-pool size (max concurrent trials across studies)")
+		workers = flag.Int("workers", 4, "local executor slots (max concurrent trials across studies)")
+		exec    = flag.String("exec", studyd.ExecLocal, "trial executor: local (in-process) or fleet (remote workers)")
+		token   = flag.String("token", "", "bearer token required on submissions and worker endpoints")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
 
-	d, err := studyd.New(studyd.Config{Dir: *dir, Workers: *workers})
+	d, err := studyd.New(studyd.Config{Dir: *dir, Workers: *workers, Exec: *exec, Token: *token})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rldecide-serve: %v\n", err)
 		os.Exit(1)

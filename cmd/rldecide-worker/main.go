@@ -1,0 +1,99 @@
+// Command rldecide-worker is a remote trial executor for rldecide-serve:
+// it registers with a study daemon running in fleet mode, receives trial
+// dispatches ({spec, params, seed}) over HTTP, evaluates them against the
+// process-local objective registry, and reports the results. Workers are
+// stateless — every dispatch is self-contained — so any number of them
+// can join, crash, restart and re-register mid-campaign without touching
+// the daemon's journal.
+//
+// Usage:
+//
+//	rldecide-worker -serve http://daemon:8080 [-addr 127.0.0.1:9090]
+//	                [-advertise URL] [-name NAME] [-slots 2]
+//	                [-token TOKEN] [-heartbeat 3s] [-drain 10s]
+//
+// The worker serves:
+//
+//	GET  /healthz  liveness + in-flight trial count
+//	POST /run      evaluate one trial request
+//
+// -advertise is the URL the daemon dials back; it defaults to
+// http://127.0.0.1:<port of -addr>, so set it explicitly when daemon and
+// worker are on different hosts. SIGINT/SIGTERM deregisters from the
+// daemon and drains in-flight trials before exiting; a kill -9 is also
+// safe — the daemon times the worker out and requeues its trials.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rldecide/internal/executor"
+	"rldecide/internal/studyd"
+)
+
+func main() {
+	var (
+		serve     = flag.String("serve", "http://127.0.0.1:8080", "base URL of the rldecide-serve daemon")
+		addr      = flag.String("addr", "127.0.0.1:9090", "listen address for trial dispatches")
+		advertise = flag.String("advertise", "", "URL the daemon dials back (default http://127.0.0.1:<port>)")
+		name      = flag.String("name", "", "worker name for registration and journal attribution (default worker-<pid>)")
+		slots     = flag.Int("slots", 2, "concurrent-trial capacity")
+		token     = flag.String("token", "", "bearer token shared with the daemon")
+		heartbeat = flag.Duration("heartbeat", 3*time.Second, "heartbeat interval")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	if *name == "" {
+		*name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if *advertise == "" {
+		hostport := *addr
+		if strings.HasPrefix(hostport, ":") {
+			hostport = "127.0.0.1" + hostport
+		}
+		*advertise = "http://" + hostport
+	}
+
+	ws := &executor.Server{Name: *name, Eval: studyd.EvaluateRequest, Token: *token, Logf: log.Printf}
+	srv := &http.Server{Addr: *addr, Handler: ws.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("rldecide-worker: %s serving on %s (%d slots), registering with %s", *name, *addr, *slots, *serve)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	reg := &executor.Registrar{
+		Daemon:   *serve,
+		Info:     executor.WorkerInfo{Name: *name, URL: *advertise, Slots: *slots},
+		Token:    *token,
+		Interval: *heartbeat,
+		Logf:     log.Printf,
+	}
+	regc := make(chan error, 1)
+	go func() { regc <- reg.Run(ctx) }()
+
+	var err error
+	select {
+	case err = <-errc: // listener died
+	case err = <-regc: // registration invalid or ctx cancelled
+	case <-ctx.Done():
+		err = <-regc // wait for the deregister to go out
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rldecide-worker: %v\n", err)
+		os.Exit(1)
+	}
+}

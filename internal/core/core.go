@@ -56,6 +56,11 @@ type Trial struct {
 	Pruned       bool
 	Err          error
 	Seed         uint64
+	// Worker names the executor that evaluated the trial ("local", or a
+	// remote worker's registered name). Attribution only: replay and
+	// ranking ignore it, so a campaign resumes identically whether its
+	// journal was written by one process or a fleet.
+	Worker string
 }
 
 // Recorder is handed to the objective to report metric values and
@@ -77,6 +82,27 @@ func (r *Recorder) Context() context.Context {
 		return context.Background()
 	}
 	return r.ctx
+}
+
+// TrialID returns the ID of the trial being recorded (0 for standalone
+// recorders from NewRecorder). Executors use it to address dispatches.
+func (r *Recorder) TrialID() int { return r.trial.ID }
+
+// SetWorker records which executor evaluated the trial (see Trial.Worker).
+func (r *Recorder) SetWorker(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trial.Worker = name
+}
+
+// NewRecorder returns a standalone recorder over the given metrics for
+// objective execution outside a Study — the shape remote workers use: they
+// rebuild the objective from a dispatched spec, run it against this
+// recorder, and ship the collected trial values back. The returned Trial
+// accumulates the reported values.
+func NewRecorder(ctx context.Context, metrics []Metric) (*Recorder, *Trial) {
+	t := &Trial{Values: map[string]float64{}}
+	return &Recorder{study: &Study{Metrics: metrics}, trial: t, ctx: ctx}, t
 }
 
 func (r *Recorder) wasInterrupted() bool {

@@ -1,0 +1,81 @@
+// Package executor runs study trials on behalf of the studyd daemon. It
+// is the seam the paper's distributed deployments plug into: the daemon
+// derives trial parameters and seeds from the explorer exactly as before,
+// then hands each trial to an Executor instead of calling the objective
+// inline. Two implementations ship:
+//
+//   - Local evaluates trials in-process on a bounded slot pool (the
+//     default — today's behavior, restated as an executor lease).
+//   - Fleet dispatches trials over HTTP to registered worker daemons
+//     (cmd/rldecide-worker), tracks the workers via heartbeats, applies a
+//     per-attempt timeout, and retries a failed dispatch on another
+//     worker with exponential backoff — so killing a worker mid-trial
+//     requeues the trial instead of losing it.
+//
+// The determinism contract: a TrialRequest fully determines its
+// TrialResult. Workers are pure functions of (spec, params, seed), so a
+// trial retried on a different worker — or replayed after a crash —
+// produces the same values, and a campaign's journal is byte-identical
+// (modulo worker attribution) whether it ran locally or across N workers.
+package executor
+
+import (
+	"context"
+	"encoding/json"
+)
+
+// TrialRequest is one trial dispatch: everything a worker needs to
+// evaluate the trial with no state of its own.
+type TrialRequest struct {
+	StudyID string `json:"study_id"`
+	TrialID int    `json:"trial_id"`
+	// Spec is the submitting study's spec, verbatim as persisted by the
+	// daemon; the worker rebuilds the objective from it against its own
+	// objective registry.
+	Spec json.RawMessage `json:"spec"`
+	// Params is the explorer's assignment in its canonical journal
+	// rendering (parameter name -> value string).
+	Params map[string]string `json:"params"`
+	// Seed is the trial's derived seed; together with Params it makes the
+	// evaluation reproducible on any node.
+	Seed uint64 `json:"seed"`
+}
+
+// TrialResult is the worker's answer.
+type TrialResult struct {
+	StudyID string             `json:"study_id"`
+	TrialID int                `json:"trial_id"`
+	Values  map[string]float64 `json:"values,omitempty"`
+	// Error reports a deterministic objective failure — the trial ran and
+	// failed the same way it would anywhere, so the daemon journals it
+	// like a local failure. Transport/infrastructure failures surface as
+	// Go errors from Executor.Run instead and are retried, never journaled.
+	Error string `json:"error,omitempty"`
+	// Worker names the node that evaluated the trial (attribution only).
+	Worker string `json:"worker,omitempty"`
+}
+
+// EvalFunc evaluates one trial request. studyd.EvaluateRequest is the
+// canonical implementation; Local and the worker daemon share it, which is
+// what makes local and fleet campaigns bit-for-bit comparable.
+type EvalFunc func(ctx context.Context, req TrialRequest) (TrialResult, error)
+
+// Stats reports an executor's capacity and occupancy.
+type Stats struct {
+	// Cap is the maximum number of concurrently executing trials (for a
+	// fleet: the summed slots of live workers).
+	Cap int `json:"cap"`
+	// InUse is the number of trials executing right now.
+	InUse int `json:"in_use"`
+	// Workers is the number of live workers backing the capacity (1 for
+	// the local executor).
+	Workers int `json:"workers"`
+}
+
+// Executor runs trials. Run blocks until the trial has been evaluated
+// (waiting for capacity if none is free), ctx is cancelled, or the
+// executor gives up; a nil error means the result is authoritative.
+type Executor interface {
+	Run(ctx context.Context, req TrialRequest) (TrialResult, error)
+	Stats() Stats
+}

@@ -1,0 +1,412 @@
+package executor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rldecide/internal/power"
+)
+
+func testLogf(t *testing.T) func(string, ...any) {
+	return func(format string, args ...any) { t.Logf(format, args...) }
+}
+
+// echoEval answers with a value derived only from the request — the pure
+// function the determinism contract demands.
+func echoEval(ctx context.Context, req TrialRequest) (TrialResult, error) {
+	return TrialResult{
+		StudyID: req.StudyID,
+		TrialID: req.TrialID,
+		Values:  map[string]float64{"f": float64(req.Seed)},
+	}, nil
+}
+
+func req(id int) TrialRequest {
+	return TrialRequest{StudyID: "s0001", TrialID: id, Seed: uint64(id) * 10, Spec: json.RawMessage(`{}`)}
+}
+
+func TestLocalBoundsConcurrency(t *testing.T) {
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	slow := func(ctx context.Context, r TrialRequest) (TrialResult, error) {
+		mu.Lock()
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		time.Sleep(3 * time.Millisecond)
+		mu.Lock()
+		cur--
+		mu.Unlock()
+		return echoEval(ctx, r)
+	}
+	l := NewLocal(2, slow)
+	var wg sync.WaitGroup
+	for i := 1; i <= 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			res, err := l.Run(context.Background(), req(id))
+			if err != nil {
+				t.Errorf("trial %d: %v", id, err)
+				return
+			}
+			if res.Worker != LocalWorkerName {
+				t.Errorf("trial %d attributed to %q", id, res.Worker)
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if peak > 2 {
+		t.Fatalf("local executor leaked concurrency: peak %d > 2 slots", peak)
+	}
+	if s := l.Stats(); s.Cap != 2 || s.InUse != 0 || s.Workers != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestLocalCancelWhileQueued(t *testing.T) {
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, r TrialRequest) (TrialResult, error) {
+		select {
+		case <-release:
+			return echoEval(ctx, r)
+		case <-ctx.Done():
+			return TrialResult{}, ctx.Err()
+		}
+	}
+	l := NewLocal(1, blocking)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, _ = l.Run(ctx, req(1)) // occupies the only slot
+	}()
+	for l.Stats().InUse == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Run(ctx, req(2)) // queued behind trial 1
+		errc <- err
+	}()
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("queued trial returned %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+// startWorker spins an in-process worker daemon and returns it with its
+// registration info.
+func startWorker(t *testing.T, name string, slots int, eval EvalFunc, token string) (*httptest.Server, WorkerInfo) {
+	t.Helper()
+	ws := &Server{Name: name, Eval: eval, Token: token, Logf: testLogf(t)}
+	ts := httptest.NewServer(ws.Handler())
+	t.Cleanup(ts.Close)
+	return ts, WorkerInfo{Name: name, URL: ts.URL, Slots: slots}
+}
+
+func TestFleetDispatchesAndAttributes(t *testing.T) {
+	f := NewFleet(FleetOptions{Logf: testLogf(t)})
+	_, w1 := startWorker(t, "w1", 2, echoEval, "")
+	_, w2 := startWorker(t, "w2", 2, echoEval, "")
+	for _, w := range []WorkerInfo{w1, w2} {
+		if fresh, err := f.Upsert(w); err != nil || !fresh {
+			t.Fatalf("upsert %s: fresh=%v err=%v", w.Name, fresh, err)
+		}
+	}
+	if s := f.Stats(); s.Cap != 4 || s.Workers != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	byWorker := map[string]int{}
+	for i := 1; i <= 12; i++ {
+		res, err := f.Run(context.Background(), req(i))
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if res.Values["f"] != float64(i)*10 {
+			t.Fatalf("trial %d value %v", i, res.Values["f"])
+		}
+		byWorker[res.Worker]++
+	}
+	if byWorker["w1"]+byWorker["w2"] != 12 {
+		t.Fatalf("attribution: %v", byWorker)
+	}
+	ws := f.Workers()
+	if len(ws) != 2 || ws[0].Name != "w1" || ws[1].Name != "w2" {
+		t.Fatalf("workers: %+v", ws)
+	}
+	if ws[0].Completed+ws[1].Completed != 12 {
+		t.Fatalf("completion counters: %+v", ws)
+	}
+}
+
+func TestFleetBlocksUntilWorkerRegisters(t *testing.T) {
+	f := NewFleet(FleetOptions{Logf: testLogf(t)})
+	done := make(chan TrialResult, 1)
+	go func() {
+		res, err := f.Run(context.Background(), req(1))
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+		done <- res
+	}()
+	select {
+	case <-done:
+		t.Fatal("trial ran with no workers registered")
+	case <-time.After(20 * time.Millisecond):
+	}
+	_, w := startWorker(t, "late", 1, echoEval, "")
+	if _, err := f.Upsert(w); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if res.Worker != "late" {
+			t.Fatalf("attribution: %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("trial never dispatched after registration")
+	}
+}
+
+// TestFleetFailoverOnWorkerDeath kills a worker's connections mid-trial
+// (the kill -9 signature) and requires the trial to be requeued onto the
+// surviving worker with an identical result.
+func TestFleetFailoverOnWorkerDeath(t *testing.T) {
+	var dead atomic.Bool
+	var doomedCalls atomic.Int32
+	doomedSrv, doomed := startWorker(t, "doomed", 1, func(ctx context.Context, r TrialRequest) (TrialResult, error) {
+		doomedCalls.Add(1)
+		if dead.Load() {
+			<-ctx.Done() // a killed process answers nothing
+			return TrialResult{}, ctx.Err()
+		}
+		return echoEval(ctx, r)
+	}, "")
+	_, survivor := startWorker(t, "survivor", 1, echoEval, "")
+
+	f := NewFleet(FleetOptions{
+		AttemptTimeout: 200 * time.Millisecond,
+		Backoff:        5 * time.Millisecond,
+		Logf:           testLogf(t),
+	})
+	if _, err := f.Upsert(doomed); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(context.Background(), req(1))
+	if err != nil || res.Worker != "doomed" {
+		t.Fatalf("warmup trial: %+v %v", res, err)
+	}
+
+	// Kill: the worker stops answering and its connections die.
+	dead.Store(true)
+	doomedSrv.CloseClientConnections()
+	if _, err := f.Upsert(survivor); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err = f.Run(context.Background(), req(2))
+	if err != nil {
+		t.Fatalf("failover trial: %v", err)
+	}
+	if res.Worker != "survivor" || res.Values["f"] != 20 {
+		t.Fatalf("failover result: %+v", res)
+	}
+	// The dead worker is out of the fleet until it heartbeats again.
+	for _, w := range f.Workers() {
+		if w.Name == "doomed" {
+			t.Fatalf("dead worker still in fleet: %+v", w)
+		}
+	}
+	// A heartbeat re-admits it.
+	dead.Store(false)
+	if fresh, err := f.Upsert(doomed); err != nil || !fresh {
+		t.Fatalf("re-admission: fresh=%v err=%v", fresh, err)
+	}
+	if s := f.Stats(); s.Workers != 2 {
+		t.Fatalf("stats after re-admission: %+v", s)
+	}
+}
+
+func TestFleetGivesUpAfterMaxAttempts(t *testing.T) {
+	_, w := startWorker(t, "broken", 1, func(ctx context.Context, r TrialRequest) (TrialResult, error) {
+		return TrialResult{}, fmt.Errorf("disk on fire")
+	}, "")
+	f := NewFleet(FleetOptions{MaxAttempts: 2, Backoff: time.Millisecond, Logf: testLogf(t)})
+	attempts := 0
+	go func() {
+		// Re-admit the broken worker after each drop so Run can retry it.
+		for i := 0; i < 3; i++ {
+			_, _ = f.Upsert(w)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	if _, err := f.Upsert(w); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.Run(context.Background(), req(1))
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("want bounded-retry failure, got %v (attempts %d)", err, attempts)
+	}
+}
+
+func TestFleetHeartbeatExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := power.StartStopwatchAt(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	f := NewFleet(FleetOptions{HeartbeatTTL: 10 * time.Second, Clock: clock, Logf: testLogf(t)})
+	_, w := startWorker(t, "mortal", 1, echoEval, "")
+	if _, err := f.Upsert(w); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.Stats(); s.Workers != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	mu.Lock()
+	now = now.Add(11 * time.Second)
+	mu.Unlock()
+	if s := f.Stats(); s.Workers != 0 || s.Cap != 0 {
+		t.Fatalf("expired worker still counted: %+v", s)
+	}
+	// A fresh heartbeat revives it.
+	if fresh, err := f.Upsert(w); err != nil || !fresh {
+		t.Fatalf("revival: fresh=%v err=%v", fresh, err)
+	}
+	if s := f.Stats(); s.Workers != 1 {
+		t.Fatalf("stats after revival: %+v", s)
+	}
+}
+
+func TestWorkerServerAuthAndErrors(t *testing.T) {
+	_, w := startWorker(t, "guarded", 1, echoEval, "sesame")
+
+	// Wrong token -> 401, and the fleet surfaces it as a dispatch error.
+	f := NewFleet(FleetOptions{MaxAttempts: 1, Token: "wrong", Logf: testLogf(t)})
+	if _, err := f.Upsert(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(context.Background(), req(1)); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("want 401 dispatch failure, got %v", err)
+	}
+
+	// Right token -> result.
+	f2 := NewFleet(FleetOptions{Token: "sesame", Logf: testLogf(t)})
+	if _, err := f2.Upsert(w); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f2.Run(context.Background(), req(1))
+	if err != nil || res.Worker != "guarded" {
+		t.Fatalf("authed dispatch: %+v %v", res, err)
+	}
+
+	// Malformed body -> 400.
+	resp, err := http.Post(w.URL+"/run", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated malformed post: %d", resp.StatusCode)
+	}
+}
+
+func TestWorkerInfoValidate(t *testing.T) {
+	cases := []WorkerInfo{
+		{},
+		{Name: "w"},
+		{Name: "w", URL: "ftp://nope"},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v validated", c)
+		}
+	}
+	if err := (WorkerInfo{Name: "w", URL: "http://h:1"}).Validate(); err != nil {
+		t.Errorf("good info rejected: %v", err)
+	}
+}
+
+func TestRegistrarLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	events := []string{}
+	record := func(kind string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if !CheckBearer(r, "tok") {
+				w.WriteHeader(http.StatusUnauthorized)
+				return
+			}
+			var info WorkerInfo
+			if err := json.NewDecoder(r.Body).Decode(&info); err != nil || info.Name != "reg" {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			mu.Lock()
+			events = append(events, kind)
+			mu.Unlock()
+			w.WriteHeader(http.StatusOK)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /workers/register", record("register"))
+	mux.HandleFunc("POST /workers/heartbeat", record("heartbeat"))
+	mux.HandleFunc("POST /workers/deregister", record("deregister"))
+	daemon := httptest.NewServer(mux)
+	defer daemon.Close()
+
+	reg := &Registrar{
+		Daemon:   daemon.URL,
+		Info:     WorkerInfo{Name: "reg", URL: "http://127.0.0.1:1", Slots: 1},
+		Token:    "tok",
+		Interval: 5 * time.Millisecond,
+		Logf:     testLogf(t),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- reg.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		beats := 0
+		for _, e := range events {
+			if e == "heartbeat" {
+				beats++
+			}
+		}
+		mu.Unlock()
+		if beats >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no heartbeats observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("clean stop returned %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events[0] != "register" {
+		t.Fatalf("first event %q, want register", events[0])
+	}
+	if events[len(events)-1] != "deregister" {
+		t.Fatalf("last event %q, want deregister", events[len(events)-1])
+	}
+}

@@ -1,0 +1,366 @@
+package executor
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rldecide/internal/power"
+)
+
+// WorkerInfo is a worker's registration: how the daemon reaches it and how
+// many trials it runs at once. The same payload registers, heartbeats and
+// re-registers — a heartbeat from an unknown worker (say, one the fleet
+// dropped after a timeout) simply re-adds it.
+type WorkerInfo struct {
+	// Name identifies the worker; journal records attribute trials to it.
+	Name string `json:"name"`
+	// URL is the worker's base URL (the daemon POSTs trials to URL+"/run").
+	URL string `json:"url"`
+	// Slots is the worker's concurrent-trial capacity (< 1 treated as 1).
+	Slots int `json:"slots"`
+}
+
+// Validate checks a registration payload.
+func (w WorkerInfo) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("executor: worker registration needs a name")
+	}
+	if !strings.HasPrefix(w.URL, "http://") && !strings.HasPrefix(w.URL, "https://") {
+		return fmt.Errorf("executor: worker %q needs an http(s) url, got %q", w.Name, w.URL)
+	}
+	return nil
+}
+
+// WorkerStatus is the API-facing digest of one fleet member.
+type WorkerStatus struct {
+	WorkerInfo
+	InFlight   int     `json:"in_flight"`
+	Dispatched int     `json:"dispatched"`
+	Completed  int     `json:"completed"`
+	Failed     int     `json:"failed"`
+	BeatAgeSec float64 `json:"beat_age_seconds"`
+}
+
+// FleetOptions tunes a Fleet. The zero value is usable: every field has a
+// default.
+type FleetOptions struct {
+	// AttemptTimeout bounds one dispatch attempt (connection + evaluation);
+	// an attempt that exceeds it is abandoned and the trial is retried on
+	// another worker (default 10m, <0 disables).
+	AttemptTimeout time.Duration
+	// MaxAttempts bounds how many workers a trial is tried on before Run
+	// gives up (default 4).
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// retry (default 100ms).
+	Backoff time.Duration
+	// HeartbeatTTL expires workers whose last heartbeat is older than this
+	// (default 15s). Expiry is lazy — checked at every lease — so the
+	// fleet needs no background goroutine.
+	HeartbeatTTL time.Duration
+	// Token, when set, is sent as a bearer token on every dispatch (the
+	// worker daemons check it).
+	Token string
+	// Client is the dispatch HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Clock is the wall-clock seam used to age heartbeats; inject a fake
+	// stopwatch in tests (default power.StartStopwatch()).
+	Clock *power.Stopwatch
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Fleet dispatches trials over HTTP to registered workers. Scheduling is a
+// lease: Run picks the live worker with the most free slots (name order
+// breaks ties), blocks when every slot is busy or no worker is registered,
+// and requeues the trial onto another worker when a dispatch fails — which
+// is how a mid-campaign kill -9 of a worker loses no trials.
+type Fleet struct {
+	opts   FleetOptions
+	client *http.Client
+	clock  *power.Stopwatch
+	logf   func(string, ...any)
+
+	mu      sync.Mutex
+	workers map[string]*remoteWorker
+	wait    chan struct{} // closed+replaced whenever capacity may have grown
+}
+
+type remoteWorker struct {
+	info       WorkerInfo
+	lastBeat   time.Duration // clock offset of the last heartbeat/registration
+	inFlight   int
+	dispatched int
+	completed  int
+	failed     int
+}
+
+// NewFleet returns an empty fleet; workers join via Upsert (the daemon's
+// register/heartbeat endpoints call it).
+func NewFleet(opts FleetOptions) *Fleet {
+	if opts.AttemptTimeout == 0 {
+		opts.AttemptTimeout = 10 * time.Minute
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	if opts.HeartbeatTTL <= 0 {
+		opts.HeartbeatTTL = 15 * time.Second
+	}
+	f := &Fleet{
+		opts:    opts,
+		client:  opts.Client,
+		clock:   opts.Clock,
+		logf:    opts.Logf,
+		workers: map[string]*remoteWorker{},
+		wait:    make(chan struct{}),
+	}
+	if f.client == nil {
+		f.client = http.DefaultClient
+	}
+	if f.clock == nil {
+		f.clock = power.StartStopwatch()
+	}
+	if f.logf == nil {
+		f.logf = func(string, ...any) {}
+	}
+	return f
+}
+
+// Upsert registers a worker or refreshes an existing one's heartbeat and
+// registration info. It returns true when the worker is new to the fleet.
+func (f *Fleet) Upsert(info WorkerInfo) (bool, error) {
+	if err := info.Validate(); err != nil {
+		return false, err
+	}
+	if info.Slots < 1 {
+		info.Slots = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[info.Name]
+	if !ok {
+		w = &remoteWorker{}
+		f.workers[info.Name] = w
+	}
+	w.info = info
+	w.lastBeat = f.clock.Elapsed()
+	f.wakeLocked()
+	return !ok, nil
+}
+
+// Remove deregisters a worker, reporting whether it was present. In-flight
+// dispatches to it finish (or fail and retry elsewhere) on their own.
+func (f *Fleet) Remove(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.workers[name]
+	delete(f.workers, name)
+	f.wakeLocked()
+	return ok
+}
+
+// Workers returns the live fleet members, name-sorted.
+func (f *Fleet) Workers() []WorkerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.expireLocked()
+	now := f.clock.Elapsed()
+	out := make([]WorkerStatus, 0, len(f.workers))
+	for _, w := range f.workers {
+		out = append(out, WorkerStatus{
+			WorkerInfo: w.info,
+			InFlight:   w.inFlight,
+			Dispatched: w.dispatched,
+			Completed:  w.completed,
+			Failed:     w.failed,
+			BeatAgeSec: (now - w.lastBeat).Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats implements Executor.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.expireLocked()
+	var s Stats
+	for _, w := range f.workers {
+		s.Cap += w.info.Slots
+		s.InUse += w.inFlight
+		s.Workers++
+	}
+	return s
+}
+
+// Run implements Executor: lease a worker, dispatch the trial with the
+// per-attempt timeout, and on failure drop the worker (its next heartbeat
+// re-admits it) and requeue the trial — backing off exponentially — until
+// the result arrives, ctx is cancelled, or MaxAttempts workers have failed.
+func (f *Fleet) Run(ctx context.Context, req TrialRequest) (TrialResult, error) {
+	backoff := f.opts.Backoff
+	for attempt := 1; ; attempt++ {
+		w, err := f.lease(ctx)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		res, err := f.dispatch(ctx, w, req)
+		f.settle(w.Name, err == nil)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return TrialResult{}, ctx.Err()
+		}
+		f.drop(w.Name, err)
+		f.logf("executor: trial %s/%d attempt %d on worker %s failed: %v",
+			req.StudyID, req.TrialID, attempt, w.Name, err)
+		if attempt >= f.opts.MaxAttempts {
+			return TrialResult{}, fmt.Errorf("executor: trial %s/%d failed on %d workers, giving up: %w",
+				req.StudyID, req.TrialID, attempt, err)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return TrialResult{}, ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// lease blocks until a live worker has a free slot, then claims it.
+func (f *Fleet) lease(ctx context.Context) (WorkerInfo, error) {
+	for {
+		f.mu.Lock()
+		f.expireLocked()
+		names := make([]string, 0, len(f.workers))
+		for name := range f.workers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var pick *remoteWorker
+		for _, name := range names {
+			w := f.workers[name]
+			if w.inFlight >= w.info.Slots {
+				continue
+			}
+			if pick == nil || w.info.Slots-w.inFlight > pick.info.Slots-pick.inFlight {
+				pick = w
+			}
+		}
+		if pick != nil {
+			pick.inFlight++
+			pick.dispatched++
+			info := pick.info
+			f.mu.Unlock()
+			return info, nil
+		}
+		wait := f.wait
+		f.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return WorkerInfo{}, ctx.Err()
+		}
+	}
+}
+
+// settle releases a lease and updates the worker's counters.
+func (f *Fleet) settle(name string, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w, present := f.workers[name]; present {
+		w.inFlight--
+		if ok {
+			w.completed++
+		} else {
+			w.failed++
+		}
+	}
+	f.wakeLocked()
+}
+
+// drop removes a faulted worker until its next heartbeat re-admits it.
+func (f *Fleet) drop(name string, cause error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.workers[name]; ok {
+		delete(f.workers, name)
+		f.logf("executor: dropping worker %s until its next heartbeat: %v", name, cause)
+	}
+	f.wakeLocked()
+}
+
+// expireLocked drops workers whose heartbeat is older than the TTL.
+// Callers hold f.mu.
+func (f *Fleet) expireLocked() {
+	now := f.clock.Elapsed()
+	for name, w := range f.workers {
+		if now-w.lastBeat > f.opts.HeartbeatTTL {
+			delete(f.workers, name)
+			f.logf("executor: worker %s heartbeat expired (%.1fs > %s)", name, (now - w.lastBeat).Seconds(), f.opts.HeartbeatTTL)
+		}
+	}
+}
+
+// wakeLocked rouses every goroutine blocked in lease so it re-evaluates
+// capacity. Callers hold f.mu.
+func (f *Fleet) wakeLocked() {
+	close(f.wait)
+	f.wait = make(chan struct{})
+}
+
+// dispatch POSTs the trial to one worker and decodes its answer.
+func (f *Fleet) dispatch(ctx context.Context, w WorkerInfo, req TrialRequest) (TrialResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return TrialResult{}, fmt.Errorf("executor: encoding trial request: %w", err)
+	}
+	if f.opts.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.opts.AttemptTimeout)
+		defer cancel()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(w.URL, "/")+"/run", bytes.NewReader(body))
+	if err != nil {
+		return TrialResult{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if f.opts.Token != "" {
+		hreq.Header.Set("Authorization", "Bearer "+f.opts.Token)
+	}
+	resp, err := f.client.Do(hreq)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return TrialResult{}, fmt.Errorf("executor: worker %s answered %d: %s", w.Name, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var res TrialResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return TrialResult{}, fmt.Errorf("executor: decoding worker %s result: %w", w.Name, err)
+	}
+	if res.TrialID != req.TrialID || res.StudyID != req.StudyID {
+		return TrialResult{}, fmt.Errorf("executor: worker %s answered trial %s/%d for dispatch %s/%d",
+			w.Name, res.StudyID, res.TrialID, req.StudyID, req.TrialID)
+	}
+	if res.Worker == "" {
+		res.Worker = w.Name
+	}
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package executor
+
+import (
+	"context"
+	"fmt"
+)
+
+// LocalWorkerName is the attribution recorded for in-process evaluations.
+const LocalWorkerName = "local"
+
+// Local evaluates trials in-process on a bounded slot pool. It is the
+// daemon's default executor and the restatement of the old shared worker
+// pool: a trial leases a slot (waiting when all are busy, giving up when
+// its run context is cancelled so queued trials drain instantly on
+// shutdown), evaluates, and releases the slot the moment it finishes —
+// work-conserving across every active study.
+type Local struct {
+	eval  EvalFunc
+	slots chan struct{}
+}
+
+// NewLocal returns a local executor with n concurrent slots (n < 1 is
+// treated as 1) evaluating trials with eval.
+func NewLocal(n int, eval EvalFunc) *Local {
+	if n < 1 {
+		n = 1
+	}
+	if eval == nil {
+		panic("executor: NewLocal needs an EvalFunc")
+	}
+	return &Local{eval: eval, slots: make(chan struct{}, n)}
+}
+
+// Run implements Executor: lease a slot, evaluate, release.
+func (l *Local) Run(ctx context.Context, req TrialRequest) (TrialResult, error) {
+	select {
+	case l.slots <- struct{}{}:
+	case <-ctx.Done():
+		return TrialResult{}, ctx.Err()
+	}
+	defer func() { <-l.slots }()
+	res, err := l.eval(ctx, req)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	if res.Worker == "" {
+		res.Worker = LocalWorkerName
+	}
+	if res.TrialID != req.TrialID || res.StudyID != req.StudyID {
+		return TrialResult{}, fmt.Errorf("executor: local result for trial %s/%d answers %s/%d",
+			req.StudyID, req.TrialID, res.StudyID, res.TrialID)
+	}
+	return res, nil
+}
+
+// Stats implements Executor.
+func (l *Local) Stats() Stats {
+	return Stats{Cap: cap(l.slots), InUse: len(l.slots), Workers: 1}
+}

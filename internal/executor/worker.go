@@ -1,0 +1,216 @@
+package executor
+
+import (
+	"bytes"
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the worker daemon's HTTP surface: it receives trial dispatches
+// from a Fleet, evaluates them with Eval, and answers with the result.
+// Workers hold no campaign state — every request is self-contained — so a
+// worker can crash, restart and re-register at any time without the
+// daemon's journal noticing.
+type Server struct {
+	// Name is the worker's registered name, stamped into every result for
+	// journal attribution.
+	Name string
+	// Eval evaluates one trial (typically studyd.EvaluateRequest).
+	Eval EvalFunc
+	// Token, when set, is required as a bearer token on /run.
+	Token string
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+
+	inFlight atomic.Int64
+}
+
+// Handler returns the worker API:
+//
+//	GET  /healthz  liveness + in-flight trial count
+//	POST /run      evaluate one TrialRequest -> TrialResult
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /run", s.handleRun)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"worker":    s.Name,
+		"in_flight": s.inFlight.Load(),
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !CheckBearer(r, s.Token) {
+		writeJSON(w, http.StatusUnauthorized, map[string]any{"error": "missing or invalid bearer token"})
+		return
+	}
+	var req TrialRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	res, err := s.Eval(r.Context(), req)
+	if err != nil {
+		// Infrastructure failure (bad spec bytes, cancellation): the
+		// dispatcher retries; nothing is journaled.
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		s.logf("worker %s: trial %s/%d failed: %v", s.Name, req.StudyID, req.TrialID, err)
+		writeJSON(w, status, map[string]any{"error": err.Error()})
+		return
+	}
+	res.Worker = s.Name
+	writeJSON(w, http.StatusOK, res)
+}
+
+// CheckBearer reports whether r carries the bearer token (in constant
+// time). An empty want disables the check.
+func CheckBearer(r *http.Request, want string) bool {
+	if want == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// Registrar announces a worker to the study daemon and keeps the
+// registration alive with heartbeats. The heartbeat body is the full
+// WorkerInfo, so a daemon that restarted — or dropped the worker after a
+// failed dispatch — re-admits it on the next beat with no extra protocol.
+type Registrar struct {
+	// Daemon is the study daemon's base URL (rldecide-serve).
+	Daemon string
+	// Info is this worker's registration.
+	Info WorkerInfo
+	// Token authenticates against the daemon's worker endpoints.
+	Token string
+	// Interval is the heartbeat period (default 3s).
+	Interval time.Duration
+	// Client is the HTTP client used (default http.DefaultClient).
+	Client *http.Client
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (g *Registrar) logf(format string, args ...any) {
+	if g.Logf != nil {
+		g.Logf(format, args...)
+	}
+}
+
+func (g *Registrar) client() *http.Client {
+	if g.Client != nil {
+		return g.Client
+	}
+	return http.DefaultClient
+}
+
+func (g *Registrar) interval() time.Duration {
+	if g.Interval > 0 {
+		return g.Interval
+	}
+	return 3 * time.Second
+}
+
+// Run registers the worker (retrying until the daemon is reachable), then
+// heartbeats every Interval until ctx is cancelled, deregistering on the
+// way out. It returns nil on a clean ctx-driven stop.
+func (g *Registrar) Run(ctx context.Context) error {
+	if err := g.Info.Validate(); err != nil {
+		return err
+	}
+	for {
+		err := g.post(ctx, "/workers/register", g.Info)
+		if err == nil {
+			g.logf("worker %s: registered with %s", g.Info.Name, g.Daemon)
+			break
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		g.logf("worker %s: registration with %s failed (will retry): %v", g.Info.Name, g.Daemon, err)
+		select {
+		case <-time.After(g.interval()):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	ticker := time.NewTicker(g.interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			g.deregister()
+			return nil
+		case <-ticker.C:
+			if err := g.post(ctx, "/workers/heartbeat", g.Info); err != nil && ctx.Err() == nil {
+				g.logf("worker %s: heartbeat failed: %v", g.Info.Name, err)
+			}
+		}
+	}
+}
+
+// deregister tells the daemon the worker is leaving; best-effort with a
+// short deadline since the worker is shutting down anyway.
+func (g *Registrar) deregister() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := g.post(ctx, "/workers/deregister", g.Info); err != nil {
+		g.logf("worker %s: deregister failed: %v", g.Info.Name, err)
+	}
+}
+
+func (g *Registrar) post(ctx context.Context, path string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(g.Daemon, "/")+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if g.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+g.Token)
+	}
+	resp, err := g.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("executor: %s answered %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}

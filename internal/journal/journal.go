@@ -19,7 +19,10 @@ import (
 	"rldecide/internal/param"
 )
 
-// Record is the on-disk form of one trial.
+// Record is the on-disk form of one trial. Worker attributes the trial to
+// the executor that evaluated it; journals written before the field
+// existed decode with Worker empty, which reads as "local", so old
+// campaigns resume unchanged.
 type Record struct {
 	ID     int                `json:"id"`
 	Params map[string]string  `json:"params"`
@@ -27,6 +30,7 @@ type Record struct {
 	Pruned bool               `json:"pruned,omitempty"`
 	Error  string             `json:"error,omitempty"`
 	Seed   uint64             `json:"seed"`
+	Worker string             `json:"worker,omitempty"`
 }
 
 // FromTrial converts a finished trial.
@@ -37,6 +41,7 @@ func FromTrial(t core.Trial) Record {
 		Values: t.Values,
 		Pruned: t.Pruned,
 		Seed:   t.Seed,
+		Worker: t.Worker,
 	}
 	for k, v := range t.Params {
 		r.Params[k] = v.String()
@@ -56,6 +61,7 @@ func (r Record) ToTrial(space *param.Space) (core.Trial, error) {
 		Values: r.Values,
 		Pruned: r.Pruned,
 		Seed:   r.Seed,
+		Worker: r.Worker,
 	}
 	if t.Values == nil {
 		t.Values = map[string]float64{}

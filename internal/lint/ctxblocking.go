@@ -4,19 +4,21 @@ import (
 	"go/ast"
 )
 
-// CtxBlocking requires exported blocking functions in internal/core and
-// internal/studyd to take a context.Context as their first parameter.
-// Those are the packages the daemon builds on: a blocking call without a
-// context cannot be drained on SIGTERM, which turns graceful shutdown —
-// and therefore crash-safe journaling — into a race.
+// CtxBlocking requires exported blocking functions in internal/core,
+// internal/studyd and internal/executor to take a context.Context as
+// their first parameter. Those are the packages the daemon builds on: a
+// blocking call without a context cannot be drained on SIGTERM, which
+// turns graceful shutdown — and therefore crash-safe journaling — into a
+// race. In internal/executor the stakes are higher still: a heartbeat or
+// dispatch loop that cannot be cancelled keeps a dead fleet alive.
 //
 // "Blocking" is detected syntactically: the function body performs a
-// channel send/receive, a select, time.Sleep, or calls a Wait/Acquire
-// method. Function literals and go statements are excluded (work launched
-// asynchronously does not block the caller). Thin wrappers whose entire
-// body delegates to a context-taking variant with context.Background() or
-// context.TODO() are exempt — that is the sanctioned convenience-API
-// shape.
+// channel send/receive, a select, time.Sleep, ranges over a ticker/timer
+// channel (a `.C` selector), or calls a Wait/Acquire method. Function
+// literals and go statements are excluded (work launched asynchronously
+// does not block the caller). Thin wrappers whose entire body delegates
+// to a context-taking variant with context.Background() or context.TODO()
+// are exempt — that is the sanctioned convenience-API shape.
 type CtxBlocking struct{}
 
 // Name implements Rule.
@@ -24,11 +26,11 @@ func (CtxBlocking) Name() string { return "ctx-blocking" }
 
 // Doc implements Rule.
 func (CtxBlocking) Doc() string {
-	return "exported blocking funcs in internal/core and internal/studyd take ctx first"
+	return "exported blocking funcs in internal/{core,studyd,executor} take ctx first"
 }
 
 // ctxScopes are the package path segment sequences the rule applies to.
-var ctxScopes = []string{"internal/core", "internal/studyd"}
+var ctxScopes = []string{"internal/core", "internal/studyd", "internal/executor"}
 
 // Check implements Rule.
 func (r CtxBlocking) Check(pkg *Package, report ReportFunc) {
@@ -124,6 +126,13 @@ func blockingOp(body *ast.BlockStmt, timeName string) string {
 		switch v := n.(type) {
 		case *ast.GoStmt, *ast.FuncLit:
 			return false
+		case *ast.RangeStmt:
+			// `for range ticker.C` blocks between ticks forever unless a
+			// surrounding select watches ctx.Done(). A two-variable range
+			// cannot be over a channel, so it is left alone.
+			if sel, ok := v.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "C" && v.Value == nil {
+				op = "ticker range"
+			}
 		case *ast.SendStmt:
 			op = "channel send"
 		case *ast.UnaryExpr:

@@ -1,0 +1,27 @@
+// Package executor mirrors the internal/executor import path, where the
+// ctx-blocking rule applies: fleet heartbeat and dispatch loops must be
+// cancellable or a dead fleet stays alive past shutdown.
+package executor
+
+import "time"
+
+// Heartbeat ranges over a ticker channel with no context: the loop can
+// never be drained on shutdown.
+func Heartbeat(interval time.Duration, beat func()) { // want finding
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		beat()
+	}
+}
+
+// Dispatch blocks on a channel send (a full trial queue) without a
+// context.
+func Dispatch(queue chan string, trial string) { // want finding
+	queue <- trial
+}
+
+// AwaitResult blocks on a result receive without a context.
+func AwaitResult(results chan string) string { // want finding
+	return <-results
+}

@@ -1,0 +1,60 @@
+package executor
+
+import (
+	"context"
+	"time"
+)
+
+// HeartbeatContext ties the ticker loop to ctx: allowed.
+func HeartbeatContext(ctx context.Context, interval time.Duration, beat func()) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			beat()
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// DispatchContext makes the queue send cancellable: allowed.
+func DispatchContext(ctx context.Context, queue chan string, trial string) error {
+	select {
+	case queue <- trial:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Dispatch is a thin wrapper delegating to the context variant: allowed.
+func Dispatch2(queue chan string, trial string) error {
+	return DispatchContext(context.Background(), queue, trial)
+}
+
+// beatForever blocks on a ticker range but is unexported: allowed.
+func beatForever(t *time.Ticker, beat func()) {
+	for range t.C {
+		beat()
+	}
+}
+
+// SpawnHeartbeat only ranges over the ticker inside a goroutine it
+// launches: allowed (the caller is not blocked).
+func SpawnHeartbeat(t *time.Ticker, beat func()) {
+	go func() {
+		for range t.C {
+			beat()
+		}
+	}()
+}
+
+// Restart ranges over a slice field named C — not a ticker channel, and
+// not blocking: allowed.
+func Restart(w struct{ C []int }, visit func(int)) {
+	for _, v := range w.C {
+		visit(v)
+	}
+}

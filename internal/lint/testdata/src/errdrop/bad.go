@@ -22,3 +22,20 @@ func CloseQuietly(f *os.File) {
 func Cleanup(path string) {
 	os.Remove(path) // want finding
 }
+
+// dispatch is a same-package function mimicking an executor's trial
+// dispatch; its error carries the failover signal.
+func dispatch(worker, trial string) error {
+	if worker == "" {
+		return os.ErrInvalid
+	}
+	return nil
+}
+
+// Retry drops the dispatch error inside a retry loop — the exact bug that
+// turns a dead worker into silently lost trials.
+func Retry(workers []string, trial string) {
+	for _, w := range workers {
+		dispatch(w, trial) // want finding
+	}
+}

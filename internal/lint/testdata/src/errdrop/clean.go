@@ -15,6 +15,18 @@ func CloseExplicit(f *os.File) {
 	_ = f.Close()
 }
 
+// RetryChecked surfaces the last dispatch error after exhausting the
+// worker list: allowed.
+func RetryChecked(workers []string, trial string) error {
+	var last error
+	for _, w := range workers {
+		if last = dispatch(w, trial); last == nil {
+			return nil
+		}
+	}
+	return last
+}
+
 // ReadAll defers the close, which is exempt by convention.
 func ReadAll(path string) ([]byte, error) {
 	f, err := os.Open(path)

@@ -7,24 +7,39 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"rldecide/internal/executor"
 )
 
 // Config configures a daemon.
 type Config struct {
 	// Dir is the state directory (specs + journals). Required.
 	Dir string
-	// Workers is the shared pool size: the max number of trials executing
-	// concurrently across all studies (default 4).
+	// Workers is the local executor's slot count: the max number of trials
+	// executing concurrently across all studies (default 4; ignored in
+	// fleet mode, where registered workers provide the capacity).
 	Workers int
+	// Exec selects the trial executor: ExecLocal (default) runs trials
+	// in-process, ExecFleet dispatches them to registered
+	// rldecide-worker daemons.
+	Exec string
+	// Token, when set, requires `Authorization: Bearer <Token>` on study
+	// submission, study cancellation, and the worker endpoints. Read-only
+	// endpoints stay open.
+	Token string
+	// Fleet tunes the fleet executor (timeouts, retry, heartbeat TTL).
+	// Token and Logf default to the daemon's own.
+	Fleet executor.FleetOptions
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 }
 
-// Daemon is the study-execution service: store + scheduler + HTTP API.
+// Daemon is the study-execution service: store + executor + HTTP API.
 type Daemon struct {
 	cfg   Config
 	store *Store
-	pool  *Pool
+	exec  executor.Executor
+	fleet *executor.Fleet
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -46,16 +61,39 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	fleetOpts := cfg.Fleet
+	if fleetOpts.Token == "" {
+		fleetOpts.Token = cfg.Token
+	}
+	if fleetOpts.Logf == nil {
+		fleetOpts.Logf = cfg.Logf
+	}
+	// The fleet always exists so workers can register (and be inspected on
+	// /workers) even while the daemon executes locally.
+	fleet := executor.NewFleet(fleetOpts)
+	var exec executor.Executor
+	switch cfg.Exec {
+	case "", ExecLocal:
+		cfg.Exec = ExecLocal
+		exec = executor.NewLocal(cfg.Workers, EvaluateRequest)
+	case ExecFleet:
+		exec = fleet
+	default:
+		return nil, fmt.Errorf("studyd: unknown executor mode %q (want %q or %q)", cfg.Exec, ExecLocal, ExecFleet)
+	}
 	store, err := OpenStore(cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Daemon{cfg: cfg, store: store, pool: NewPool(cfg.Workers), ctx: ctx, cancel: cancel}, nil
+	return &Daemon{cfg: cfg, store: store, exec: exec, fleet: fleet, ctx: ctx, cancel: cancel}, nil
 }
 
 // Store exposes the study registry (used by tests and the CLI).
 func (d *Daemon) Store() *Store { return d.store }
+
+// Fleet exposes the worker registry (register/heartbeat handlers and tests).
+func (d *Daemon) Fleet() *executor.Fleet { return d.fleet }
 
 // Start resumes every persisted study that still has budget left. Call it
 // once, after New and before serving traffic.
@@ -88,7 +126,7 @@ func (d *Daemon) launch(m *ManagedStudy) {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		m.run(d.ctx, d.pool)
+		m.run(d.ctx, wrapFor(d.exec, m))
 		sum := m.Summary()
 		d.cfg.Logf("studyd: study %s is %s (%d/%d trials)", m.ID, sum.Status, sum.Finished, sum.Budget)
 	}()
@@ -126,7 +164,8 @@ func (d *Daemon) ListenAndServe(ctx context.Context, addr string, grace time.Dur
 	srv := &http.Server{Addr: addr, Handler: d.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	d.cfg.Logf("studyd: serving on %s (pool=%d, dir=%s)", addr, d.pool.Cap(), d.cfg.Dir)
+	stats := d.exec.Stats()
+	d.cfg.Logf("studyd: serving on %s (exec=%s, cap=%d, dir=%s)", addr, d.cfg.Exec, stats.Cap, d.cfg.Dir)
 	select {
 	case err := <-errc:
 		return err

@@ -1,0 +1,74 @@
+package studyd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"rldecide/internal/core"
+	"rldecide/internal/executor"
+	"rldecide/internal/journal"
+	"rldecide/internal/param"
+)
+
+// EvaluateRequest is the executor.EvalFunc every execution mode shares: it
+// rebuilds the study objective from the dispatched spec against the
+// process-local objective registry, resolves the trial's parameters
+// against the spec's space, and evaluates. Both the daemon's Local
+// executor and cmd/rldecide-worker call exactly this function, so a trial
+// produces the same values wherever it runs — the property the fleet's
+// deterministic failover and the local-vs-distributed replay contract
+// rest on.
+//
+// A returned error is infrastructural (undecodable spec, unknown
+// objective, cancellation) and is never journaled; a deterministic
+// objective failure comes back as TrialResult.Error instead, which the
+// daemon journals exactly like a local failure.
+func EvaluateRequest(ctx context.Context, req executor.TrialRequest) (executor.TrialResult, error) {
+	res := executor.TrialResult{StudyID: req.StudyID, TrialID: req.TrialID}
+	var spec Spec
+	if err := json.Unmarshal(req.Spec, &spec); err != nil {
+		return res, fmt.Errorf("studyd: decoding dispatched spec: %w", err)
+	}
+	space, err := spec.Space()
+	if err != nil {
+		return res, err
+	}
+	metrics, err := spec.metrics()
+	if err != nil {
+		return res, err
+	}
+	objective, err := buildObjective(spec, metrics)
+	if err != nil {
+		return res, err
+	}
+	trial, err := (journal.Record{ID: req.TrialID, Params: req.Params, Seed: req.Seed}).ToTrial(space)
+	if err != nil {
+		return res, err
+	}
+	rec, out := core.NewRecorder(ctx, metrics)
+	err = runObjective(objective, trial.Params, req.Seed, rec)
+	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Interrupted, not failed: the dispatcher drops the trial and
+			// the campaign re-proposes it on resume.
+			return res, err
+		}
+		res.Error = err.Error()
+	}
+	res.Values = out.Values
+	return res, nil
+}
+
+// runObjective evaluates with the same panic barrier core.Study uses, so a
+// panicking objective yields the identical journaled failure in local and
+// fleet mode instead of crashing a worker.
+func runObjective(obj core.Objective, a param.Assignment, seed uint64, rec *core.Recorder) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("studyd: objective panicked: %v", r)
+		}
+	}()
+	return obj(a, seed, rec)
+}

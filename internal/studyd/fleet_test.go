@@ -1,0 +1,337 @@
+package studyd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rldecide/internal/executor"
+	"rldecide/internal/journal"
+)
+
+// startFleetWorker runs an in-process worker daemon evaluating with the
+// canonical EvaluateRequest (or a wrapper) and returns its registration.
+func startFleetWorker(t *testing.T, name string, slots int, eval executor.EvalFunc, token string) (*httptest.Server, executor.WorkerInfo) {
+	t.Helper()
+	if eval == nil {
+		eval = EvaluateRequest
+	}
+	ws := &executor.Server{Name: name, Eval: eval, Token: token, Logf: testLogf(t)}
+	ts := httptest.NewServer(ws.Handler())
+	t.Cleanup(ts.Close)
+	return ts, executor.WorkerInfo{Name: name, URL: ts.URL, Slots: slots}
+}
+
+// canonicalRecords renders a study's finished trials as sorted journal
+// lines with the worker attribution cleared — the byte-level form the
+// determinism cross-check compares.
+func canonicalRecords(t *testing.T, m *ManagedStudy) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, tr := range m.Trials() { // Trials() is ID-sorted
+		rec := journal.FromTrial(tr)
+		rec.Worker = ""
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// runLocalReference executes spec on a fresh local daemon and returns the
+// finished study.
+func runLocalReference(t *testing.T, spec Spec) *ManagedStudy {
+	t.Helper()
+	d, err := New(Config{Dir: t.TempDir(), Workers: 4, Logf: testLogf(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
+	m, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, StatusDone)
+	return m
+}
+
+// TestFleetDeterminismMatchesLocal is the acceptance cross-check: the same
+// spec + seed run through the Local executor and through a 2-worker fleet
+// must produce byte-identical sorted trial results and the same Pareto
+// front.
+func TestFleetDeterminismMatchesLocal(t *testing.T) {
+	spec := baseSpec("sphere")
+	spec.Parallelism = 3
+	spec.Noise = 0.1 // exercise the seeded-noise path across process boundaries
+	local := runLocalReference(t, spec)
+
+	d, err := New(Config{Dir: t.TempDir(), Exec: ExecFleet, Logf: testLogf(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+	for _, name := range []string{"w1", "w2"} {
+		_, info := startFleetWorker(t, name, 2, nil, "")
+		resp := postJSON(t, ts.URL+"/workers/register", info)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("register %s: %d", name, resp.StatusCode)
+		}
+	}
+
+	m, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, StatusDone)
+
+	// Every trial must have been evaluated remotely and attributed.
+	workers := map[string]int{}
+	for _, tr := range m.Trials() {
+		workers[tr.Worker]++
+	}
+	if workers["local"] > 0 || workers[""] > 0 {
+		t.Fatalf("fleet campaign ran trials locally: %v", workers)
+	}
+	if workers["w1"]+workers["w2"] != spec.Budget {
+		t.Fatalf("attribution does not cover the budget: %v", workers)
+	}
+
+	gotRecords, wantRecords := canonicalRecords(t, m), canonicalRecords(t, local)
+	if !bytes.Equal(gotRecords, wantRecords) {
+		t.Fatalf("fleet records diverge from local:\n--- fleet ---\n%s--- local ---\n%s", gotRecords, wantRecords)
+	}
+	fleetFront, err := m.Front()
+	if err != nil {
+		t.Fatal(err)
+	}
+	localFront, err := local.Front()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fFleet, fLocal := gotFronts(t, fleetFront), gotFronts(t, localFront); fFleet != fLocal {
+		t.Fatalf("Pareto fronts diverged:\nfleet: %s\nlocal: %s", fFleet, fLocal)
+	}
+
+	// The served journal records expose the worker field over the API.
+	var trials struct {
+		Trials []journal.Record `json:"trials"`
+	}
+	if code := getJSON(t, ts.URL+"/studies/"+m.ID+"/trials", &trials); code != http.StatusOK {
+		t.Fatalf("trials: %d", code)
+	}
+	for _, rec := range trials.Trials {
+		if rec.Worker != "w1" && rec.Worker != "w2" {
+			t.Fatalf("served record lacks worker attribution: %+v", rec)
+		}
+	}
+}
+
+func gotFronts(t *testing.T, f Front) string {
+	t.Helper()
+	b, err := json.Marshal(f.Fronts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFleetWorkerDeathFailover is the acceptance fault injection: one of
+// two workers is killed mid-campaign (its in-flight trial hangs and its
+// connections die); the campaign must still complete the full trial budget
+// via requeue+retry, with a Pareto front identical to a pure-local run of
+// the same seed.
+func TestFleetWorkerDeathFailover(t *testing.T) {
+	spec := baseSpec("sphere")
+	spec.Parallelism = 2
+	spec.SleepMs = 2 // keep trials in flight long enough to die mid-trial
+	local := runLocalReference(t, spec)
+
+	var dead atomic.Bool
+	var doomedServed atomic.Int32
+	doomedSrv, doomedInfo := startFleetWorker(t, "doomed", 1, func(ctx context.Context, req executor.TrialRequest) (executor.TrialResult, error) {
+		if dead.Load() || doomedServed.Add(1) > 2 {
+			dead.Store(true)
+			<-ctx.Done() // killed: never answers again
+			return executor.TrialResult{}, ctx.Err()
+		}
+		return EvaluateRequest(ctx, req)
+	}, "")
+	_, survivorInfo := startFleetWorker(t, "survivor", 2, nil, "")
+
+	d, err := New(Config{
+		Dir:  t.TempDir(),
+		Exec: ExecFleet,
+		Fleet: executor.FleetOptions{
+			AttemptTimeout: 300 * time.Millisecond,
+			Backoff:        5 * time.Millisecond,
+		},
+		Logf: testLogf(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
+	for _, info := range []executor.WorkerInfo{doomedInfo, survivorInfo} {
+		if _, err := d.Fleet().Upsert(info); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the kill hard mid-trial: once the worker stops answering, cut
+	// its open connections too.
+	go func() {
+		for !dead.Load() {
+			time.Sleep(time.Millisecond)
+		}
+		doomedSrv.CloseClientConnections()
+	}()
+	waitStatus(t, m, StatusDone)
+
+	trials := m.Trials()
+	if len(trials) != spec.Budget {
+		t.Fatalf("campaign finished %d/%d trials", len(trials), spec.Budget)
+	}
+	counts := map[string]int{}
+	for _, tr := range trials {
+		counts[tr.Worker]++
+	}
+	if counts["doomed"] == 0 || counts["survivor"] == 0 {
+		t.Fatalf("expected both workers to finish trials: %v", counts)
+	}
+	if counts["doomed"]+counts["survivor"] != spec.Budget {
+		t.Fatalf("attribution gap: %v", counts)
+	}
+	// The dead worker is out of the fleet.
+	for _, w := range d.Fleet().Workers() {
+		if w.Name == "doomed" {
+			t.Fatalf("dead worker still registered: %+v", w)
+		}
+	}
+
+	// Determinism survived the failover: byte-identical records and front
+	// versus the uninterrupted local reference.
+	gotRecords, wantRecords := canonicalRecords(t, m), canonicalRecords(t, local)
+	if !bytes.Equal(gotRecords, wantRecords) {
+		t.Fatalf("failover records diverge from local:\n--- fleet ---\n%s--- local ---\n%s", gotRecords, wantRecords)
+	}
+	fleetFront, err := m.Front()
+	if err != nil {
+		t.Fatal(err)
+	}
+	localFront, err := local.Front()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fFleet, fLocal := gotFronts(t, fleetFront), gotFronts(t, localFront); fFleet != fLocal {
+		t.Fatalf("Pareto fronts diverged after failover:\nfleet: %s\nlocal: %s", fFleet, fLocal)
+	}
+	t.Logf("failover complete: %v, front %v", counts, fleetFront.Fronts[0])
+}
+
+// postAuthed is postJSON with a bearer token.
+func postAuthed(t *testing.T, url, token string, v any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestBearerTokenAuth covers the auth satellite: with a token configured,
+// submission and worker endpoints refuse anonymous or wrong-token calls,
+// accept the right token, and read-only endpoints stay open.
+func TestBearerTokenAuth(t *testing.T) {
+	d, err := New(Config{Dir: t.TempDir(), Workers: 2, Token: "s3cret", Logf: testLogf(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+
+	spec := baseSpec("sphere")
+	spec.Budget = 4
+	info := executor.WorkerInfo{Name: "w1", URL: "http://127.0.0.1:1", Slots: 1}
+
+	for name, try := range map[string]func() *http.Response{
+		"submit-anon":    func() *http.Response { return postJSON(t, ts.URL+"/studies", spec) },
+		"submit-wrong":   func() *http.Response { return postAuthed(t, ts.URL+"/studies", "nope", spec) },
+		"register-anon":  func() *http.Response { return postJSON(t, ts.URL+"/workers/register", info) },
+		"heartbeat-anon": func() *http.Response { return postJSON(t, ts.URL+"/workers/heartbeat", info) },
+	} {
+		resp := try()
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s: %d, want 401", name, resp.StatusCode)
+		}
+	}
+
+	resp := postAuthed(t, ts.URL+"/studies", "s3cret", spec)
+	var sum Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("authed submit: %d", resp.StatusCode)
+	}
+	resp = postAuthed(t, ts.URL+"/workers/register", "s3cret", info)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authed register: %d", resp.StatusCode)
+	}
+
+	// Reads stay open.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz behind auth: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/studies/"+sum.ID, nil); code != http.StatusOK {
+		t.Fatalf("study read behind auth: %d", code)
+	}
+	var workersOut struct {
+		Workers []executor.WorkerStatus `json:"workers"`
+	}
+	if code := getJSON(t, ts.URL+"/workers", &workersOut); code != http.StatusOK || len(workersOut.Workers) != 1 {
+		t.Fatalf("workers read: %d %+v", code, workersOut)
+	}
+
+	// Cancel is mutating and therefore guarded too.
+	resp = postJSON(t, ts.URL+"/studies/"+sum.ID+"/cancel", struct{}{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("anon cancel: %d, want 401", resp.StatusCode)
+	}
+
+	m, _ := d.Store().Get(sum.ID)
+	waitStatus(t, m, StatusDone)
+}

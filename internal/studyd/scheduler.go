@@ -1,62 +1,68 @@
 package studyd
 
 import (
-	"context"
+	"fmt"
+	"sort"
 
 	"rldecide/internal/core"
+	"rldecide/internal/executor"
 	"rldecide/internal/param"
 )
 
-// Pool is the daemon's shared trial scheduler: a counting semaphore that
-// bounds how many trials execute concurrently across every study. Each
-// study still runs its own Parallelism workers, but a worker must acquire
-// a pool slot before its objective runs, so N studies submitted at once
-// share the machine instead of oversubscribing it. Slots are released the
-// moment a trial finishes, which makes the pool work-conserving: studies
-// with ready trials absorb whatever capacity others leave idle.
-type Pool struct {
-	slots chan struct{}
-}
+// The scheduler bridges core.Study trial execution onto the daemon's
+// executor. Where the first studyd release gated objectives on an
+// in-process semaphore (the shared worker pool), every trial now becomes
+// an executor lease: the Local executor keeps the exact pool semantics
+// (bounded slots shared across studies, released the moment a trial
+// finishes), while the Fleet executor leases capacity on remote worker
+// daemons instead. Trial parameters and seeds are still derived on the
+// daemon by the explorer, so which executor runs a trial never changes
+// what the trial computes.
 
-// NewPool returns a pool with n execution slots (n < 1 is treated as 1).
-func NewPool(n int) *Pool {
-	if n < 1 {
-		n = 1
-	}
-	return &Pool{slots: make(chan struct{}, n)}
-}
+// Execution modes for Config.Exec.
+const (
+	// ExecLocal evaluates trials in-process (default).
+	ExecLocal = "local"
+	// ExecFleet dispatches trials to registered rldecide-worker daemons.
+	ExecFleet = "fleet"
+)
 
-// Cap returns the pool's slot count.
-func (p *Pool) Cap() int { return cap(p.slots) }
-
-// InUse returns the number of slots currently held.
-func (p *Pool) InUse() int { return len(p.slots) }
-
-// Acquire blocks until a slot is free or ctx is cancelled.
-func (p *Pool) Acquire(ctx context.Context) error {
-	select {
-	case p.slots <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// Release frees a slot taken with Acquire.
-//
-//lint:ignore ctx-blocking the receive can never block: the caller holds the slot it releases
-func (p *Pool) Release() { <-p.slots }
-
-// Wrap gates an objective on the pool: the trial waits for a slot (giving
-// up when its run context is cancelled, so queued trials drain instantly
-// on shutdown and are re-proposed at the next resume) and releases it when
-// the objective returns.
-func (p *Pool) Wrap(obj core.Objective) core.Objective {
-	return func(a param.Assignment, seed uint64, rec *core.Recorder) error {
-		if err := p.Acquire(rec.Context()); err != nil {
-			return err
+// wrapFor returns the Spec.build objective wrapper that routes each of m's
+// trials through exec as a self-contained TrialRequest. The in-process
+// objective Spec.build constructed is deliberately ignored: the executor's
+// EvalFunc (EvaluateRequest here or on a worker) rebuilds it from the
+// dispatched spec, keeping one evaluation path for every mode.
+func wrapFor(exec executor.Executor, m *ManagedStudy) func(core.Objective) core.Objective {
+	return func(core.Objective) core.Objective {
+		return func(a param.Assignment, seed uint64, rec *core.Recorder) error {
+			params := make(map[string]string, len(a))
+			for name, v := range a {
+				params[name] = v.String()
+			}
+			req := executor.TrialRequest{
+				StudyID: m.ID,
+				TrialID: rec.TrialID(),
+				Spec:    m.rawSpec,
+				Params:  params,
+				Seed:    seed,
+			}
+			res, err := exec.Run(rec.Context(), req)
+			if err != nil {
+				return err
+			}
+			rec.SetWorker(res.Worker)
+			names := make([]string, 0, len(res.Values))
+			for name := range res.Values {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				rec.Report(name, res.Values[name])
+			}
+			if res.Error != "" {
+				return fmt.Errorf("%s", res.Error)
+			}
+			return nil
 		}
-		defer p.Release()
-		return obj(a, seed, rec)
 	}
 }

@@ -5,40 +5,70 @@ import (
 	"fmt"
 	"net/http"
 
+	"rldecide/internal/executor"
 	"rldecide/internal/journal"
 )
 
 // Handler returns the daemon's HTTP API:
 //
-//	GET  /healthz              liveness + pool occupancy
+//	GET  /healthz              liveness + executor occupancy
 //	GET  /studies              all studies (summaries)
-//	POST /studies              submit a Spec (JSON) -> 201 + summary
+//	POST /studies              submit a Spec (JSON) -> 201 + summary    [auth]
 //	GET  /studies/{id}         one study's summary
 //	GET  /studies/{id}/trials  finished trials (journal records, ID order)
 //	GET  /studies/{id}/front   current Pareto ranking of completed trials
-//	POST /studies/{id}/cancel  stop the study's run (resumable later)
+//	POST /studies/{id}/cancel  stop the study's run (resumable later)   [auth]
+//	GET  /workers              live fleet members
+//	POST /workers/register     add a worker to the fleet                [auth]
+//	POST /workers/heartbeat    refresh a worker (upserts)               [auth]
+//	POST /workers/deregister   remove a worker                         [auth]
+//
+// [auth] endpoints require `Authorization: Bearer <token>` when the daemon
+// was configured with one; read-only endpoints are always open.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /studies", d.handleList)
-	mux.HandleFunc("POST /studies", d.handleSubmit)
+	mux.HandleFunc("POST /studies", d.auth(d.handleSubmit))
 	mux.HandleFunc("GET /studies/{id}", d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
 		writeJSON(w, http.StatusOK, m.Summary())
 	}))
 	mux.HandleFunc("GET /studies/{id}/trials", d.handleStudy(d.serveTrials))
 	mux.HandleFunc("GET /studies/{id}/front", d.handleStudy(d.serveFront))
-	mux.HandleFunc("POST /studies/{id}/cancel", d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
+	mux.HandleFunc("POST /studies/{id}/cancel", d.auth(d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
 		m.Cancel()
 		writeJSON(w, http.StatusAccepted, m.Summary())
-	}))
+	})))
+	mux.HandleFunc("GET /workers", d.handleWorkers)
+	mux.HandleFunc("POST /workers/register", d.auth(d.handleWorkerUpsert))
+	mux.HandleFunc("POST /workers/heartbeat", d.auth(d.handleWorkerUpsert))
+	mux.HandleFunc("POST /workers/deregister", d.auth(d.handleWorkerDeregister))
 	return mux
 }
 
+// auth gates h on the daemon's bearer token; with no token configured it
+// is a no-op.
+func (d *Daemon) auth(h http.HandlerFunc) http.HandlerFunc {
+	if d.cfg.Token == "" {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !executor.CheckBearer(r, d.cfg.Token) {
+			writeErr(w, http.StatusUnauthorized, fmt.Errorf("missing or invalid bearer token"))
+			return
+		}
+		h(w, r)
+	}
+}
+
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	stats := d.exec.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":      true,
-		"studies": len(d.store.List()),
-		"pool":    map[string]int{"cap": d.pool.Cap(), "in_use": d.pool.InUse()},
+		"ok":       true,
+		"studies":  len(d.store.List()),
+		"executor": d.cfg.Exec,
+		"pool":     map[string]int{"cap": stats.Cap, "in_use": stats.InUse},
+		"workers":  d.fleet.Stats().Workers,
 	})
 }
 
@@ -94,6 +124,42 @@ func (d *Daemon) serveFront(w http.ResponseWriter, r *http.Request, m *ManagedSt
 		return
 	}
 	writeJSON(w, http.StatusOK, front)
+}
+
+func (d *Daemon) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": d.fleet.Workers()})
+}
+
+// handleWorkerUpsert serves both registration and heartbeat: the payload
+// is the full WorkerInfo either way, so dropped or restarted workers
+// re-admit themselves on their next beat.
+func (d *Daemon) handleWorkerUpsert(w http.ResponseWriter, r *http.Request) {
+	var info executor.WorkerInfo
+	if err := json.NewDecoder(r.Body).Decode(&info); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fresh, err := d.fleet.Upsert(info)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if fresh {
+		d.cfg.Logf("studyd: worker %s joined (%s, %d slots)", info.Name, info.URL, info.Slots)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "fleet": d.fleet.Stats()})
+}
+
+func (d *Daemon) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	var info executor.WorkerInfo
+	if err := json.NewDecoder(r.Body).Decode(&info); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if d.fleet.Remove(info.Name) {
+		d.cfg.Logf("studyd: worker %s left", info.Name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "fleet": d.fleet.Stats()})
 }
 
 type apiError struct {

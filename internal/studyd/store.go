@@ -42,6 +42,9 @@ type ManagedStudy struct {
 	Spec Spec
 
 	journalPath string
+	// rawSpec is the spec exactly as persisted on disk; trial dispatches
+	// carry it verbatim so every worker rebuilds the identical objective.
+	rawSpec []byte
 
 	mu         sync.Mutex
 	status     Status
@@ -156,10 +159,11 @@ func (m *ManagedStudy) Front() (Front, error) {
 	return fr, nil
 }
 
-// run executes (or resumes) the study's campaign under ctx, gating every
-// trial on the shared pool and journaling each finished trial. It must be
-// called at most once per daemon lifetime per study.
-func (m *ManagedStudy) run(ctx context.Context, pool *Pool) {
+// run executes (or resumes) the study's campaign under ctx, routing every
+// trial through the daemon's executor via wrap (see wrapFor) and
+// journaling each finished trial. It must be called at most once per
+// daemon lifetime per study.
+func (m *ManagedStudy) run(ctx context.Context, wrap func(core.Objective) core.Objective) {
 	defer close(m.done)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -177,7 +181,7 @@ func (m *ManagedStudy) run(ctx context.Context, pool *Pool) {
 		m.mu.Unlock()
 	}
 
-	study, err := m.Spec.build(pool.Wrap)
+	study, err := m.Spec.build(wrap)
 	if err != nil {
 		fail(err)
 		return
@@ -290,6 +294,7 @@ func (st *Store) load(id string) (*ManagedStudy, error) {
 	m := &ManagedStudy{
 		ID:          id,
 		Spec:        spec,
+		rawSpec:     raw,
 		journalPath: filepath.Join(st.dir, id+".trials.jsonl"),
 		status:      StatusPending,
 		done:        make(chan struct{}),
@@ -339,6 +344,7 @@ func (st *Store) Submit(spec Spec) (*ManagedStudy, error) {
 	m := &ManagedStudy{
 		ID:          id,
 		Spec:        spec,
+		rawSpec:     raw,
 		journalPath: filepath.Join(st.dir, id+".trials.jsonl"),
 		status:      StatusPending,
 		done:        make(chan struct{}),

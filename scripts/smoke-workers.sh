@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# smoke-workers.sh — end-to-end fleet round trip: build rldecide-serve and
+# rldecide-worker, start a fleet-mode daemon plus two workers behind a
+# bearer token, submit a tiny sphere study, wait for it to finish, and
+# check that every journaled trial carries a remote worker attribution.
+#
+# Runs in CI (see .github/workflows/ci.yml) and locally:
+#
+#   ./scripts/smoke-workers.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOKEN=smoke
+PORT="${SMOKE_PORT:-18080}"
+W1_PORT=$((PORT + 1))
+W2_PORT=$((PORT + 2))
+DIR="$(mktemp -d)"
+BIN="$DIR/bin"
+mkdir -p "$BIN"
+
+cleanup() {
+  kill "${PIDS[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$DIR"
+}
+PIDS=()
+trap cleanup EXIT
+
+go build -o "$BIN/rldecide-serve" ./cmd/rldecide-serve
+go build -o "$BIN/rldecide-worker" ./cmd/rldecide-worker
+
+"$BIN/rldecide-serve" -addr "127.0.0.1:$PORT" -dir "$DIR/state" \
+  -exec fleet -token "$TOKEN" &
+PIDS+=($!)
+
+for i in 1 2; do
+  port=$((PORT + i))
+  "$BIN/rldecide-worker" -serve "http://127.0.0.1:$PORT" \
+    -addr "127.0.0.1:$port" -name "smoke-w$i" -slots 2 -token "$TOKEN" &
+  PIDS+=($!)
+done
+
+base="http://127.0.0.1:$PORT"
+for _ in $(seq 1 50); do
+  curl -sf "$base/healthz" >/dev/null && break
+  sleep 0.2
+done
+curl -sf "$base/healthz" >/dev/null || { echo "daemon never came up" >&2; exit 1; }
+
+# Wait for both workers to register before submitting.
+for _ in $(seq 1 50); do
+  n=$(curl -sf "$base/workers" | grep -o '"name"' | wc -l)
+  [ "$n" -ge 2 ] && break
+  sleep 0.2
+done
+[ "$n" -ge 2 ] || { echo "workers never registered (got $n)" >&2; exit 1; }
+
+spec='{
+  "name": "smoke",
+  "params": [
+    {"name": "x", "type": "floatrange", "lo": -2, "hi": 2},
+    {"name": "y", "type": "floatrange", "lo": -2, "hi": 2}
+  ],
+  "explorer": {"type": "random"},
+  "metrics": [
+    {"name": "f", "direction": "min"},
+    {"name": "cost", "direction": "min"}
+  ],
+  "objective": "sphere",
+  "budget": 8,
+  "parallelism": 4,
+  "seed": 7
+}'
+
+# The token is enforced: an anonymous submit must bounce.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/studies" -d "$spec")
+[ "$code" = "401" ] || { echo "anonymous submit got $code, want 401" >&2; exit 1; }
+
+id=$(curl -sf -X POST "$base/studies" \
+  -H "Authorization: Bearer $TOKEN" -d "$spec" |
+  sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+[ -n "$id" ] || { echo "submit returned no study id" >&2; exit 1; }
+echo "submitted $id"
+
+for _ in $(seq 1 100); do
+  status=$(curl -sf "$base/studies/$id" | sed -n 's/.*"status": *"\([^"]*\)".*/\1/p' | head -1)
+  [ "$status" = "done" ] && break
+  [ "$status" = "failed" ] && { curl -s "$base/studies/$id" >&2; exit 1; }
+  sleep 0.2
+done
+[ "$status" = "done" ] || { echo "study stuck in '$status'" >&2; exit 1; }
+
+journal="$DIR/state/$id.trials.jsonl"
+trials=$(wc -l <"$journal")
+attributed=$(grep -c '"worker":"smoke-w' "$journal")
+echo "journal: $trials trials, $attributed attributed to smoke workers"
+[ "$trials" = "8" ] || { echo "expected 8 journaled trials" >&2; exit 1; }
+[ "$attributed" = "8" ] || { cat "$journal" >&2; exit 1; }
+
+curl -sf "$base/studies/$id/front" | head -c 400; echo
+echo "worker smoke OK"
