@@ -16,9 +16,11 @@ import (
 	"rldecide/internal/distrib"
 	"rldecide/internal/experiments"
 	"rldecide/internal/mathx"
+	"rldecide/internal/nn"
 	"rldecide/internal/param"
 	"rldecide/internal/report"
 	"rldecide/internal/search"
+	"rldecide/internal/tensor"
 )
 
 // benchScale is a micro training budget for benchmark iterations.
@@ -163,6 +165,7 @@ func BenchmarkExplorerTPE(b *testing.B) {
 func BenchmarkEnvEpisode(b *testing.B) {
 	env := airdrop.MustNew(airdrop.NewConfig(), 1)
 	ap := airdrop.Autopilot{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		obs := env.Reset()
@@ -173,6 +176,33 @@ func BenchmarkEnvEpisode(b *testing.B) {
 				break
 			}
 		}
+	}
+}
+
+// BenchmarkNNForwardBackward measures one training pass of the policy
+// network at campaign shapes (batch 32, obs 7 -> 64 -> 64 -> 3). The
+// steady-state target is zero allocations per pass (see
+// internal/nn/alloc_test.go for the hard regression gate).
+func BenchmarkNNForwardBackward(b *testing.B) {
+	rng := mathx.NewRand(1)
+	m := nn.NewMLP(rng, []int{7, 64, 64, 3}, nn.Tanh{}, 0.01)
+	x := tensor.New(32, 7)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64() - 0.5
+	}
+	dout := tensor.New(32, 3)
+	for i := range dout.Data {
+		dout.Data[i] = rng.Float64() - 0.5
+	}
+	m.ZeroGrad()
+	m.Forward(x)
+	m.Backward(dout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ZeroGrad()
+		m.Forward(x)
+		m.Backward(dout)
 	}
 }
 

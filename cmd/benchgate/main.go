@@ -1,0 +1,247 @@
+// benchgate records and gates benchmark results. It parses the text output
+// of `go test -bench` (ns/op, B/op, allocs/op) and works in two modes:
+//
+//	benchgate record -out BENCH_4.json [-baseline pre.txt] < bench.txt
+//	    Parse bench.txt into the "current" block of the JSON file. When
+//	    -baseline names a second bench text file, parse it into the
+//	    "baseline" block; otherwise an existing baseline in -out is kept,
+//	    so re-recording after an optimization preserves the reference run.
+//
+//	benchgate check -golden BENCH_4.json [-tolerance 2.5] < bench.txt
+//	    Gate a (possibly partial) benchmark run against the committed
+//	    "current" block. Time gates are loose — a benchmark fails only if
+//	    its ns/op exceeds tolerance × the recorded value, absorbing CI
+//	    machine variance — but allocs/op gates are tight: zero-alloc
+//	    records must stay exactly zero (the steady-state contract), and
+//	    nonzero records get only 2%+1 slack for allocations amortized
+//	    across benchmark iterations (map growth, buffer doubling).
+//
+// Multiple -count runs of the same benchmark are folded by taking the
+// minimum ns/op (the least-noisy estimate) and the maximum allocs/op (the
+// most conservative gate). A trailing -N GOMAXPROCS suffix on benchmark
+// names is stripped so records from 1-core and N-core machines compare.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's folded measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the on-disk shape of BENCH_<n>.json.
+type File struct {
+	// Note describes how the numbers were produced (bench flags, machine).
+	Note string `json:"note,omitempty"`
+	// Baseline is the pre-optimization reference run.
+	Baseline map[string]Result `json:"baseline,omitempty"`
+	// Current is the run being shipped; `benchgate check` gates against it.
+	Current map[string]Result `json:"current"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// parseBench folds `go test -bench` text output into per-benchmark results.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		// Strip the -N GOMAXPROCS suffix (absent when GOMAXPROCS=1).
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := Result{NsPerOp: atof(m[2]), BytesPerOp: atof(m[3]), AllocsPerOp: atof(m[4])}
+		if prev, ok := out[name]; ok {
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if prev.BytesPerOp > res.BytesPerOp {
+				res.BytesPerOp = prev.BytesPerOp
+			}
+			if prev.AllocsPerOp > res.AllocsPerOp {
+				res.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[name] = res
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+func atof(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fail("usage: benchgate record|check [flags]")
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "check":
+		check(os.Args[2:])
+	default:
+		fail("unknown mode %q: want record or check", os.Args[1])
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "BENCH_4.json", "output JSON file")
+	baseline := fs.String("baseline", "", "optional bench text file to record as the baseline block")
+	note := fs.String("note", "", "free-form note describing the runs")
+	_ = fs.Parse(args)
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		fail("record: parsing stdin: %v", err)
+	}
+	var f File
+	if prev, err := os.ReadFile(*out); err == nil {
+		_ = json.Unmarshal(prev, &f) // keep prior baseline/note if present
+	}
+	f.Current = cur
+	if *note != "" {
+		f.Note = *note
+	}
+	if *baseline != "" {
+		bf, err := os.Open(*baseline)
+		if err != nil {
+			fail("record: %v", err)
+		}
+		base, err := parseBench(bf)
+		_ = bf.Close()
+		if err != nil {
+			fail("record: parsing %s: %v", *baseline, err)
+		}
+		f.Baseline = base
+	}
+	buf, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fail("record: %v", err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fail("record: %v", err)
+	}
+	fmt.Printf("recorded %d benchmarks to %s\n", len(cur), *out)
+	if f.Baseline != nil {
+		printDelta(f.Baseline, f.Current)
+	}
+}
+
+// printDelta summarizes current vs baseline for benchmarks present in both.
+func printDelta(base, cur map[string]Result) {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		fmt.Printf("  %-28s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs %8.0f -> %8.0f\n",
+			name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp,
+			b.AllocsPerOp, c.AllocsPerOp)
+	}
+}
+
+func check(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	golden := fs.String("golden", "BENCH_4.json", "committed benchmark record to gate against")
+	tolerance := fs.Float64("tolerance", 2.5, "allowed ns/op slowdown factor vs the record")
+	_ = fs.Parse(args)
+
+	data, err := os.ReadFile(*golden)
+	if err != nil {
+		fail("check: %v", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		fail("check: %s: %v", *golden, err)
+	}
+	got, err := parseBench(os.Stdin)
+	if err != nil {
+		fail("check: parsing stdin: %v", err)
+	}
+
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	checked := 0
+	for _, name := range names {
+		want, ok := f.Current[name]
+		if !ok {
+			fmt.Printf("SKIP %s: not in %s\n", name, *golden)
+			continue
+		}
+		checked++
+		g := got[name]
+		status := "ok  "
+		if g.NsPerOp > want.NsPerOp**tolerance {
+			status = "FAIL"
+			failures++
+			fmt.Printf("%s %s: ns/op %.0f exceeds %.1fx recorded %.0f\n", status, name, g.NsPerOp, *tolerance, want.NsPerOp)
+			continue
+		}
+		// Zero-alloc records are the steady-state contract: exact. Nonzero
+		// records get 2%+1 slack — allocations amortized over b.N (map
+		// growth, slice doubling) shift by a count or two between runs.
+		allocLimit := want.AllocsPerOp
+		if want.AllocsPerOp > 0 {
+			allocLimit = want.AllocsPerOp*1.02 + 1
+		}
+		if g.AllocsPerOp > allocLimit {
+			status = "FAIL"
+			failures++
+			fmt.Printf("%s %s: allocs/op %.0f regressed from recorded %.0f\n", status, name, g.AllocsPerOp, want.AllocsPerOp)
+			continue
+		}
+		fmt.Printf("%s %s: ns/op %.0f (recorded %.0f), allocs/op %.0f (recorded %.0f)\n",
+			status, name, g.NsPerOp, want.NsPerOp, g.AllocsPerOp, want.AllocsPerOp)
+	}
+	if checked == 0 {
+		fail("check: no benchmark in the input matches %s", *golden)
+	}
+	if failures > 0 {
+		fail("check: %d of %d benchmarks regressed", failures, checked)
+	}
+	fmt.Printf("check: %d benchmarks within tolerance\n", checked)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

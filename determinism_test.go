@@ -1,0 +1,63 @@
+package rldecide_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rldecide/internal/distrib"
+	"rldecide/internal/experiments"
+	"rldecide/internal/tensor"
+)
+
+// TestKernelParallelismCampaignDeterminism verifies the replay contract at
+// the campaign level across kernel pool widths: the tensor worker pool
+// partitions matrix products into fixed row chunks whose per-element
+// accumulation order never changes, so a micro training run must produce
+// bit-identical metrics with the pool at 1, 2, and GOMAXPROCS workers.
+func TestKernelParallelismCampaignDeterminism(t *testing.T) {
+	defer tensor.SetParallelism(0)
+	scale := experiments.QuickScale()
+	scale.TotalSteps = 400
+	scale.SACStartSteps = 100
+	scale.SACBatch = 16
+	scale.EvalEpisodes = 2
+	scale.RolloutSteps = 16
+	// One PPO and one SAC configuration: the two training loops exercise
+	// MulInto, MulTransAInto and MulTransBInto at every policy shape.
+	sols := []experiments.Solution{
+		{RKOrder: 5, Framework: distrib.StableBaselines, Algo: distrib.PPO, Nodes: 1, Cores: 2},
+		{RKOrder: 3, Framework: distrib.RLlib, Algo: distrib.SAC, Nodes: 1, Cores: 2},
+	}
+
+	type fingerprint [4]string
+	run := func(width int) []fingerprint {
+		tensor.SetParallelism(width)
+		out := make([]fingerprint, 0, len(sols))
+		for _, sol := range sols {
+			o, err := experiments.RunSolutionOnce(sol, scale, 7)
+			if err != nil {
+				t.Fatalf("width %d: %v", width, err)
+			}
+			out = append(out, fingerprint{
+				fmt.Sprintf("%x", o.Reward),
+				fmt.Sprintf("%x", o.TimeMinutes),
+				fmt.Sprintf("%x", o.PowerKJ),
+				fmt.Sprintf("%x", o.Utilization),
+			})
+		}
+		return out
+	}
+
+	widths := []int{1, 2, runtime.GOMAXPROCS(0)}
+	base := run(widths[0])
+	for _, w := range widths[1:] {
+		got := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Errorf("solution %d: pool width %d diverged from width 1:\n  got  %v\n  want %v",
+					i, w, got[i], base[i])
+			}
+		}
+	}
+}

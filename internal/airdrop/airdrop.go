@@ -175,6 +175,7 @@ type Env struct {
 	cfg     Config
 	method  *ode.Method
 	stepper *ode.Stepper
+	esterr  *ode.ErrorEstimator
 	rng     *rand.Rand
 
 	state   [stateDim]float64
@@ -186,7 +187,10 @@ type Env struct {
 	errLvl  float64 // running local-error estimate of the solver
 	errTick int
 
+	u    float64  // current brake command, read by rhs
+	f    ode.Func // bound e.rhs, built once (closure-free Step)
 	yerr [stateDim]float64
+	obs  [ObsDim]float64 // reused observation buffer
 }
 
 // New returns a simulator with cfg (zero fields replaced by defaults),
@@ -201,8 +205,10 @@ func New(cfg Config, seed uint64) (*Env, error) {
 		cfg:     cfg,
 		method:  m,
 		stepper: ode.NewStepper(m, stateDim),
+		esterr:  ode.NewErrorEstimator(m, stateDim),
 		rng:     mathx.NewRand(seed),
 	}
+	e.f = e.rhs
 	return e, nil
 }
 
@@ -291,24 +297,30 @@ func (e *Env) updateWind() {
 	}
 }
 
-// deriv is the canopy ODE right-hand side for brake command u in [-1, 1].
-func (e *Env) deriv(u float64) ode.Func {
+// rhs is the canopy ODE right-hand side. The brake command and wind are
+// read from the Env (set before integration and constant within a control
+// step) rather than captured in a closure, so Step allocates nothing: e.f
+// is bound once at construction and reused for every solver call.
+func (e *Env) rhs(t float64, y, dydt []float64) {
 	cfg := &e.cfg
-	wx, wy := e.wind[0], e.wind[1]
-	return func(t float64, y, dydt []float64) {
-		v := cfg.Airspeed * (1 - 0.15*math.Abs(math.Sin(y[iPhi])))
-		dydt[iPX] = v*math.Cos(y[iPsi]) + wx
-		dydt[iPY] = v*math.Sin(y[iPsi]) + wy
-		dydt[iAlt] = -cfg.Descent * (1 + 0.1*y[iPhi]*y[iPhi])
-		dydt[iPsi] = y[iPsiDot]
-		dydt[iPsiDot] = cfg.TurnGain*u - cfg.TurnDamp*y[iPsiDot] + 0.15*y[iPhi]
-		// Pendulum: gravity restoring + damping + centripetal forcing from
-		// the turn.
-		dydt[iPhi] = y[iPhiDot]
-		dydt[iPhiDot] = -gravity/cfg.PendulumLen*math.Sin(y[iPhi]) -
-			cfg.PendulumDamp*y[iPhiDot] +
-			y[iPsiDot]*v/cfg.PendulumLen*0.5
-	}
+	u, wx, wy := e.u, e.wind[0], e.wind[1]
+	// Sincos is bit-identical to separate Sin/Cos calls (same kernels), and
+	// sinPhi is reused for the pendulum term, so this halves the trig work —
+	// the dominant cost of the RHS — without changing a single result bit.
+	sinPhi := math.Sin(y[iPhi])
+	sinPsi, cosPsi := math.Sincos(y[iPsi])
+	v := cfg.Airspeed * (1 - 0.15*math.Abs(sinPhi))
+	dydt[iPX] = v*cosPsi + wx
+	dydt[iPY] = v*sinPsi + wy
+	dydt[iAlt] = -cfg.Descent * (1 + 0.1*y[iPhi]*y[iPhi])
+	dydt[iPsi] = y[iPsiDot]
+	dydt[iPsiDot] = cfg.TurnGain*u - cfg.TurnDamp*y[iPsiDot] + 0.15*y[iPhi]
+	// Pendulum: gravity restoring + damping + centripetal forcing from
+	// the turn.
+	dydt[iPhi] = y[iPhiDot]
+	dydt[iPhiDot] = -gravity/cfg.PendulumLen*sinPhi -
+		cfg.PendulumDamp*y[iPhiDot] +
+		y[iPsiDot]*v/cfg.PendulumLen*0.5
 }
 
 // Step implements gym.Env. The discrete actions are 0=rotate left,
@@ -317,14 +329,14 @@ func (e *Env) Step(action []float64) gym.StepResult {
 	if e.landed {
 		panic("airdrop: Step after episode end; call Reset")
 	}
-	u := e.command(action)
+	e.u = e.command(action)
 	e.updateWind()
-	f := e.deriv(u)
+	f := e.f
 
 	// Refresh the solver-accuracy estimate periodically using the method's
 	// genuine local error (embedded pair, or Richardson for RK8).
 	if e.errTick%16 == 0 {
-		e.errLvl = ode.EstimateLocalError(f, e.method, e.t, e.state[:], e.cfg.SolverStep)
+		e.errLvl = e.esterr.Estimate(f, e.t, e.state[:], e.cfg.SolverStep)
 	}
 	e.errTick++
 
@@ -390,22 +402,26 @@ func (e *Env) observe() []float64 {
 	dist := math.Hypot(dx, dy)
 	bearing := math.Atan2(dy, dx)
 	hErr := angleDiff(bearing, e.state[iPsi])
+	sinH, cosH := math.Sincos(hErr)
 	tgo := e.state[iAlt] / e.cfg.Descent
 
 	// Scales chosen so every component lives in roughly [-3, 3] — the
-	// useful range of the tanh policy networks.
-	obs := []float64{
+	// useful range of the tanh policy networks. The buffer is owned by the
+	// Env and reused: the returned slice is valid until the next
+	// Step/Reset, per the gym.StepResult contract.
+	e.obs = [ObsDim]float64{
 		dx / 300,
 		dy / 300,
 		dist / 300,
-		math.Sin(hErr),
-		math.Cos(hErr),
+		sinH,
+		cosH,
 		e.state[iPsiDot],
 		e.state[iPhi],
 		e.state[iPhiDot],
 		e.state[iAlt] / 300,
 		tgo / 150,
 	}
+	obs := e.obs[:]
 	if e.cfg.NoiseGain > 0 && e.errLvl > 0 {
 		// Solution-accuracy uncertainty: the solver's local-error estimate
 		// is mapped compressively (cube root) to an observation noise
@@ -471,7 +487,16 @@ func angleDiff(a, b float64) float64 {
 // target bearing and, once close, circles to bleed altitude.
 type Autopilot struct{}
 
-// Act returns the discrete action for obs.
+// Shared, read-only discrete actions returned by Autopilot.Act. Callers
+// must not mutate them.
+var (
+	actLeft     = []float64{0}
+	actStraight = []float64{1}
+	actRight    = []float64{2}
+)
+
+// Act returns the discrete action for obs. The returned slice is shared
+// and read-only.
 func (Autopilot) Act(obs []float64) []float64 {
 	sinE, cosE := obs[3], obs[4]
 	hErr := math.Atan2(sinE, cosE)
@@ -486,10 +511,10 @@ func (Autopilot) Act(obs []float64) []float64 {
 	}
 	switch {
 	case u > 0.08:
-		return []float64{2}
+		return actRight
 	case u < -0.08:
-		return []float64{0}
+		return actLeft
 	default:
-		return []float64{1}
+		return actStraight
 	}
 }

@@ -1,0 +1,30 @@
+package airdrop
+
+import "testing"
+
+// TestStepAllocsZero pins the steady-state allocation count of the
+// environment hot path: after warmup, Step and Reset must not allocate.
+// Every regression here multiplies across millions of campaign steps.
+func TestStepAllocsZero(t *testing.T) {
+	for _, order := range []int{3, 5, 8} {
+		cfg := NewConfig()
+		cfg.RKOrder = order
+		e := MustNew(cfg, 1)
+		e.Reset()
+		action := []float64{1}
+		// Warm up past the first error-estimate tick so its scratch exists.
+		for i := 0; i < 32; i++ {
+			if e.Step(action).Done {
+				e.Reset()
+			}
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if e.Step(action).Done {
+				e.Reset()
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("RK%d: %.1f allocs per Step, want 0", order, allocs)
+		}
+	}
+}

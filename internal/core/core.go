@@ -406,9 +406,21 @@ func (s *Study) RunContext(ctx context.Context, nTrials int) (*Report, error) {
 		}()
 	}
 
+	// History-free explorers (plain random search, grid, LHS) never read
+	// the observation list, so skip the per-proposal O(n) conversion —
+	// O(n²) over a campaign — entirely.
+	historyFree := false
+	if hf, ok := s.Explorer.(search.HistoryFree); ok {
+		historyFree = hf.IgnoresHistory()
+	}
+
 	var spaceErr error
 	for id := 1; id <= nTrials && ctx.Err() == nil; id++ {
-		a, ok := s.Explorer.Next(explorerRng, s.Space, s.history())
+		var hist []search.Observation
+		if !historyFree {
+			hist = s.history()
+		}
+		a, ok := s.Explorer.Next(explorerRng, s.Space, hist)
 		if !ok {
 			break // explorer exhausted
 		}

@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"fmt"
+	"math"
 
 	"rldecide/internal/cluster"
 	"rldecide/internal/gym"
@@ -177,7 +178,11 @@ func trainRaySAC(cfg TrainConfig, sim *cluster.Sim, seeder *mathx.Seeder) (Resul
 			rng:   seeder.NewRand(),
 			epRet: make([]float64, cfg.Cores),
 		}
-		g.obs = vec.Reset()
+		// Owned copies: the envs reuse their observation buffers.
+		g.obs = make([][]float64, cfg.Cores)
+		for i, o := range vec.Reset() {
+			g.obs[i] = append([]float64(nil), o...)
+		}
 		groups[n] = g
 	}
 
@@ -187,12 +192,23 @@ func trainRaySAC(cfg TrainConfig, sim *cluster.Sim, seeder *mathx.Seeder) (Resul
 	steps := 0
 	warmup := learner.Cfg.StartSteps
 
+	// The shipped batch is buffered per round with slot-owned observation
+	// storage (the envs reuse theirs), allocated once for the round size.
+	transBuf := make([]rl.Transition, cfg.Nodes*cfg.Cores*syncEvery)
+	for i := range transBuf {
+		transBuf[i].Obs = make([]float64, obsDim)
+		transBuf[i].NextObs = make([]float64, obsDim)
+	}
+	actions := make([][]float64, cfg.Cores)
+	for i := range actions {
+		actions[i] = []float64{0}
+	}
+	acts := make([]int, cfg.Cores)
+
 	for steps < cfg.TotalSteps {
-		var transitions []rl.Transition
+		transitions := transBuf[:0]
 		for n, g := range groups {
 			for t := 0; t < syncEvery; t++ {
-				actions := make([][]float64, cfg.Cores)
-				acts := make([]int, cfg.Cores)
 				for i := 0; i < cfg.Cores; i++ {
 					var a int
 					if steps < warmup {
@@ -201,24 +217,28 @@ func trainRaySAC(cfg TrainConfig, sim *cluster.Sim, seeder *mathx.Seeder) (Resul
 						a = sampleFromActor(g.actor, g.rng, g.obs[i])
 					}
 					acts[i] = a
-					actions[i] = []float64{float64(a)}
+					actions[i][0] = float64(a)
 				}
 				stepRes := g.vec.Step(actions)
-				for i, s := range stepRes {
+				for i := range stepRes {
+					s := &stepRes[i]
 					next := s.Obs
 					if s.Done {
 						next = s.FinalObs
 					}
-					transitions = append(transitions, rl.Transition{
-						Obs: g.obs[i], Action: acts[i], Reward: s.Reward,
-						NextObs: next, Done: s.Done && !s.Truncated,
-					})
+					transitions = transitions[:len(transitions)+1]
+					tr := &transitions[len(transitions)-1]
+					copy(tr.Obs, g.obs[i])
+					tr.Action = acts[i]
+					tr.Reward = s.Reward
+					copy(tr.NextObs, next)
+					tr.Done = s.Done && !s.Truncated
 					g.epRet[i] += s.Reward
 					if s.Done {
 						window = append(window, g.epRet[i])
 						g.epRet[i] = 0
 					}
-					g.obs[i] = s.Obs
+					copy(g.obs[i], s.Obs)
 					steps++
 				}
 			}
@@ -268,16 +288,28 @@ func trainRaySAC(cfg TrainConfig, sim *cluster.Sim, seeder *mathx.Seeder) (Resul
 }
 
 // sampleFromActor draws a categorical action from an actor-network copy.
+// The probabilities are recomputed on the fly rather than buffered; the
+// arithmetic (exp(v-mx)/sum accumulated in ascending order) matches the
+// softmax-then-scan form exactly, so sampled sequences are unchanged.
 func sampleFromActor(actor *nn.MLP, rng rngSource, obs []float64) int {
 	logits := actor.Forward1(obs)
-	p := nn.Softmax(logits, nil)
+	mx := logits[0]
+	for _, v := range logits[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	sum := 0.0
+	for _, v := range logits {
+		sum += math.Exp(v - mx)
+	}
 	u := rng.Float64()
 	acc := 0.0
-	for i, pi := range p {
-		acc += pi
+	for i, v := range logits {
+		acc += math.Exp(v-mx) / sum
 		if u <= acc {
 			return i
 		}
 	}
-	return len(p) - 1
+	return len(logits) - 1
 }

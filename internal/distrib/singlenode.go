@@ -112,7 +112,13 @@ func (p singleNodeProfile) trainSAC(cfg TrainConfig, sim *cluster.Sim, seeder *m
 	envCost := envStepCost(&cfg, vec.Env(0))
 
 	var curve curveTracker
-	obs := vec.Reset()
+	// Keep owned copies of the per-env observations: the envs reuse their
+	// observation buffers (gym.StepResult contract), and the pre-step obs
+	// must survive the vec.Step that produces its successor.
+	obs := make([][]float64, nEnv)
+	for i, o := range vec.Reset() {
+		obs[i] = append([]float64(nil), o...)
+	}
 	actions := make([][]float64, nEnv)
 	for i := range actions {
 		actions[i] = []float64{0}
@@ -152,7 +158,7 @@ func (p singleNodeProfile) trainSAC(cfg TrainConfig, sim *cluster.Sim, seeder *m
 				window = append(window, epRet[i])
 				epRet[i] = 0
 			}
-			obs[i] = s.Obs
+			copy(obs[i], s.Obs)
 			steps++
 		}
 		// SAC's gradient rounds are serialized on the learner core.

@@ -21,6 +21,8 @@ package executor
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 )
 
@@ -31,8 +33,14 @@ type TrialRequest struct {
 	TrialID int    `json:"trial_id"`
 	// Spec is the submitting study's spec, verbatim as persisted by the
 	// daemon; the worker rebuilds the objective from it against its own
-	// objective registry.
-	Spec json.RawMessage `json:"spec"`
+	// objective registry. When SpecHash is set, the dispatcher may omit
+	// Spec on repeat sends to a worker that has already seen the hash;
+	// a worker missing the cached spec answers 428 and the dispatcher
+	// resends in full.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// SpecHash is the content hash of Spec (see SpecHashOf), keying the
+	// worker-side spec cache. Empty disables caching for this dispatch.
+	SpecHash string `json:"spec_hash,omitempty"`
 	// Params is the explorer's assignment in its canonical journal
 	// rendering (parameter name -> value string).
 	Params map[string]string `json:"params"`
@@ -53,6 +61,15 @@ type TrialResult struct {
 	Error string `json:"error,omitempty"`
 	// Worker names the node that evaluated the trial (attribution only).
 	Worker string `json:"worker,omitempty"`
+}
+
+// SpecHashOf returns the content hash (hex SHA-256) of raw spec bytes,
+// suitable for TrialRequest.SpecHash. Campaigns compute it once per study:
+// every trial of a study ships the same spec, which is exactly what makes
+// the worker-side cache worthwhile.
+func SpecHashOf(spec []byte) string {
+	sum := sha256.Sum256(spec)
+	return hex.EncodeToString(sum[:])
 }
 
 // EvalFunc evaluates one trial request. studyd.EvaluateRequest is the

@@ -1,9 +1,11 @@
 package executor
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -322,6 +324,119 @@ func TestWorkerServerAuthAndErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusUnauthorized {
 		t.Fatalf("unauthenticated malformed post: %d", resp.StatusCode)
+	}
+}
+
+// postJSON posts v to url and returns the status code and decoded body.
+func postJSON(t *testing.T, url string, v any) (int, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func TestWorkerSpecCache(t *testing.T) {
+	spec := json.RawMessage(`{"objective":"paper"}`)
+	hash := SpecHashOf(spec)
+	_, w := startWorker(t, "cachy", 1, echoEval, "")
+
+	// Hash-only before the spec was ever sent: 428, resend required.
+	status, _ := postJSON(t, w.URL+"/run", TrialRequest{StudyID: "s1", TrialID: 1, SpecHash: hash, Seed: 10})
+	if status != http.StatusPreconditionRequired {
+		t.Fatalf("cold-cache hash-only dispatch: status %d, want 428", status)
+	}
+
+	// Full spec + hash: evaluated and cached.
+	status, body := postJSON(t, w.URL+"/run", TrialRequest{StudyID: "s1", TrialID: 1, Spec: spec, SpecHash: hash, Seed: 10})
+	if status != http.StatusOK || body["values"].(map[string]any)["f"] != 10.0 {
+		t.Fatalf("full dispatch: status %d body %v", status, body)
+	}
+
+	// Hash-only now serves from the cache, identical result.
+	status, body = postJSON(t, w.URL+"/run", TrialRequest{StudyID: "s1", TrialID: 2, SpecHash: hash, Seed: 20})
+	if status != http.StatusOK || body["values"].(map[string]any)["f"] != 20.0 {
+		t.Fatalf("cached dispatch: status %d body %v", status, body)
+	}
+}
+
+func TestFleetSpecCacheAndWorkerRestart(t *testing.T) {
+	spec := json.RawMessage(`{"objective":"paper"}`)
+	hash := SpecHashOf(spec)
+
+	// The eval asserts it always sees the full spec — cache resolution is
+	// invisible to the evaluation, which is the determinism contract.
+	newServer := func() *Server {
+		return &Server{Name: "cachy", Eval: func(ctx context.Context, r TrialRequest) (TrialResult, error) {
+			if string(r.Spec) != string(spec) {
+				return TrialResult{}, fmt.Errorf("eval saw spec %q", r.Spec)
+			}
+			return echoEval(ctx, r)
+		}, Logf: testLogf(t)}
+	}
+	var cur atomic.Pointer[Server]
+	cur.Store(newServer())
+
+	// Record, per wire request, whether the body carried the spec.
+	var mu sync.Mutex
+	var sawSpec []bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		var m map[string]any
+		_ = json.Unmarshal(body, &m)
+		mu.Lock()
+		_, has := m["spec"]
+		sawSpec = append(sawSpec, has)
+		mu.Unlock()
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		cur.Load().Handler().ServeHTTP(w, r2)
+	}))
+	t.Cleanup(ts.Close)
+
+	f := NewFleet(FleetOptions{Logf: testLogf(t)})
+	if _, err := f.Upsert(WorkerInfo{Name: "cachy", URL: ts.URL, Slots: 1}); err != nil {
+		t.Fatal(err)
+	}
+	run := func(id int) {
+		t.Helper()
+		res, err := f.Run(context.Background(), TrialRequest{
+			StudyID: "s1", TrialID: id, Seed: uint64(id) * 10, Spec: spec, SpecHash: hash,
+		})
+		if err != nil || res.Values["f"] != float64(id)*10 {
+			t.Fatalf("trial %d: %+v %v", id, res, err)
+		}
+	}
+
+	run(1) // first dispatch ships the full spec
+	run(2) // repeat dispatch goes hash-only
+	mu.Lock()
+	if len(sawSpec) != 2 || !sawSpec[0] || sawSpec[1] {
+		t.Fatalf("wire pattern before restart: %v, want [full, hash-only]", sawSpec)
+	}
+	mu.Unlock()
+
+	// Worker restarts mid-campaign with an empty cache: the hash-only
+	// dispatch misses (428), the fleet resends in full, the trial succeeds
+	// and the worker is neither dropped nor charged a failure.
+	cur.Store(newServer())
+	run(3)
+	mu.Lock()
+	if len(sawSpec) != 4 || sawSpec[2] || !sawSpec[3] {
+		t.Fatalf("wire pattern after restart: %v, want [..., hash-only, full]", sawSpec)
+	}
+	mu.Unlock()
+	ws := f.Workers()
+	if len(ws) != 1 || ws[0].Completed != 3 || ws[0].Failed != 0 {
+		t.Fatalf("restart fallback penalized the worker: %+v", ws)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -101,6 +102,10 @@ type remoteWorker struct {
 	dispatched int
 	completed  int
 	failed     int
+	// specs records spec hashes this worker has confirmed caching, so
+	// repeat dispatches ship hash-only requests. It is advisory: a 428
+	// from the worker (restart, eviction) triggers a full resend.
+	specs map[string]bool
 }
 
 // NewFleet returns an empty fleet; workers join via Upsert (the daemon's
@@ -217,9 +222,23 @@ func (f *Fleet) Run(ctx context.Context, req TrialRequest) (TrialResult, error) 
 		if err != nil {
 			return TrialResult{}, err
 		}
-		res, err := f.dispatch(ctx, w, req)
+		send := req
+		if req.SpecHash != "" && f.workerKnowsSpec(w.Name, req.SpecHash) {
+			send.Spec = nil // worker has the spec cached; ship hash-only
+		}
+		res, err := f.dispatch(ctx, w, send)
+		if errors.Is(err, errSpecNotCached) && len(send.Spec) == 0 {
+			// The worker lost its cache (restart mid-campaign, eviction):
+			// forget our assumption and resend with the full spec. Not a
+			// worker fault, so no drop and no attempt consumed.
+			f.forgetSpec(w.Name, req.SpecHash)
+			res, err = f.dispatch(ctx, w, req)
+		}
 		f.settle(w.Name, err == nil)
 		if err == nil {
+			if req.SpecHash != "" {
+				f.rememberSpec(w.Name, req.SpecHash)
+			}
 			return res, nil
 		}
 		if ctx.Err() != nil {
@@ -323,6 +342,40 @@ func (f *Fleet) wakeLocked() {
 	f.wait = make(chan struct{})
 }
 
+// workerKnowsSpec reports whether the worker has confirmed caching hash.
+func (f *Fleet) workerKnowsSpec(name, hash string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[name]
+	return ok && w.specs[hash]
+}
+
+// rememberSpec records that the worker has the spec cached (it accepted a
+// dispatch carrying it, or served a hash-only dispatch).
+func (f *Fleet) rememberSpec(name, hash string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w, ok := f.workers[name]; ok {
+		if w.specs == nil {
+			w.specs = map[string]bool{}
+		}
+		w.specs[hash] = true
+	}
+}
+
+// forgetSpec drops the cached-spec assumption after a worker-side miss.
+func (f *Fleet) forgetSpec(name, hash string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w, ok := f.workers[name]; ok {
+		delete(w.specs, hash)
+	}
+}
+
+// errSpecNotCached reports a worker-side spec-cache miss (HTTP 428) on a
+// hash-only dispatch; the dispatcher resends with the full spec.
+var errSpecNotCached = errors.New("executor: worker is missing the cached spec")
+
 // dispatch POSTs the trial to one worker and decodes its answer.
 func (f *Fleet) dispatch(ctx context.Context, w WorkerInfo, req TrialRequest) (TrialResult, error) {
 	body, err := json.Marshal(req)
@@ -347,6 +400,10 @@ func (f *Fleet) dispatch(ctx context.Context, w WorkerInfo, req TrialRequest) (T
 		return TrialResult{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusPreconditionRequired {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return TrialResult{}, fmt.Errorf("worker %s: %w", w.Name, errSpecNotCached)
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return TrialResult{}, fmt.Errorf("executor: worker %s answered %d: %s", w.Name, resp.StatusCode, bytes.TrimSpace(msg))

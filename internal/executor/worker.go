@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -31,6 +32,47 @@ type Server struct {
 	Logf func(format string, args ...any)
 
 	inFlight atomic.Int64
+
+	// Spec cache: study specs are identical across a study's trials, so
+	// the dispatcher sends the full spec once and hash-only afterwards.
+	// The cache is bounded (FIFO eviction) and purely an optimization —
+	// a miss answers 428 and the dispatcher resends in full, which is
+	// also how a restarted (empty-cache) worker recovers mid-campaign.
+	specMu    sync.Mutex
+	specs     map[string]json.RawMessage
+	specOrder []string
+}
+
+// maxCachedSpecs bounds the worker's spec cache. Specs are small (a few
+// KB) and campaigns rarely interleave many studies per worker.
+const maxCachedSpecs = 64
+
+// cacheSpec stores the spec under hash, evicting the oldest entry when
+// full. The bytes are copied: the request buffer is reused by net/http.
+func (s *Server) cacheSpec(hash string, spec json.RawMessage) {
+	s.specMu.Lock()
+	defer s.specMu.Unlock()
+	if s.specs == nil {
+		s.specs = make(map[string]json.RawMessage, maxCachedSpecs)
+	}
+	if _, ok := s.specs[hash]; ok {
+		return
+	}
+	for len(s.specs) >= maxCachedSpecs {
+		oldest := s.specOrder[0]
+		s.specOrder = s.specOrder[1:]
+		delete(s.specs, oldest)
+	}
+	s.specs[hash] = append(json.RawMessage(nil), spec...)
+	s.specOrder = append(s.specOrder, hash)
+}
+
+// cachedSpec looks up a spec by hash.
+func (s *Server) cachedSpec(hash string) (json.RawMessage, bool) {
+	s.specMu.Lock()
+	defer s.specMu.Unlock()
+	spec, ok := s.specs[hash]
+	return spec, ok
 }
 
 // Handler returns the worker API:
@@ -67,6 +109,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
+	}
+	if req.SpecHash != "" {
+		if len(req.Spec) > 0 {
+			s.cacheSpec(req.SpecHash, req.Spec)
+		} else {
+			spec, ok := s.cachedSpec(req.SpecHash)
+			if !ok {
+				// Cache miss (bounded cache evicted it, or this worker
+				// restarted): ask the dispatcher to resend the full spec.
+				writeJSON(w, http.StatusPreconditionRequired,
+					map[string]any{"error": "spec " + req.SpecHash + " not cached; resend with full spec"})
+				return
+			}
+			req.Spec = spec
+		}
 	}
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)

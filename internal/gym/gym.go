@@ -99,8 +99,13 @@ func (b Box) Contains(x []float64) bool {
 func (b Box) String() string { return fmt.Sprintf("Box(%d)", len(b.Low)) }
 
 // StepResult carries the outcome of one environment step.
+//
+// Obs may be a buffer owned by the environment and reused by its next
+// Step/Reset call: it is valid until then, and consumers that retain
+// observations across steps (rollout buffers, replay memories) must copy
+// it. This is what lets environments run steady-state allocation-free.
 type StepResult struct {
-	Obs       []float64 // next observation (owned by the caller after Step)
+	Obs       []float64 // next observation (valid until the env's next Step/Reset)
 	Reward    float64
 	Done      bool // episode terminated (success, failure, or time limit)
 	Truncated bool // Done was caused by a time limit, not the task

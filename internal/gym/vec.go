@@ -24,6 +24,9 @@ type VecStep struct {
 type VecEnv struct {
 	envs     []Env
 	parallel bool
+
+	steps    []VecStep   // reused result slice
+	finalBuf [][]float64 // per-env scratch for FinalObs copies
 }
 
 // NewVec builds n environments with maker, each deterministically seeded
@@ -62,24 +65,35 @@ func (v *VecEnv) Reset() [][]float64 {
 }
 
 // Step applies actions (one per env) and returns per-env results with
-// auto-reset semantics.
+// auto-reset semantics. The returned slice and the Obs/FinalObs it carries
+// are reused by the next Step call — copy to retain (the gym.StepResult
+// contract, batched).
 func (v *VecEnv) Step(actions [][]float64) []VecStep {
 	if len(actions) != len(v.envs) {
 		panic("gym: VecEnv.Step action count mismatch")
 	}
-	out := make([]VecStep, len(v.envs))
+	if v.steps == nil {
+		v.steps = make([]VecStep, len(v.envs))
+		v.finalBuf = make([][]float64, len(v.envs))
+	}
 	v.forEach(func(i int) {
 		res := v.envs[i].Step(actions[i])
 		vs := VecStep{Reward: res.Reward, Done: res.Done, Truncated: res.Truncated}
 		if res.Done {
-			vs.FinalObs = res.Obs
+			// The env may reuse its observation buffer, so the terminal
+			// observation must be copied out before Reset overwrites it.
+			if v.finalBuf[i] == nil {
+				v.finalBuf[i] = make([]float64, len(res.Obs))
+			}
+			copy(v.finalBuf[i], res.Obs)
+			vs.FinalObs = v.finalBuf[i]
 			vs.Obs = v.envs[i].Reset()
 		} else {
 			vs.Obs = res.Obs
 		}
-		out[i] = vs
+		v.steps[i] = vs
 	})
-	return out
+	return v.steps
 }
 
 func (v *VecEnv) forEach(fn func(i int)) {

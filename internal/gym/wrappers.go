@@ -115,7 +115,7 @@ func (o *ObsNorm) normalize(obs []float64) []float64 {
 	if !o.frozen {
 		o.rv.Push(obs)
 	}
-	out := o.rv.Normalize(obs, make([]float64, len(obs)))
+	out := o.rv.Normalize(obs, o.buf)
 	return mathx.ClipSlice(out, -o.clip, o.clip)
 }
 

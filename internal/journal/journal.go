@@ -111,20 +111,44 @@ func parseValue(p param.Param, raw string) (param.Value, error) {
 }
 
 // Writer appends trial records to an io.Writer (typically a file), safe
-// for concurrent use by parallel studies.
+// for concurrent use by parallel studies. Records are staged through a
+// bufio.Writer and flushed on record boundaries, so the underlying writer
+// sees whole records (the JSON encoder emits several small writes per
+// record; unbuffered, a crash could interleave a syscall boundary inside
+// any of them). A crash can still tear the final record's tail mid-flush;
+// RepairFile trims exactly that on resume.
 type Writer struct {
 	mu  sync.Mutex
+	buf *bufio.Writer
 	enc *json.Encoder
 }
 
 // NewWriter returns a Writer over w.
-func NewWriter(w io.Writer) *Writer { return &Writer{enc: json.NewEncoder(w)} }
+func NewWriter(w io.Writer) *Writer {
+	buf := bufio.NewWriter(w)
+	return &Writer{buf: buf, enc: json.NewEncoder(buf)}
+}
 
-// Append writes one trial.
+// Append writes one trial and flushes it to the underlying writer.
 func (w *Writer) Append(t core.Trial) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.enc.Encode(FromTrial(t))
+	if err := w.enc.Encode(FromTrial(t)); err != nil {
+		return err
+	}
+	// Flush on the record boundary: everything before this record is
+	// already durable, and a crash during this flush tears at most the
+	// final line.
+	return w.buf.Flush()
+}
+
+// Flush forces any buffered bytes through to the underlying writer. Append
+// flushes on every record, so this is only needed defensively (e.g. before
+// closing the underlying file after an encode error).
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Flush()
 }
 
 // Observer returns a core.Study OnTrial hook that journals every finished

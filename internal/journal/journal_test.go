@@ -245,6 +245,88 @@ func TestRepairFile(t *testing.T) {
 	}
 }
 
+// tornWriter forwards bytes to a file but "crashes" after limit bytes —
+// simulating a process death in the middle of a buffered flush, where the
+// kernel persisted only a prefix of the flushed record.
+type tornWriter struct {
+	f     *os.File
+	limit int
+	n     int
+}
+
+func (tw *tornWriter) Write(p []byte) (int, error) {
+	if tw.n >= tw.limit {
+		return 0, errors.New("torn: crashed")
+	}
+	if tw.n+len(p) > tw.limit {
+		k := tw.limit - tw.n
+		_, _ = tw.f.Write(p[:k])
+		tw.n = tw.limit
+		return k, errors.New("torn: crashed mid-write")
+	}
+	n, err := tw.f.Write(p)
+	tw.n += n
+	return n, err
+}
+
+func TestCrashMidFlushRepair(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trials.jsonl")
+	t1 := core.Trial{ID: 1, Seed: 11}
+	t2 := core.Trial{ID: 2, Seed: 22}
+
+	// Learn the encoded sizes so the crash lands mid-record-2.
+	var buf bytes.Buffer
+	sizer := NewWriter(&buf)
+	if err := sizer.Append(t1); err != nil {
+		t.Fatal(err)
+	}
+	len1 := buf.Len()
+	if err := sizer.Append(t2); err != nil {
+		t.Fatal(err)
+	}
+	len2 := buf.Len() - len1
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(&tornWriter{f: f, limit: len1 + len2/2})
+	if err := w.Append(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(t2); err == nil {
+		t.Fatal("crash mid-flush must surface as an append error")
+	}
+	f.Close()
+
+	// Resume: repair trims the torn tail, keeping the intact prefix.
+	recs, err := RepairFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != 1 || recs[0].Seed != 11 {
+		t.Fatalf("repair kept wrong records: %+v", recs)
+	}
+
+	// The re-run appends the lost trial on a clean line.
+	f2, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewWriter(f2).Append(t2); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	recs, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].ID != 2 || recs[1].Seed != 22 {
+		t.Fatalf("post-repair append broken: %+v", recs)
+	}
+}
+
 func TestWriteFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "out.jsonl")

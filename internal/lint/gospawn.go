@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoSpawn forbids `go` statements inside the numeric hot-path packages
+// (internal/tensor, internal/nn). Per-call goroutine spawning allocates on
+// every kernel invocation and leaves the work split to the scheduler;
+// kernel parallelism must instead route through the tensor package's
+// persistent worker pool (parallelRows), which dispatches fixed,
+// deterministic row chunks so results are bit-identical at any pool width.
+// The pool's own worker spawn carries a //lint:ignore go-spawn directive —
+// the one sanctioned spawn site.
+type GoSpawn struct{}
+
+// Name implements Rule.
+func (GoSpawn) Name() string { return "go-spawn" }
+
+// Doc implements Rule.
+func (GoSpawn) Doc() string {
+	return "no ad-hoc goroutine spawning in hot-path kernel packages; use the tensor worker pool"
+}
+
+// goSpawnScopes are the hot-path packages the rule applies to.
+var goSpawnScopes = []string{"internal/tensor", "internal/nn"}
+
+// Check implements Rule.
+func (g GoSpawn) Check(pkg *Package, report ReportFunc) {
+	inScope := false
+	for _, scope := range goSpawnScopes {
+		if pathHasSegments(pkg.Path, scope) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, name := range pkg.SortedFileNames() {
+		if IsTestFile(name) {
+			continue
+		}
+		ast.Inspect(pkg.Files[name], func(n ast.Node) bool {
+			st, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			report(g.Name(), st.Pos(),
+				"go statement in a hot-path kernel package allocates per call and splits work nondeterministically; dispatch through the tensor worker pool (parallelRows) instead")
+			return true
+		})
+	}
+}

@@ -103,6 +103,7 @@ func AllRules() []Rule {
 		FloatEq{},
 		CtxBlocking{},
 		ErrDrop{},
+		GoSpawn{},
 	}
 }
 

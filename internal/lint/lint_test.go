@@ -81,6 +81,7 @@ func TestRuleGolden(t *testing.T) {
 		{"floateq", FloatEq{}},
 		{"ctxblocking", CtxBlocking{}},
 		{"errdrop", ErrDrop{}},
+		{"gospawn", GoSpawn{}},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

@@ -1,0 +1,15 @@
+package nn
+
+// forwardAsync forwards each layer on its own goroutine per call.
+func forwardAsync(layers []func()) {
+	done := make(chan struct{}, len(layers))
+	for _, l := range layers {
+		go func(l func()) {
+			l()
+			done <- struct{}{}
+		}(l)
+	}
+	for range layers {
+		<-done
+	}
+}

@@ -51,30 +51,51 @@ func LogSoftmax(logits []float64, dst []float64) []float64 {
 	return dst
 }
 
+// logitsMaxExpSum returns max(logits) and Σ exp(v−max) — the two reduction
+// passes shared by the allocation-free categorical helpers below. Each
+// helper recomputes exp(v−max) per element instead of materializing a
+// probability buffer; the arithmetic per element is unchanged, so results
+// (and sampled action sequences) are bit-identical to the buffered forms.
+func logitsMaxExpSum(logits []float64) (mx, sum float64) {
+	mx = logits[0]
+	for _, v := range logits[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	for _, v := range logits {
+		sum += math.Exp(v - mx)
+	}
+	return mx, sum
+}
+
 // CategoricalSample draws an action index from softmax(logits).
 func CategoricalSample(rng *rand.Rand, logits []float64) int {
-	p := Softmax(logits, nil)
+	mx, sum := logitsMaxExpSum(logits)
 	u := rng.Float64()
 	acc := 0.0
-	for i, pi := range p {
-		acc += pi
+	for i, v := range logits {
+		acc += math.Exp(v-mx) / sum
 		if u <= acc {
 			return i
 		}
 	}
-	return len(p) - 1
+	return len(logits) - 1
 }
 
 // CategoricalLogProb returns log π(a) under softmax(logits).
 func CategoricalLogProb(logits []float64, a int) float64 {
-	return LogSoftmax(logits, nil)[a]
+	mx, sum := logitsMaxExpSum(logits)
+	return logits[a] - (mx + math.Log(sum))
 }
 
 // CategoricalEntropy returns the entropy of softmax(logits) in nats.
 func CategoricalEntropy(logits []float64) float64 {
-	lp := LogSoftmax(logits, nil)
+	mx, sum := logitsMaxExpSum(logits)
+	lse := mx + math.Log(sum)
 	h := 0.0
-	for _, l := range lp {
+	for _, v := range logits {
+		l := v - lse
 		h -= math.Exp(l) * l
 	}
 	return h

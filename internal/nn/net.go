@@ -82,7 +82,13 @@ type Dense struct {
 
 	x, z, y *tensor.Mat
 	dx      *tensor.Mat
+	dz, dw  *tensor.Mat
 }
+
+// ensureMat is tensor.Ensure: reuse scratch when capacity allows, so
+// steady-state training loops with a stable (or shrinking) batch size
+// reach zero allocations after the first pass.
+func ensureMat(m *tensor.Mat, r, c int) *tensor.Mat { return tensor.Ensure(m, r, c) }
 
 // NewDense returns a Dense layer with fan-in-scaled Gaussian init of gain.
 func NewDense(rng *rand.Rand, in, out int, act Activation, gain float64) *Dense {
@@ -105,9 +111,9 @@ func (d *Dense) Forward(x *tensor.Mat) *tensor.Mat {
 	}
 	d.x = x
 	if d.z == nil || d.z.R != x.R {
-		d.z = tensor.New(x.R, d.Out)
-		d.y = tensor.New(x.R, d.Out)
-		d.dx = tensor.New(x.R, d.In)
+		d.z = ensureMat(d.z, x.R, d.Out)
+		d.y = ensureMat(d.y, x.R, d.Out)
+		d.dx = ensureMat(d.dx, x.R, d.In)
 	}
 	tensor.MulInto(d.z, x, d.W)
 	d.z.AddBias(d.B)
@@ -128,14 +134,17 @@ func (d *Dense) Backward(dy *tensor.Mat) *tensor.Mat {
 		panic("nn: Dense backward shape mismatch")
 	}
 	// dz = dy * act'(z)
-	dz := tensor.New(dy.R, dy.C)
+	d.dz = ensureMat(d.dz, dy.R, dy.C)
+	dz := d.dz
 	for i := range dz.Data {
 		dz.Data[i] = dy.Data[i] * d.Act.Deriv(d.z.Data[i], d.y.Data[i])
 	}
 	// Accumulate parameter grads.
-	dw := tensor.New(d.In, d.Out)
-	tensor.MulTransAInto(dw, d.x, dz)
-	d.DW.Add(dw)
+	if d.dw == nil {
+		d.dw = tensor.New(d.In, d.Out)
+	}
+	tensor.MulTransAInto(d.dw, d.x, dz)
+	d.DW.Add(d.dw)
 	for r := 0; r < dz.R; r++ {
 		row := dz.Row(r)
 		for j, v := range row {
@@ -173,6 +182,10 @@ func (d *Dense) Params() []Param {
 // MLP is a stack of Dense layers.
 type MLP struct {
 	Layers []*Dense
+
+	in1    *tensor.Mat // reusable 1-row input for Forward1
+	out1   []float64   // reusable output buffer for Forward1
+	params []Param     // lazily built, cached: the layer list is immutable
 }
 
 // NewMLP builds an MLP with the given layer sizes (sizes[0] = input dim,
@@ -211,11 +224,19 @@ func (m *MLP) Forward(x *tensor.Mat) *tensor.Mat {
 	return h
 }
 
-// Forward1 evaluates a single input vector, returning a fresh output slice.
+// Forward1 evaluates a single input vector. The returned slice is owned by
+// the MLP and reused by the next Forward1 call — copy it to retain.
 func (m *MLP) Forward1(x []float64) []float64 {
-	in := tensor.FromSlice(1, len(x), append([]float64(nil), x...))
-	out := m.Forward(in)
-	return append([]float64(nil), out.Data...)
+	if m.in1 == nil || m.in1.C != len(x) {
+		m.in1 = tensor.New(1, len(x))
+	}
+	copy(m.in1.Data, x)
+	out := m.Forward(m.in1)
+	if m.out1 == nil || len(m.out1) != len(out.Data) {
+		m.out1 = make([]float64, len(out.Data))
+	}
+	copy(m.out1, out.Data)
+	return m.out1
 }
 
 // Backward backpropagates dL/dout through all layers, accumulating
@@ -235,16 +256,20 @@ func (m *MLP) ZeroGrad() {
 	}
 }
 
-// Params returns all parameter blocks.
+// Params returns all parameter blocks. The slice is built once and cached:
+// Param holds views into the layers' storage, which never moves, so the
+// cached slice stays valid for the life of the network. Callers must not
+// modify the slice itself (element Data/Grad contents are fair game).
 func (m *MLP) Params() []Param {
-	var ps []Param
-	for i, l := range m.Layers {
-		for _, p := range l.Params() {
-			p.Name = fmt.Sprintf("layer%d.%s", i, p.Name)
-			ps = append(ps, p)
+	if m.params == nil {
+		for i, l := range m.Layers {
+			for _, p := range l.Params() {
+				p.Name = fmt.Sprintf("layer%d.%s", i, p.Name)
+				m.params = append(m.params, p)
+			}
 		}
 	}
-	return ps
+	return m.params
 }
 
 // NumParams returns the total parameter count.

@@ -1,0 +1,17 @@
+package ode
+
+import "testing"
+
+// TestRK8StepAllocsZero pins the solver hot path: one Cooper–Verner RK8
+// step must not allocate once the stepper's stage buffers exist.
+func TestRK8StepAllocsZero(t *testing.T) {
+	st := NewStepper(RK8(), 2)
+	y := []float64{1, 0.5}
+	yerr := make([]float64, 2)
+	st.Step(nonlinSys, 0, y, 0.01, y, yerr) // warm up
+	if allocs := testing.AllocsPerRun(100, func() {
+		st.Step(nonlinSys, 0, y, 0.01, y, yerr)
+	}); allocs != 0 {
+		t.Errorf("RK8 Step: %.1f allocs per step, want 0", allocs)
+	}
+}

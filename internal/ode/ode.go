@@ -174,6 +174,21 @@ type Stepper struct {
 	k      [][]float64
 	ytmp   []float64
 	nEvals int64
+
+	// Sparse views of the tableau, precomputed once: the Cooper–Verner RK8
+	// tableau is roughly half zeros, and scanning them on every stage of
+	// every step is pure overhead. Entries are stored in ascending stage
+	// order, so the accumulation order — and the floating-point result —
+	// matches the dense loops exactly.
+	aSparse  [][]tableauEntry // per stage: nonzero A coefficients
+	bSparse  []tableauEntry   // nonzero B weights
+	dbSparse []tableauEntry   // nonzero B−BHat weights (embedded error)
+}
+
+// tableauEntry is one nonzero tableau coefficient: c applied to stage j.
+type tableauEntry struct {
+	j int
+	c float64
 }
 
 // NewStepper returns a Stepper for method m on systems of dimension dim.
@@ -186,7 +201,28 @@ func NewStepper(m *Method, dim int) *Stepper {
 	for i := range k {
 		k[i] = make([]float64, dim)
 	}
-	return &Stepper{m: m, dim: dim, k: k, ytmp: make([]float64, dim)}
+	s := &Stepper{m: m, dim: dim, k: k, ytmp: make([]float64, dim)}
+	s.aSparse = make([][]tableauEntry, m.Stages())
+	for i, row := range m.A {
+		for j, a := range row {
+			if a != 0 {
+				s.aSparse[i] = append(s.aSparse[i], tableauEntry{j: j, c: a})
+			}
+		}
+	}
+	for i, b := range m.B {
+		if b != 0 {
+			s.bSparse = append(s.bSparse, tableauEntry{j: i, c: b})
+		}
+	}
+	if m.BHat != nil {
+		for i := range m.B {
+			if db := m.B[i] - m.BHat[i]; db != 0 {
+				s.dbSparse = append(s.dbSparse, tableauEntry{j: i, c: db})
+			}
+		}
+	}
+	return s
 }
 
 // Method returns the stepper's method.
@@ -204,49 +240,42 @@ func (s *Stepper) Step(f Func, t float64, y []float64, h float64, ynew, yerr []f
 		panic(fmt.Sprintf("ode: Step dim %d, want %d", len(y), s.dim))
 	}
 	m := s.m
+	// The accumulations below hoist h*coefficient out of the element loops
+	// and slice k rows to the accumulator length for bounds-check
+	// elimination. Both keep the operation grouping (h*c)*k[d] and the
+	// ascending-stage order, so every result bit matches the naive loops.
+	ytmp := s.ytmp
 	for i := 0; i < m.Stages(); i++ {
-		copy(s.ytmp, y)
-		for j, a := range m.A[i] {
-			if a == 0 {
-				continue
-			}
-			kj := s.k[j]
-			for d := range s.ytmp {
-				s.ytmp[d] += h * a * kj[d]
+		copy(ytmp, y)
+		for _, e := range s.aSparse[i] {
+			ha, kj := h*e.c, s.k[e.j][:len(ytmp)]
+			for d := range ytmp {
+				ytmp[d] += ha * kj[d]
 			}
 		}
-		f(t+m.C[i]*h, s.ytmp, s.k[i])
+		f(t+m.C[i]*h, ytmp, s.k[i])
 		s.nEvals++
 	}
 	// Assemble the solution; accumulate into ytmp first so ynew may alias y.
-	copy(s.ytmp, y)
-	for i, b := range m.B {
-		if b == 0 {
-			continue
-		}
-		ki := s.k[i]
-		for d := range s.ytmp {
-			s.ytmp[d] += h * b * ki[d]
+	copy(ytmp, y)
+	for _, e := range s.bSparse {
+		hb, ki := h*e.c, s.k[e.j][:len(ytmp)]
+		for d := range ytmp {
+			ytmp[d] += hb * ki[d]
 		}
 	}
 	if yerr != nil {
 		for d := range yerr {
 			yerr[d] = 0
 		}
-		if m.BHat != nil {
-			for i := range m.B {
-				db := m.B[i] - m.BHat[i]
-				if db == 0 {
-					continue
-				}
-				ki := s.k[i]
-				for d := range yerr {
-					yerr[d] += h * db * ki[d]
-				}
+		for _, e := range s.dbSparse {
+			hdb, ki := h*e.c, s.k[e.j][:len(yerr)]
+			for d := range yerr {
+				yerr[d] += hdb * ki[d]
 			}
 		}
 	}
-	copy(ynew, s.ytmp)
+	copy(ynew, ytmp)
 	return t + h
 }
 
@@ -271,25 +300,46 @@ func Integrate(f Func, m *Method, t0, t1 float64, y0 []float64, h float64) int {
 	return steps
 }
 
-// EstimateLocalError estimates the local truncation error of one step of
-// size h at (t, y) by Richardson extrapolation: it compares one full step
-// against two half steps. It works for any method, including those without
-// an embedded pair, and returns the RMS norm of the difference scaled by
-// 1/(2^p - 1) where p is the method order.
-func EstimateLocalError(f Func, m *Method, t float64, y []float64, h float64) float64 {
-	dim := len(y)
-	st := NewStepper(m, dim)
-	full := make([]float64, dim)
-	half := make([]float64, dim)
-	st.Step(f, t, y, h, full, nil)
-	copy(half, y)
-	tm := st.Step(f, t, half, h/2, half, nil)
-	st.Step(f, tm, half, h/2, half, nil)
+// ErrorEstimator performs Richardson-extrapolation local-error estimates
+// without per-call allocation: it owns a Stepper and the full/half scratch
+// buffers, so callers that estimate repeatedly (the airdrop simulator does
+// so every few steps) stay allocation-free. Not safe for concurrent use.
+type ErrorEstimator struct {
+	st         *Stepper
+	full, half []float64
+}
+
+// NewErrorEstimator returns an estimator for method m on systems of
+// dimension dim.
+func NewErrorEstimator(m *Method, dim int) *ErrorEstimator {
+	return &ErrorEstimator{
+		st:   NewStepper(m, dim),
+		full: make([]float64, dim),
+		half: make([]float64, dim),
+	}
+}
+
+// Estimate estimates the local truncation error of one step of size h at
+// (t, y) by comparing one full step against two half steps, returning the
+// RMS norm of the difference scaled by 1/(2^p − 1) where p is the method
+// order. It works for any method, including those without an embedded pair.
+func (e *ErrorEstimator) Estimate(f Func, t float64, y []float64, h float64) float64 {
+	m := e.st.Method()
+	e.st.Step(f, t, y, h, e.full, nil)
+	copy(e.half, y)
+	tm := e.st.Step(f, t, e.half, h/2, e.half, nil)
+	e.st.Step(f, tm, e.half, h/2, e.half, nil)
 	scale := math.Pow(2, float64(m.Order)) - 1
 	sum := 0.0
-	for d := 0; d < dim; d++ {
-		e := (half[d] - full[d]) / scale
-		sum += e * e
+	for d := range e.full {
+		d2 := (e.half[d] - e.full[d]) / scale
+		sum += d2 * d2
 	}
-	return math.Sqrt(sum / float64(dim))
+	return math.Sqrt(sum / float64(len(e.full)))
+}
+
+// EstimateLocalError is the one-shot form of ErrorEstimator.Estimate; it
+// allocates scratch per call, so hot paths should hold an ErrorEstimator.
+func EstimateLocalError(f Func, m *Method, t float64, y []float64, h float64) float64 {
+	return NewErrorEstimator(m, len(y)).Estimate(f, t, y, h)
 }

@@ -90,6 +90,13 @@ type DQN struct {
 	rng       *rand.Rand
 	steps     int
 	gradSteps int
+
+	// Update scratch, reused across gradient steps so steady-state
+	// training does not allocate.
+	scrBatch    []rl.Transition
+	scrX, scrXn *tensor.Mat
+	scrDq       *tensor.Mat
+	scrTargets  []float64
 }
 
 // New returns a DQN learner for obsDim observations and nActions discrete
@@ -159,24 +166,33 @@ func (d *DQN) Observe(t rl.Transition) (Stats, bool) {
 
 // update runs one gradient step on a sampled minibatch.
 func (d *DQN) update() Stats {
-	batch := d.Buffer.Sample(d.rng, d.Cfg.Batch, nil)
+	if d.scrBatch == nil {
+		d.scrBatch = make([]rl.Transition, d.Cfg.Batch)
+	}
+	batch := d.Buffer.Sample(d.rng, d.Cfg.Batch, d.scrBatch)
 	bs := len(batch)
 
-	x := tensor.New(bs, d.ObsDim)
-	xn := tensor.New(bs, d.ObsDim)
+	d.scrX = tensor.Ensure(d.scrX, bs, d.ObsDim)
+	d.scrXn = tensor.Ensure(d.scrXn, bs, d.ObsDim)
+	x, xn := d.scrX, d.scrXn
 	for i, t := range batch {
 		copy(x.Row(i), t.Obs)
 		copy(xn.Row(i), t.NextObs)
 	}
 
 	// Targets: y = r + γ max_a QT(s', a), with double-DQN optionally
-	// selecting the argmax with the online network.
-	qtNext := d.QT.Forward(xn).Clone()
+	// selecting the argmax with the online network. The forward outputs
+	// are consumed before the online net runs on x again, so no clones
+	// are needed.
+	qtNext := d.QT.Forward(xn)
 	var qNext *tensor.Mat
 	if d.Cfg.Double {
-		qNext = d.Q.Forward(xn).Clone()
+		qNext = d.Q.Forward(xn)
 	}
-	targets := make([]float64, bs)
+	if cap(d.scrTargets) < bs {
+		d.scrTargets = make([]float64, bs)
+	}
+	targets := d.scrTargets[:bs]
 	for i, t := range batch {
 		y := t.Reward
 		if !t.Done {
@@ -194,7 +210,9 @@ func (d *DQN) update() Stats {
 	// Gradient step: MSE on the taken action's Q-value.
 	d.Q.ZeroGrad()
 	q := d.Q.Forward(x)
-	dq := tensor.New(bs, d.NActions)
+	d.scrDq = tensor.Ensure(d.scrDq, bs, d.NActions)
+	dq := d.scrDq
+	dq.Zero() // only the taken action's entry is set below
 	var loss, meanQ float64
 	for i, t := range batch {
 		diff := q.At(i, t.Action) - targets[i]

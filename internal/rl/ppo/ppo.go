@@ -103,6 +103,15 @@ type PPO struct {
 	rng       *rand.Rand
 
 	updates int
+
+	// Update scratch, reused across minibatches and updates so the
+	// steady-state training loop does not allocate.
+	scrX, scrDlogits, scrDvals *tensor.Mat
+	scrProbs, scrLogProbs      []float64
+	flatObs                    [][]float64
+	flatActs                   []int
+	flatLogp, flatAdv, flatRet []float64
+	idx                        []int
 }
 
 // New returns a PPO learner for obsDim observations and nActions discrete
@@ -196,14 +205,12 @@ func (p *PPO) SetEntCoef(c float64) { p.Cfg.EntCoef = c }
 func (p *PPO) Update(rollout *rl.Rollout) Stats {
 	rollout.ComputeGAE(p.Cfg.Gamma, p.Cfg.Lambda)
 
-	// Flatten the rollout.
-	var (
-		obs  [][]float64
-		acts []int
-		logp []float64
-		adv  []float64
-		ret  []float64
-	)
+	// Flatten the rollout into reused scratch.
+	obs := p.flatObs[:0]
+	acts := p.flatActs[:0]
+	logp := p.flatLogp[:0]
+	adv := p.flatAdv[:0]
+	ret := p.flatRet[:0]
 	for _, seg := range rollout.Segments {
 		obs = append(obs, seg.Obs...)
 		acts = append(acts, seg.Act...)
@@ -211,6 +218,7 @@ func (p *PPO) Update(rollout *rl.Rollout) Stats {
 		adv = append(adv, seg.Adv...)
 		ret = append(ret, seg.Ret...)
 	}
+	p.flatObs, p.flatActs, p.flatLogp, p.flatAdv, p.flatRet = obs, acts, logp, adv, ret
 	n := len(obs)
 	if n == 0 {
 		return Stats{}
@@ -226,7 +234,10 @@ func (p *PPO) Update(rollout *rl.Rollout) Stats {
 		}
 	}
 
-	idx := make([]int, n)
+	if cap(p.idx) < n {
+		p.idx = make([]int, n)
+	}
+	idx := p.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -269,7 +280,8 @@ func (p *PPO) Update(rollout *rl.Rollout) Stats {
 
 func (p *PPO) updateMinibatch(obs [][]float64, acts []int, oldLogp, adv, ret []float64, b []int) Stats {
 	bs := len(b)
-	x := tensor.New(bs, p.ObsDim)
+	p.scrX = tensor.Ensure(p.scrX, bs, p.ObsDim)
+	x := p.scrX
 	for i, j := range b {
 		copy(x.Row(i), obs[j])
 	}
@@ -277,11 +289,16 @@ func (p *PPO) updateMinibatch(obs [][]float64, acts []int, oldLogp, adv, ret []f
 	// ---- Actor ----
 	p.Actor.ZeroGrad()
 	logits := p.Actor.Forward(x)
-	dlogits := tensor.New(bs, p.NActions)
+	p.scrDlogits = tensor.Ensure(p.scrDlogits, bs, p.NActions)
+	dlogits := p.scrDlogits
 
 	var polLoss, entSum, clipped float64
-	probs := make([]float64, p.NActions)
-	logProbs := make([]float64, p.NActions)
+	if p.scrProbs == nil {
+		p.scrProbs = make([]float64, p.NActions)
+		p.scrLogProbs = make([]float64, p.NActions)
+	}
+	probs := p.scrProbs
+	logProbs := p.scrLogProbs
 	for i, j := range b {
 		row := logits.Row(i)
 		nn.Softmax(row, probs)
@@ -329,7 +346,8 @@ func (p *PPO) updateMinibatch(obs [][]float64, acts []int, oldLogp, adv, ret []f
 	// ---- Critic ----
 	p.Critic.ZeroGrad()
 	values := p.Critic.Forward(x)
-	dvals := tensor.New(bs, 1)
+	p.scrDvals = tensor.Ensure(p.scrDvals, bs, 1)
+	dvals := p.scrDvals
 	var vfLoss float64
 	for i, j := range b {
 		d := values.At(i, 0) - ret[j]

@@ -45,14 +45,63 @@ type Segment struct {
 	// Adv and Ret are filled by ComputeGAE.
 	Adv []float64
 	Ret []float64
+
+	// obsBack is the flat backing store observations are copied into. When
+	// Reserve was called with enough capacity, Push never allocates.
+	obsBack []float64
 }
 
 // Len returns the number of steps in the segment.
 func (s *Segment) Len() int { return len(s.Obs) }
 
-// Push appends one step to the segment.
+// Reserve preallocates storage for n steps of obsDim-dimensional
+// observations, so a subsequent collection of up to n Push calls is
+// allocation-free (after the first rollout warms the per-step slices).
+func (s *Segment) Reserve(n, obsDim int) {
+	if cap(s.obsBack) < n*obsDim {
+		s.obsBack = make([]float64, 0, n*obsDim)
+	}
+	if cap(s.Obs) < n {
+		s.Obs = make([][]float64, 0, n)
+		s.Act = make([]int, 0, n)
+		s.LogP = make([]float64, 0, n)
+		s.Val = make([]float64, 0, n)
+		s.Rew = make([]float64, 0, n)
+		s.Done = make([]bool, 0, n)
+		s.Trunc = make([]bool, 0, n)
+		s.NextVal = make([]float64, 0, n)
+	}
+}
+
+// Clear empties the segment for reuse, keeping all backing storage.
+func (s *Segment) Clear() {
+	s.Obs = s.Obs[:0]
+	s.Act = s.Act[:0]
+	s.LogP = s.LogP[:0]
+	s.Val = s.Val[:0]
+	s.Rew = s.Rew[:0]
+	s.Done = s.Done[:0]
+	s.Trunc = s.Trunc[:0]
+	s.NextVal = s.NextVal[:0]
+	s.obsBack = s.obsBack[:0]
+}
+
+// Push appends one step to the segment. The observation is copied into
+// segment-owned storage, so callers may pass reused env buffers (the
+// gym.StepResult contract).
 func (s *Segment) Push(obs []float64, act int, logp, val, rew float64, done, trunc bool, nextVal float64) {
-	s.Obs = append(s.Obs, obs)
+	var stored []float64
+	if n := len(obs); cap(s.obsBack)-len(s.obsBack) >= n {
+		off := len(s.obsBack)
+		s.obsBack = s.obsBack[: off+n : cap(s.obsBack)]
+		stored = s.obsBack[off : off+n : off+n]
+		copy(stored, obs)
+	} else {
+		// No reserved room left (or Reserve never called): fall back to a
+		// fresh copy so earlier views are never invalidated by growth.
+		stored = append([]float64(nil), obs...)
+	}
+	s.Obs = append(s.Obs, stored)
 	s.Act = append(s.Act, act)
 	s.LogP = append(s.LogP, logp)
 	s.Val = append(s.Val, val)
@@ -72,8 +121,13 @@ func (s *Segment) Push(obs []float64, act int, logp, val, rew float64, done, tru
 // λ-recursion, matching standard vectorized-PPO practice.
 func (s *Segment) ComputeGAE(gamma, lambda float64) {
 	n := s.Len()
-	s.Adv = make([]float64, n)
-	s.Ret = make([]float64, n)
+	if cap(s.Adv) >= n {
+		s.Adv = s.Adv[:n]
+		s.Ret = s.Ret[:n]
+	} else {
+		s.Adv = make([]float64, n)
+		s.Ret = make([]float64, n)
+	}
 	next := 0.0
 	for t := n - 1; t >= 0; t-- {
 		nextVal := s.NextVal[t]
@@ -134,9 +188,17 @@ func (b *ReplayBuffer) Len() int { return b.size }
 // Cap returns the buffer capacity.
 func (b *ReplayBuffer) Cap() int { return b.cap }
 
-// Add stores a transition, overwriting the oldest when full.
+// Add stores a transition, overwriting the oldest when full. The Obs and
+// NextObs slices are copied into slot-owned storage that is reused on
+// overwrite, so callers may pass reused env buffers and a full buffer adds
+// without allocating.
 func (b *ReplayBuffer) Add(t Transition) {
-	b.buf[b.next] = t
+	slot := &b.buf[b.next]
+	slot.Obs = append(slot.Obs[:0], t.Obs...)
+	slot.NextObs = append(slot.NextObs[:0], t.NextObs...)
+	slot.Action = t.Action
+	slot.Reward = t.Reward
+	slot.Done = t.Done
 	b.next = (b.next + 1) % b.cap
 	if b.size < b.cap {
 		b.size++
@@ -144,7 +206,10 @@ func (b *ReplayBuffer) Add(t Transition) {
 }
 
 // Sample draws n transitions uniformly with replacement into dst
-// (allocating when nil) and returns dst. It panics on an empty buffer.
+// (allocating when nil) and returns dst. The sampled transitions share
+// observation storage with the buffer slots: they are valid until the
+// slot is overwritten, i.e. consume them before the next cap Adds. It
+// panics on an empty buffer.
 func (b *ReplayBuffer) Sample(rng *rand.Rand, n int, dst []Transition) []Transition {
 	if b.size == 0 {
 		panic("rl: Sample from empty replay buffer")

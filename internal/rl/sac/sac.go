@@ -111,6 +111,15 @@ type SAC struct {
 	rng       *rand.Rand
 	steps     int
 	gradSteps int
+
+	// Update scratch, reused across gradient steps so steady-state
+	// training does not allocate.
+	scrBatch          []rl.Transition
+	scrX, scrXn       *tensor.Mat
+	scrDq, scrDlogits *tensor.Mat
+	scrTargets        []float64
+	scrProbsN, scrLpN []float64
+	scrProbs, scrLp   []float64
 }
 
 // New returns a SAC learner for obsDim observations and nActions discrete
@@ -197,24 +206,37 @@ func (s *SAC) Observe(t rl.Transition) (Stats, bool) {
 
 // update runs one gradient step on a sampled minibatch.
 func (s *SAC) update() Stats {
-	batch := s.Buffer.Sample(s.rng, s.Cfg.Batch, nil)
+	if s.scrBatch == nil {
+		s.scrBatch = make([]rl.Transition, s.Cfg.Batch)
+		s.scrProbsN = make([]float64, s.NActions)
+		s.scrLpN = make([]float64, s.NActions)
+		s.scrProbs = make([]float64, s.NActions)
+		s.scrLp = make([]float64, s.NActions)
+	}
+	batch := s.Buffer.Sample(s.rng, s.Cfg.Batch, s.scrBatch)
 	bs := len(batch)
 	alpha := s.Alpha()
 
-	x := tensor.New(bs, s.ObsDim)
-	xn := tensor.New(bs, s.ObsDim)
+	s.scrX = tensor.Ensure(s.scrX, bs, s.ObsDim)
+	s.scrXn = tensor.Ensure(s.scrXn, bs, s.ObsDim)
+	x, xn := s.scrX, s.scrXn
 	for i, t := range batch {
 		copy(x.Row(i), t.Obs)
 		copy(xn.Row(i), t.NextObs)
 	}
 
 	// ---- Targets: y = r + γ(1-d) Σ_a π(a|s')[minQT(s',a) − α·logπ(a|s')]
+	// Each network owns its forward-output buffer, so the target-net
+	// outputs stay valid without cloning while the actor runs.
 	nextLogits := s.Actor.Forward(xn)
-	probsN := make([]float64, s.NActions)
-	lpN := make([]float64, s.NActions)
-	q1t := s.Q1T.Forward(xn).Clone()
-	q2t := s.Q2T.Forward(xn).Clone()
-	targets := make([]float64, bs)
+	probsN := s.scrProbsN
+	lpN := s.scrLpN
+	q1t := s.Q1T.Forward(xn)
+	q2t := s.Q2T.Forward(xn)
+	if cap(s.scrTargets) < bs {
+		s.scrTargets = make([]float64, bs)
+	}
+	targets := s.scrTargets[:bs]
 	for i, t := range batch {
 		row := nextLogits.Row(i)
 		nn.Softmax(row, probsN)
@@ -239,7 +261,9 @@ func (s *SAC) update() Stats {
 	}{{s.Q1, s.optQ1}, {s.Q2, s.optQ2}} {
 		pair.net.ZeroGrad()
 		q := pair.net.Forward(x)
-		dq := tensor.New(bs, s.NActions)
+		s.scrDq = tensor.Ensure(s.scrDq, bs, s.NActions)
+		dq := s.scrDq
+		dq.Zero() // only the taken action's entry is set below
 		for i, t := range batch {
 			d := q.At(i, t.Action) - targets[i]
 			if qi == 0 {
@@ -256,11 +280,12 @@ func (s *SAC) update() Stats {
 	// ---- Actor update: minimize Σ_a π(a|s)[α·logπ(a|s) − minQ(s,a)].
 	s.Actor.ZeroGrad()
 	logits := s.Actor.Forward(x)
-	q1 := s.Q1.Forward(x).Clone()
-	q2 := s.Q2.Forward(x).Clone()
-	dlogits := tensor.New(bs, s.NActions)
-	probs := make([]float64, s.NActions)
-	lp := make([]float64, s.NActions)
+	q1 := s.Q1.Forward(x)
+	q2 := s.Q2.Forward(x)
+	s.scrDlogits = tensor.Ensure(s.scrDlogits, bs, s.NActions)
+	dlogits := s.scrDlogits
+	probs := s.scrProbs
+	lp := s.scrLp
 	var actorLoss, entSum float64
 	for i := range batch {
 		row := logits.Row(i)

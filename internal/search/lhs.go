@@ -24,6 +24,10 @@ type LatinHypercube struct {
 // Name implements Explorer.
 func (*LatinHypercube) Name() string { return "lhs" }
 
+// IgnoresHistory implements HistoryFree: the plan is built once from the
+// rng stream and the space.
+func (*LatinHypercube) IgnoresHistory() bool { return true }
+
 // Next implements Explorer.
 func (l *LatinHypercube) Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool) {
 	if l.N <= 0 {

@@ -44,6 +44,19 @@ type Explorer interface {
 	Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool)
 }
 
+// HistoryFree is implemented by explorers whose Next ignores the history
+// argument. Callers that build the observation list per proposal (an O(n)
+// conversion, O(n²) over a campaign) may pass nil history when
+// IgnoresHistory reports true. Whether an explorer is history-free can
+// depend on its configuration (RandomSearch with Dedup reads history), so
+// this is a method rather than a pure marker.
+type HistoryFree interface {
+	Explorer
+	// IgnoresHistory reports whether this explorer instance never reads
+	// the history passed to Next.
+	IgnoresHistory() bool
+}
+
 // RandomSearch samples uniform random configurations, optionally skipping
 // duplicates.
 type RandomSearch struct {
@@ -55,6 +68,10 @@ type RandomSearch struct {
 
 // Name implements Explorer.
 func (RandomSearch) Name() string { return "random" }
+
+// IgnoresHistory implements HistoryFree: plain random search never reads
+// history; dedup does.
+func (r RandomSearch) IgnoresHistory() bool { return !r.Dedup }
 
 // Next implements Explorer.
 func (r RandomSearch) Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool) {
@@ -86,6 +103,10 @@ type GridSearch struct {
 
 // Name implements Explorer.
 func (*GridSearch) Name() string { return "grid" }
+
+// IgnoresHistory implements HistoryFree: the grid is a pure function of
+// the space.
+func (*GridSearch) IgnoresHistory() bool { return true }
 
 // Next implements Explorer.
 func (g *GridSearch) Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool) {

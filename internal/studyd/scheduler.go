@@ -33,6 +33,10 @@ const (
 // EvalFunc (EvaluateRequest here or on a worker) rebuilds it from the
 // dispatched spec, keeping one evaluation path for every mode.
 func wrapFor(exec executor.Executor, m *ManagedStudy) func(core.Objective) core.Objective {
+	// The spec is immutable for the study's lifetime, so hash it once;
+	// fleet dispatchers use it to ship hash-only requests to workers that
+	// already cached the spec.
+	specHash := executor.SpecHashOf(m.rawSpec)
 	return func(core.Objective) core.Objective {
 		return func(a param.Assignment, seed uint64, rec *core.Recorder) error {
 			params := make(map[string]string, len(a))
@@ -40,11 +44,12 @@ func wrapFor(exec executor.Executor, m *ManagedStudy) func(core.Objective) core.
 				params[name] = v.String()
 			}
 			req := executor.TrialRequest{
-				StudyID: m.ID,
-				TrialID: rec.TrialID(),
-				Spec:    m.rawSpec,
-				Params:  params,
-				Seed:    seed,
+				StudyID:  m.ID,
+				TrialID:  rec.TrialID(),
+				Spec:     m.rawSpec,
+				SpecHash: specHash,
+				Params:   params,
+				Seed:     seed,
 			}
 			res, err := exec.Run(rec.Context(), req)
 			if err != nil {

@@ -10,8 +10,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"runtime"
-	"sync"
 )
 
 // Mat is a dense row-major matrix of float64.
@@ -90,10 +88,17 @@ func (m *Mat) Orthogonalish(rng *rand.Rand, gain float64) {
 	}
 }
 
-// parallelThreshold is the number of multiply-adds above which MatMul fans
-// out across goroutines. Small policy networks stay single-threaded, large
-// batched products use all cores.
+// parallelThreshold is the number of multiply-adds above which the matrix
+// products fan out across the worker pool (pool.go). Small policy networks
+// stay single-threaded, large batched products use all cores.
 const parallelThreshold = 1 << 16
+
+// blockThreshold is the size of the streamed operand (elements) above which
+// mulRows switches to the cache-blocked kernel: once one pass over b no
+// longer fits in L2, revisiting it in k×j tiles beats streaming it whole
+// per output row. Both kernels accumulate each output element in ascending
+// k order, so the switch never changes the floating-point result.
+const blockThreshold = 1 << 16
 
 // MulInto computes dst = a @ b. dst must be a.R×b.C and must not alias a or b.
 func MulInto(dst, a, b *Mat) {
@@ -106,17 +111,34 @@ func MulInto(dst, a, b *Mat) {
 	if dst == a || dst == b {
 		panic("tensor: MulInto dst aliases input")
 	}
-	work := a.R * a.C * b.C
-	if work >= parallelThreshold {
-		mulParallel(dst, a, b)
+	// The Parallelism() > 1 guard keeps the single-threaded hot path
+	// allocation-free: the fan-out closure escapes to the heap, which only
+	// pays for itself when there are workers to feed.
+	if a.R*a.C*b.C >= parallelThreshold && Parallelism() > 1 {
+		parallelRows(a.R, func(lo, hi int) { mulRows(dst, a, b, lo, hi) })
 		return
 	}
 	mulRows(dst, a, b, 0, a.R)
 }
 
-// mulRows computes rows [lo,hi) of dst = a @ b using an ikj loop order that
-// streams b rows through cache.
+// mulRows computes rows [lo,hi) of dst = a @ b, dispatching to the plain or
+// cache-blocked kernel by the size of b.
 func mulRows(dst, a, b *Mat, lo, hi int) {
+	if a.C*b.C >= blockThreshold {
+		mulRowsBlocked(dst, a, b, lo, hi)
+		return
+	}
+	mulRowsPlain(dst, a, b, lo, hi)
+}
+
+// mulRowsPlain computes rows [lo,hi) of dst = a @ b using an ikj loop order
+// that streams b rows through cache. Adjacent k rows are applied in pairs —
+// each output element still receives its updates one at a time in ascending
+// k order (two sequential adds, never a re-grouped sum), so the result is
+// bit-identical to the unpaired loop while halving the dst row traffic. The
+// zero-skip of the scalar loop is preserved by falling back to axpyRow when
+// either coefficient of a pair is zero.
+func mulRowsPlain(dst, a, b *Mat, lo, hi int) {
 	n, p := a.C, b.C
 	for i := lo; i < hi; i++ {
 		drow := dst.Data[i*p : (i+1)*p]
@@ -124,46 +146,100 @@ func mulRows(dst, a, b *Mat, lo, hi int) {
 			drow[x] = 0
 		}
 		arow := a.Data[i*n : (i+1)*n]
-		for k := 0; k < n; k++ {
-			aik := arow[k]
-			if aik == 0 {
+		k := 0
+		for ; k+1 < n; k += 2 {
+			a0, a1 := arow[k], arow[k+1]
+			if a0 == 0 || a1 == 0 {
+				if a0 != 0 {
+					axpyRow(drow, a0, b.Data[k*p:(k+1)*p])
+				}
+				if a1 != 0 {
+					axpyRow(drow, a1, b.Data[(k+1)*p:(k+2)*p])
+				}
 				continue
 			}
-			brow := b.Data[k*p : (k+1)*p]
-			for j, bv := range brow {
-				drow[j] += aik * bv
+			b0 := b.Data[k*p : (k+1)*p][:len(drow)]
+			b1 := b.Data[(k+1)*p : (k+2)*p][:len(drow)]
+			for j := range drow {
+				s := drow[j] + a0*b0[j]
+				drow[j] = s + a1*b1[j]
+			}
+		}
+		if k < n {
+			if aik := arow[k]; aik != 0 {
+				axpyRow(drow, aik, b.Data[k*p:(k+1)*p])
 			}
 		}
 	}
 }
 
-func mulParallel(dst, a, b *Mat) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.R {
-		workers = a.R
+// axpyRow computes drow += a * brow.
+func axpyRow(drow []float64, a float64, brow []float64) {
+	brow = brow[:len(drow)]
+	for j := range drow {
+		drow[j] += a * brow[j]
 	}
-	if workers < 2 {
-		mulRows(dst, a, b, 0, a.R)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (a.R + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.R {
-			hi = a.R
+}
+
+// Tile sizes of the blocked kernel: mulKC rows of b (k direction) by mulJC
+// columns (j direction) — a working set of mulKC*mulJC*8 bytes ≈ 256 KiB
+// that stays L2-resident while every output row in the chunk revisits it.
+const (
+	mulKC = 128
+	mulJC = 256
+)
+
+// mulRowsBlocked computes rows [lo,hi) of dst = a @ b with k×j tiling over
+// b. For every output element the k loop still runs in ascending order
+// (tiles are visited k-ascending, rows within a tile likewise), so the
+// result is bit-identical to mulRowsPlain.
+func mulRowsBlocked(dst, a, b *Mat, lo, hi int) {
+	n, p := a.C, b.C
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*p : (i+1)*p]
+		for x := range drow {
+			drow[x] = 0
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulRows(dst, a, b, lo, hi)
-		}(lo, hi)
 	}
-	wg.Wait()
+	for k0 := 0; k0 < n; k0 += mulKC {
+		k1 := k0 + mulKC
+		if k1 > n {
+			k1 = n
+		}
+		for j0 := 0; j0 < p; j0 += mulJC {
+			j1 := j0 + mulJC
+			if j1 > p {
+				j1 = p
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*n : (i+1)*n]
+				drow := dst.Data[i*p+j0 : i*p+j1]
+				for k := k0; k < k1; k++ {
+					aik := arow[k]
+					if aik == 0 {
+						continue
+					}
+					brow := b.Data[k*p+j0 : k*p+j1]
+					for j, bv := range brow {
+						drow[j] += aik * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// Ensure returns m resized to r×c, reusing its backing storage when the
+// capacity allows; contents are unspecified. Allocates only when m is nil
+// or too small — the building block for steady-state allocation-free
+// scratch buffers in the training loops.
+func Ensure(m *Mat, r, c int) *Mat {
+	if m != nil && cap(m.Data) >= r*c {
+		m.R, m.C = r, c
+		m.Data = m.Data[:r*c]
+		return m
+	}
+	return New(r, c)
 }
 
 // Mul returns a new matrix a @ b.
@@ -182,15 +258,75 @@ func MulTransAInto(dst, a, b *Mat) {
 	if dst.R != a.C || dst.C != b.C {
 		panic("tensor: MulTransAInto dst shape mismatch")
 	}
+	if a.R*a.C*b.C >= parallelThreshold && Parallelism() > 1 {
+		parallelRows(dst.R, func(lo, hi int) { mulTransARows(dst, a, b, lo, hi) })
+		return
+	}
 	dst.Zero()
-	for k := 0; k < a.R; k++ {
+	// Adjacent k rows are applied in pairs per output row: element (i,j)
+	// still gets its k then k+1 updates as two sequential adds in ascending
+	// order, so this is bit-identical to the one-k-at-a-time loop (see
+	// mulRowsPlain for the same pattern) while halving dst row traffic.
+	n := a.R
+	k := 0
+	for ; k+1 < n; k += 2 {
+		arow0 := a.Data[k*a.C : (k+1)*a.C]
+		arow1 := a.Data[(k+1)*a.C : (k+2)*a.C]
+		brow0 := b.Data[k*b.C : (k+1)*b.C]
+		brow1 := b.Data[(k+1)*b.C : (k+2)*b.C]
+		for i, av0 := range arow0 {
+			av1 := arow1[i]
+			if av0 == 0 && av1 == 0 {
+				continue
+			}
+			drow := dst.Data[i*dst.C : (i+1)*dst.C]
+			if av0 == 0 || av1 == 0 {
+				if av0 != 0 {
+					axpyRow(drow, av0, brow0)
+				}
+				if av1 != 0 {
+					axpyRow(drow, av1, brow1)
+				}
+				continue
+			}
+			b0 := brow0[:len(drow)]
+			b1 := brow1[:len(drow)]
+			for j := range drow {
+				s := drow[j] + av0*b0[j]
+				drow[j] = s + av1*b1[j]
+			}
+		}
+	}
+	if k < n {
 		arow := a.Data[k*a.C : (k+1)*a.C]
 		brow := b.Data[k*b.C : (k+1)*b.C]
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			drow := dst.Data[i*dst.C : (i+1)*dst.C]
+			axpyRow(dst.Data[i*dst.C:(i+1)*dst.C], av, brow)
+		}
+	}
+}
+
+// mulTransARows computes rows [lo,hi) of dst = aᵀ @ b with the i loop
+// outermost so that disjoint row ranges can go to different workers. For a
+// fixed output element (i,j) the k loop still runs ascending with the same
+// zero-skip as the serial (k-outer) kernel above, so the accumulation order
+// — and therefore the floating-point result — is bit-identical.
+func mulTransARows(dst, a, b *Mat, lo, hi int) {
+	n, c := a.R, b.C
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*c : (i+1)*c]
+		for x := range drow {
+			drow[x] = 0
+		}
+		for k := 0; k < n; k++ {
+			av := a.Data[k*a.C+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*c : (k+1)*c]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
@@ -207,11 +343,45 @@ func MulTransBInto(dst, a, b *Mat) {
 	if dst.R != a.R || dst.C != b.R {
 		panic("tensor: MulTransBInto dst shape mismatch")
 	}
-	for i := 0; i < a.R; i++ {
+	if a.R*a.C*b.R >= parallelThreshold && Parallelism() > 1 {
+		parallelRows(a.R, func(lo, hi int) { mulTransBRows(dst, a, b, lo, hi) })
+		return
+	}
+	mulTransBRows(dst, a, b, 0, a.R)
+}
+
+// mulTransBRows computes rows [lo,hi) of dst = a @ bᵀ. Each output element
+// is one dot product evaluated in ascending-k order regardless of how rows
+// are partitioned, so parallel and serial results are bit-identical. Four
+// output columns are computed per pass: the four accumulator chains are
+// independent (one per output element, each ascending-k as before), which
+// hides the add latency a single serial chain is bound by and reads arow
+// once per quad instead of once per column.
+func mulTransBRows(dst, a, b *Mat, lo, hi int) {
+	m, c := b.R, b.C
+	for i := lo; i < hi; i++ {
 		arow := a.Data[i*a.C : (i+1)*a.C]
 		drow := dst.Data[i*dst.C : (i+1)*dst.C]
-		for j := 0; j < b.R; j++ {
-			brow := b.Data[j*b.C : (j+1)*b.C]
+		j := 0
+		for ; j+3 < m; j += 4 {
+			b0 := b.Data[j*c : (j+1)*c][:len(arow)]
+			b1 := b.Data[(j+1)*c : (j+2)*c][:len(arow)]
+			b2 := b.Data[(j+2)*c : (j+3)*c][:len(arow)]
+			b3 := b.Data[(j+3)*c : (j+4)*c][:len(arow)]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			drow[j] = s0
+			drow[j+1] = s1
+			drow[j+2] = s2
+			drow[j+3] = s3
+		}
+		for ; j < m; j++ {
+			brow := b.Data[j*c : (j+1)*c][:len(arow)]
 			s := 0.0
 			for k, av := range arow {
 				s += av * brow[k]

@@ -1,0 +1,111 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The kernel worker pool. MulInto and the transposed products fan large
+// shapes out across a fixed set of persistent goroutines instead of
+// spawning goroutines per call: goroutine creation on the hot path costs
+// more than the row chunks it parallelizes, and an unbounded spawn rate is
+// exactly what the go-spawn lint rule forbids in kernel code.
+//
+// Determinism contract: work is partitioned into fixed, contiguous row
+// chunks — chunk boundaries depend only on the shape and the configured
+// parallelism, every output element is written by exactly one worker, and
+// each element's additions happen in the same (ascending-k) order as the
+// serial kernel. The floating-point result is therefore bit-identical for
+// any worker count, which is what lets the replay contract hold with the
+// pool at 1, 2, or GOMAXPROCS workers.
+
+// parallelism is the number of chunks a parallel kernel call fans out to.
+// 0 means "use runtime.GOMAXPROCS(0)".
+var parallelism atomic.Int64
+
+// SetParallelism fixes the kernel fan-out width. n <= 0 restores the
+// default (GOMAXPROCS at call time). Intended for tests that verify the
+// determinism contract across worker counts and for embedders that want to
+// reserve cores; safe to call at any time, but not synchronized with
+// in-flight kernel calls.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the effective fan-out width of the next parallel
+// kernel call.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// poolTask is one contiguous chunk of rows handed to a pool worker.
+type poolTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan poolTask
+)
+
+// startPool lazily starts the persistent workers. The pool is sized to the
+// machine (GOMAXPROCS at first use); SetParallelism only controls how many
+// chunks are dispatched, so idle workers cost nothing but a blocked
+// goroutine.
+func startPool() {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 1 {
+			n = 1
+		}
+		poolTasks = make(chan poolTask, 4*n)
+		for i := 0; i < n; i++ {
+			//lint:ignore go-spawn the pool's own persistent workers are the one sanctioned spawn site for kernel parallelism
+			go poolWorker(poolTasks)
+		}
+	})
+}
+
+func poolWorker(tasks <-chan poolTask) {
+	for t := range tasks {
+		t.fn(t.lo, t.hi)
+		t.wg.Done()
+	}
+}
+
+// parallelRows splits [0, rows) into fixed contiguous chunks and runs fn
+// over them, using the calling goroutine for the first chunk and the pool
+// for the rest. With parallelism 1 (or a single chunk) it runs fn inline —
+// no channel traffic, no synchronization.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := Parallelism()
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 2 {
+		fn(0, rows)
+		return
+	}
+	startPool()
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		poolTasks <- poolTask{fn: fn, lo: lo, hi: hi, wg: &wg}
+	}
+	fn(0, chunk)
+	wg.Wait()
+}

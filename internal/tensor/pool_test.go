@@ -1,0 +1,160 @@
+package tensor
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"testing"
+)
+
+func randomMat(rng *rand.Rand, r, c int) *Mat {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+		if i%17 == 0 {
+			m.Data[i] = 0 // exercise the zero-skip branches
+		}
+	}
+	return m
+}
+
+// TestKernelParallelismDeterminism is the kernel half of the replay
+// contract: the parallel products must be bit-identical at every worker
+// count, for shapes on both sides of parallelThreshold and blockThreshold.
+func TestKernelParallelismDeterminism(t *testing.T) {
+	defer SetParallelism(0)
+	shapes := []struct{ m, n, p int }{
+		{3, 4, 5},      // tiny, below every threshold
+		{64, 64, 64},   // above parallelThreshold, below blockThreshold
+		{40, 300, 300}, // above both; ragged tile edges
+	}
+	widths := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, sh := range shapes {
+		rng := rand.New(rand.NewPCG(11, 17))
+		a := randomMat(rng, sh.m, sh.n)
+		b := randomMat(rng, sh.n, sh.p)
+		bt := randomMat(rng, sh.p, sh.n)
+		at := randomMat(rng, sh.n, sh.m)
+
+		type out struct{ mul, mta, mtb *Mat }
+		ref := out{}
+		for wi, w := range widths {
+			SetParallelism(w)
+			got := out{mul: New(sh.m, sh.p), mta: New(sh.m, sh.p), mtb: New(sh.m, sh.p)}
+			MulInto(got.mul, a, b)
+			MulTransAInto(got.mta, at, b)
+			MulTransBInto(got.mtb, a, bt)
+			if wi == 0 {
+				ref = got
+				continue
+			}
+			for name, pair := range map[string][2]*Mat{
+				"MulInto":       {ref.mul, got.mul},
+				"MulTransAInto": {ref.mta, got.mta},
+				"MulTransBInto": {ref.mtb, got.mtb},
+			} {
+				for i := range pair[0].Data {
+					if pair[0].Data[i] != pair[1].Data[i] {
+						t.Fatalf("%s shape %dx%dx%d: element %d differs between parallelism 1 and %d: %x vs %x",
+							name, sh.m, sh.n, sh.p, i, w, pair[0].Data[i], pair[1].Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedMulMatchesPlain checks the tiled kernel against the plain ikj
+// kernel bit-for-bit on ragged shapes that don't divide the tile sizes.
+func TestBlockedMulMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 9))
+	for _, sh := range []struct{ m, n, p int }{
+		{7, 301, 259}, {3, mulKC, mulJC}, {5, mulKC + 1, mulJC + 1}, {2, 513, 130},
+	} {
+		a := randomMat(rng, sh.m, sh.n)
+		b := randomMat(rng, sh.n, sh.p)
+		plain := New(sh.m, sh.p)
+		blocked := New(sh.m, sh.p)
+		mulRowsPlain(plain, a, b, 0, sh.m)
+		mulRowsBlocked(blocked, a, b, 0, sh.m)
+		for i := range plain.Data {
+			if plain.Data[i] != blocked.Data[i] {
+				t.Fatalf("shape %dx%dx%d: blocked kernel diverges at element %d: %x vs %x",
+					sh.m, sh.n, sh.p, i, plain.Data[i], blocked.Data[i])
+			}
+		}
+	}
+}
+
+// TestMulTransARowsMatchesSerial pins the reordered (i-outer) gradient
+// kernel to the serial (k-outer) one bit-for-bit.
+func TestMulTransARowsMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 2))
+	a := randomMat(rng, 97, 23) // below threshold: serial k-outer path
+	b := randomMat(rng, 97, 31)
+	serial := New(23, 31)
+	MulTransAInto(serial, a, b)
+	reordered := New(23, 31)
+	mulTransARows(reordered, a, b, 0, 23)
+	for i := range serial.Data {
+		if serial.Data[i] != reordered.Data[i] {
+			t.Fatalf("element %d differs: %x vs %x", i, serial.Data[i], reordered.Data[i])
+		}
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", got)
+	}
+	SetParallelism(-5)
+	if got := Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism() = %d, want GOMAXPROCS default", got)
+	}
+}
+
+func TestParallelRowsCoversAllRows(t *testing.T) {
+	defer SetParallelism(0)
+	for _, w := range []int{1, 2, 3, 7, 64} {
+		SetParallelism(w)
+		for _, rows := range []int{1, 2, 3, 15, 64, 65} {
+			hit := make([]int32, rows)
+			parallelRows(rows, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hit[i]++
+				}
+			})
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("parallelism %d rows %d: row %d covered %d times", w, rows, i, h)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMulLarge(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	x := randomMat(rng, 64, 256)
+	y := randomMat(rng, 256, 256)
+	dst := New(64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMulPolicyShape(b *testing.B) {
+	// The batch=32, 10→64→64→3 policy shape the PPO update actually runs.
+	rng := rand.New(rand.NewPCG(1, 2))
+	x := randomMat(rng, 32, 64)
+	y := randomMat(rng, 64, 64)
+	dst := New(32, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, x, y)
+	}
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — benchmark regression harness (see docs/perf.md).
+#
+# Full mode (the default) runs every benchmark with fixed -benchtime/-count
+# and records the folded results into BENCH_4.json via cmd/benchgate:
+#
+#   ./scripts/bench.sh                 # re-record the "current" block
+#   ./scripts/bench.sh --baseline pre.txt   # also record pre.txt as baseline
+#
+# Smoke mode runs a fast subset (skipping the multi-second campaign
+# benchmarks) and gates it against the committed BENCH_4.json. Time gates
+# are loose (tolerance factor, absorbs CI machine variance); allocs/op
+# gates are exact, because allocation counts are deterministic:
+#
+#   ./scripts/bench.sh --smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-200ms}"
+COUNT="${COUNT:-3}"
+TOLERANCE="${TOLERANCE:-2.5}"
+OUT="${OUT:-BENCH_4.json}"
+
+# Fast subset for CI smoke: steady-state kernels and harness overhead, no
+# full-campaign benchmarks (those take tens of seconds per iteration).
+SMOKE_PATTERN='^(BenchmarkEnvEpisode|BenchmarkNNForwardBackward|BenchmarkStudyOverhead|BenchmarkReportTable|BenchmarkFigure4)$'
+
+if [ "${1:-}" = "--smoke" ]; then
+  tmp="$(mktemp)"
+  trap 'rm -f "$tmp"' EXIT
+  go test -run '^$' -bench "$SMOKE_PATTERN" -benchmem \
+    -benchtime "${SMOKE_BENCHTIME:-50ms}" -count 1 . | tee "$tmp"
+  go run ./cmd/benchgate check -golden "$OUT" -tolerance "$TOLERANCE" < "$tmp"
+  exit 0
+fi
+
+BASELINE_ARGS=()
+if [ "${1:-}" = "--baseline" ]; then
+  BASELINE_ARGS=(-baseline "$2")
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$tmp"
+go run ./cmd/benchgate record -out "$OUT" "${BASELINE_ARGS[@]}" \
+  -note "go test -bench . -benchmem -benchtime $BENCHTIME -count $COUNT; ns/op folded by min, allocs/op by max" < "$tmp"
