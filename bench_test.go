@@ -17,6 +17,7 @@ import (
 	"rldecide/internal/experiments"
 	"rldecide/internal/mathx"
 	"rldecide/internal/nn"
+	"rldecide/internal/obs"
 	"rldecide/internal/param"
 	"rldecide/internal/report"
 	"rldecide/internal/search"
@@ -45,6 +46,36 @@ func BenchmarkTableI(b *testing.B) {
 		}
 		if len(experiments.Outcomes(rep)) != 18 {
 			b.Fatal("incomplete campaign")
+		}
+	}
+}
+
+// BenchmarkTableIInstrumented is the observability overhead gate: the
+// same 18-configuration campaign as BenchmarkTableI, run with the obs
+// event bus live (per-trial events + a JSONL tracer draining to
+// io.Discard), the deployment shape of a tracing daemon. The delta
+// against BenchmarkTableI is the whole cost of per-trial observability
+// and must stay within benchgate's time tolerance with no added
+// allocations on the training path.
+func BenchmarkTableIInstrumented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bus := obs.NewBus()
+		tracer := obs.NewTracer(bus, io.Discard)
+		study := experiments.NewTableIStudy(benchScale(), uint64(i)+1, 1)
+		study.OnTrial = func(tr core.Trial) {
+			bus.Publish(obs.Event{Kind: obs.KindTrialStart, Study: "bench", Trial: tr.ID})
+			bus.Publish(obs.Event{Kind: obs.KindTrialDone, Study: "bench", Trial: tr.ID, Status: "ok"})
+		}
+		rep, err := study.Run(len(experiments.TableI()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiments.Outcomes(rep)) != 18 {
+			b.Fatal("incomplete campaign")
+		}
+		_ = bus.Close()
+		if err := tracer.Close(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -7,11 +7,18 @@
 //
 //	rldecide-serve [-addr :8080] [-dir studyd-state] [-workers 4]
 //	               [-exec local|fleet] [-token TOKEN] [-drain 30s]
+//	               [-trace] [-debug-addr 127.0.0.1:6060]
 //
 // With -exec fleet the daemon executes no trials itself: it dispatches
 // them to rldecide-worker daemons that register over HTTP and stay live
 // via heartbeats (see docs/workerd.md). -token guards study submission and
 // the worker endpoints with a static bearer token.
+//
+// -trace writes a per-trial span stream (trace.jsonl in the state
+// directory) off the daemon's event bus. -debug-addr serves the pprof
+// suite and a /metrics exposition on a second listener, kept separate so
+// profiling endpoints never share the public address (see
+// docs/observability.md).
 //
 // The state directory holds one <id>.spec.json and one <id>.trials.jsonl
 // per study. Killing the daemon (SIGINT/SIGTERM, or a crash) never loses
@@ -22,6 +29,8 @@
 // API:
 //
 //	GET  /healthz              liveness + pool occupancy
+//	GET  /metrics              Prometheus text-format exposition
+//	GET  /studies/{id}/events  SSE stream of live study events
 //	GET  /studies              all studies
 //	POST /studies              submit a study spec (JSON)
 //	GET  /studies/{id}         one study's summary
@@ -38,31 +47,46 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"rldecide/internal/obs"
 	"rldecide/internal/studyd"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dir     = flag.String("dir", "studyd-state", "state directory (specs + trial journals)")
-		workers = flag.Int("workers", 4, "local executor slots (max concurrent trials across studies)")
-		exec    = flag.String("exec", studyd.ExecLocal, "trial executor: local (in-process) or fleet (remote workers)")
-		token   = flag.String("token", "", "bearer token required on submissions and worker endpoints")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dir       = flag.String("dir", "studyd-state", "state directory (specs + trial journals)")
+		workers   = flag.Int("workers", 4, "local executor slots (max concurrent trials across studies)")
+		exec      = flag.String("exec", studyd.ExecLocal, "trial executor: local (in-process) or fleet (remote workers)")
+		token     = flag.String("token", "", "bearer token required on submissions and worker endpoints")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		trace     = flag.Bool("trace", false, "write a per-trial trace stream (trace.jsonl) to the state directory")
+		debugAddr = flag.String("debug-addr", "", "optional second listener for pprof + /metrics (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
-	d, err := studyd.New(studyd.Config{Dir: *dir, Workers: *workers, Exec: *exec, Token: *token})
+	d, err := studyd.New(studyd.Config{Dir: *dir, Workers: *workers, Exec: *exec, Token: *token, Trace: *trace})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rldecide-serve: %v\n", err)
 		os.Exit(1)
 	}
 	d.Start()
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(d.Registry())}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("rldecide-serve: debug listener: %v", err)
+			}
+		}()
+		log.Printf("rldecide-serve: pprof + metrics on %s", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

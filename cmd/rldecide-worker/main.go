@@ -11,11 +11,16 @@
 //	rldecide-worker -serve http://daemon:8080 [-addr 127.0.0.1:9090]
 //	                [-advertise URL] [-name NAME] [-slots 2]
 //	                [-token TOKEN] [-heartbeat 3s] [-drain 10s]
+//	                [-debug-addr 127.0.0.1:6061]
 //
 // The worker serves:
 //
 //	GET  /healthz  liveness + in-flight trial count
+//	GET  /metrics  Prometheus text-format exposition
 //	POST /run      evaluate one trial request
+//
+// -debug-addr adds a second listener with the pprof suite and the same
+// /metrics exposition, kept off the dispatch address.
 //
 // -advertise is the URL the daemon dials back; it defaults to
 // http://127.0.0.1:<port of -addr>, so set it explicitly when daemon and
@@ -37,6 +42,7 @@ import (
 	"time"
 
 	"rldecide/internal/executor"
+	"rldecide/internal/obs"
 	"rldecide/internal/studyd"
 )
 
@@ -50,6 +56,7 @@ func main() {
 		token     = flag.String("token", "", "bearer token shared with the daemon")
 		heartbeat = flag.Duration("heartbeat", 3*time.Second, "heartbeat interval")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		debugAddr = flag.String("debug-addr", "", "optional second listener for pprof + /metrics (e.g. 127.0.0.1:6061)")
 	)
 	flag.Parse()
 
@@ -66,6 +73,15 @@ func main() {
 
 	ws := &executor.Server{Name: *name, Eval: studyd.EvaluateRequest, Token: *token, Logf: log.Printf}
 	srv := &http.Server{Addr: *addr, Handler: ws.Handler()}
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("rldecide-worker: debug listener: %v", err)
+			}
+		}()
+		log.Printf("rldecide-worker: pprof + metrics on %s", *debugAddr)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("rldecide-worker: %s serving on %s (%d slots), registering with %s", *name, *addr, *slots, *serve)

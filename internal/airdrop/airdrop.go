@@ -270,6 +270,7 @@ func (e *Env) Reset() []float64 {
 	e.landed = false
 	e.errLvl = 0
 	e.errTick = 0
+	metricEpisodes.Inc()
 	return e.observe()
 }
 
@@ -329,6 +330,7 @@ func (e *Env) Step(action []float64) gym.StepResult {
 	if e.landed {
 		panic("airdrop: Step after episode end; call Reset")
 	}
+	metricSteps.Inc()
 	e.u = e.command(action)
 	e.updateWind()
 	f := e.f

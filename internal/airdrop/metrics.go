@@ -1,0 +1,13 @@
+package airdrop
+
+import "rldecide/internal/obs"
+
+// Simulator instruments: one atomic add per control step / episode across
+// every Env in the process. Off the physics path entirely — the RK
+// integration and the zero-alloc step contract are untouched.
+var (
+	metricSteps = obs.Default.NewCounter("rldecide_env_steps_total",
+		"Airdrop control steps simulated.")
+	metricEpisodes = obs.Default.NewCounter("rldecide_env_episodes_total",
+		"Airdrop episodes started (Reset calls).")
+)

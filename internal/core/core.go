@@ -61,6 +61,12 @@ type Trial struct {
 	// ranking ignore it, so a campaign resumes identically whether its
 	// journal was written by one process or a fleet.
 	Worker string
+	// WallMs is the trial's measured wall-clock compute time in
+	// milliseconds (via power.Stopwatch). Informational only, like
+	// Worker: replay, ranking, and determinism fingerprints ignore it —
+	// the same campaign re-run on different hardware records different
+	// WallMs but identical results.
+	WallMs float64
 }
 
 // Recorder is handed to the objective to report metric values and
@@ -93,6 +99,14 @@ func (r *Recorder) SetWorker(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.trial.Worker = name
+}
+
+// SetWallMs records the trial's measured wall-clock compute time (see
+// Trial.WallMs).
+func (r *Recorder) SetWallMs(ms float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trial.WallMs = ms
 }
 
 // NewRecorder returns a standalone recorder over the given metrics for

@@ -61,6 +61,11 @@ type TrialResult struct {
 	Error string `json:"error,omitempty"`
 	// Worker names the node that evaluated the trial (attribution only).
 	Worker string `json:"worker,omitempty"`
+	// WallMs is the trial's measured wall-clock compute time in
+	// milliseconds on the evaluating node (via power.Stopwatch).
+	// Informational only: it rides back to the journal's wall_ms field
+	// and never feeds replay or ranking.
+	WallMs float64 `json:"wall_ms,omitempty"`
 }
 
 // SpecHashOf returns the content hash (hex SHA-256) of raw spec bytes,

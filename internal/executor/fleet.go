@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"rldecide/internal/obs"
 	"rldecide/internal/power"
 )
 
@@ -75,6 +76,10 @@ type FleetOptions struct {
 	// Clock is the wall-clock seam used to age heartbeats; inject a fake
 	// stopwatch in tests (default power.StartStopwatch()).
 	Clock *power.Stopwatch
+	// Events, when set, receives dispatch and worker lifecycle events
+	// (obs.KindDispatch/KindDispatchEnd/KindWorkerUp/KindWorkerDown).
+	// Publication is non-blocking and purely observational.
+	Events *obs.Bus
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -88,6 +93,7 @@ type Fleet struct {
 	opts   FleetOptions
 	client *http.Client
 	clock  *power.Stopwatch
+	events *obs.Bus
 	logf   func(string, ...any)
 
 	mu      sync.Mutex
@@ -127,6 +133,7 @@ func NewFleet(opts FleetOptions) *Fleet {
 		opts:    opts,
 		client:  opts.Client,
 		clock:   opts.Clock,
+		events:  opts.Events,
 		logf:    opts.Logf,
 		workers: map[string]*remoteWorker{},
 		wait:    make(chan struct{}),
@@ -158,6 +165,7 @@ func (f *Fleet) Upsert(info WorkerInfo) (bool, error) {
 	if !ok {
 		w = &remoteWorker{}
 		f.workers[info.Name] = w
+		f.events.Publish(obs.Event{Kind: obs.KindWorkerUp, Worker: info.Name})
 	}
 	w.info = info
 	w.lastBeat = f.clock.Elapsed()
@@ -172,6 +180,9 @@ func (f *Fleet) Remove(name string) bool {
 	defer f.mu.Unlock()
 	_, ok := f.workers[name]
 	delete(f.workers, name)
+	if ok {
+		f.events.Publish(obs.Event{Kind: obs.KindWorkerDown, Worker: name, Status: "deregistered"})
+	}
 	f.wakeLocked()
 	return ok
 }
@@ -226,14 +237,26 @@ func (f *Fleet) Run(ctx context.Context, req TrialRequest) (TrialResult, error) 
 		if req.SpecHash != "" && f.workerKnowsSpec(w.Name, req.SpecHash) {
 			send.Spec = nil // worker has the spec cached; ship hash-only
 		}
+		f.events.Publish(obs.Event{Kind: obs.KindDispatch, Study: req.StudyID, Trial: req.TrialID, Attempt: attempt, Worker: w.Name})
+		start := f.clock.Elapsed()
 		res, err := f.dispatch(ctx, w, send)
 		if errors.Is(err, errSpecNotCached) && len(send.Spec) == 0 {
 			// The worker lost its cache (restart mid-campaign, eviction):
 			// forget our assumption and resend with the full spec. Not a
 			// worker fault, so no drop and no attempt consumed.
+			metricSpecCacheMisses.Inc()
 			f.forgetSpec(w.Name, req.SpecHash)
 			res, err = f.dispatch(ctx, w, req)
 		}
+		metricDispatches.Inc()
+		metricDispatchSeconds.Observe((f.clock.Elapsed() - start).Seconds())
+		done := obs.Event{Kind: obs.KindDispatchEnd, Study: req.StudyID, Trial: req.TrialID, Attempt: attempt, Worker: w.Name, Status: "ok"}
+		if err != nil {
+			metricDispatchFailures.Inc()
+			done.Status = "error"
+			done.Err = err.Error()
+		}
+		f.events.Publish(done)
 		f.settle(w.Name, err == nil)
 		if err == nil {
 			if req.SpecHash != "" {
@@ -251,6 +274,7 @@ func (f *Fleet) Run(ctx context.Context, req TrialRequest) (TrialResult, error) 
 			return TrialResult{}, fmt.Errorf("executor: trial %s/%d failed on %d workers, giving up: %w",
 				req.StudyID, req.TrialID, attempt, err)
 		}
+		metricRetries.Inc()
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -318,6 +342,7 @@ func (f *Fleet) drop(name string, cause error) {
 	defer f.mu.Unlock()
 	if _, ok := f.workers[name]; ok {
 		delete(f.workers, name)
+		f.events.Publish(obs.Event{Kind: obs.KindWorkerDown, Worker: name, Status: "dropped", Err: cause.Error()})
 		f.logf("executor: dropping worker %s until its next heartbeat: %v", name, cause)
 	}
 	f.wakeLocked()
@@ -330,6 +355,7 @@ func (f *Fleet) expireLocked() {
 	for name, w := range f.workers {
 		if now-w.lastBeat > f.opts.HeartbeatTTL {
 			delete(f.workers, name)
+			f.events.Publish(obs.Event{Kind: obs.KindWorkerDown, Worker: name, Status: "expired"})
 			f.logf("executor: worker %s heartbeat expired (%.1fs > %s)", name, (now - w.lastBeat).Seconds(), f.opts.HeartbeatTTL)
 		}
 	}

@@ -40,6 +40,7 @@ func (l *Local) Run(ctx context.Context, req TrialRequest) (TrialResult, error) 
 	}
 	defer func() { <-l.slots }()
 	res, err := l.eval(ctx, req)
+	metricLocalTrials.Inc()
 	if err != nil {
 		return TrialResult{}, err
 	}

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rldecide/internal/obs"
 )
 
 // Server is the worker daemon's HTTP surface: it receives trial dispatches
@@ -78,10 +80,17 @@ func (s *Server) cachedSpec(hash string) (json.RawMessage, bool) {
 // Handler returns the worker API:
 //
 //	GET  /healthz  liveness + in-flight trial count
+//	GET  /metrics  Prometheus text-format exposition
 //	POST /run      evaluate one TrialRequest -> TrialResult
 func (s *Server) Handler() http.Handler {
+	reg := obs.NewRegistry()
+	reg.NewGaugeFunc("rldecide_worker_in_flight",
+		"Trials this worker is evaluating right now.", func() []obs.Sample {
+			return []obs.Sample{{Labels: [][2]string{{"worker", s.Name}}, Value: float64(s.inFlight.Load())}}
+		})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.Handler(obs.Default, reg))
 	mux.HandleFunc("POST /run", s.handleRun)
 	return mux
 }
@@ -128,7 +137,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	res, err := s.Eval(r.Context(), req)
+	metricWorkerTrials.Inc()
 	if err != nil {
+		metricWorkerTrialErrors.Inc()
 		// Infrastructure failure (bad spec bytes, cancellation): the
 		// dispatcher retries; nothing is journaled.
 		status := http.StatusInternalServerError

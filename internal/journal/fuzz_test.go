@@ -24,6 +24,8 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte(`{"id":-5,"error":"boom","pruned":true,"seed":0}` + "\n"))
 	f.Add([]byte(`{"id":7,"params":{"x":"0.5"},"values":{"f":0.25},"seed":11,"worker":"w1"}` + "\n"))
 	f.Add([]byte(`{"id":8,"seed":12,"worker":"w2"}` + "\n" + `{"id":9,"seed":13,"worke`)) // torn tail on the worker field
+	f.Add([]byte(`{"id":10,"seed":14,"worker":"w1","wall_ms":12.5}` + "\n"))
+	f.Add([]byte(`{"id":11,"seed":15,"wall_ms":0.25}` + "\n" + `{"id":12,"seed":16,"wall_`)) // torn tail on the wall_ms field
 	f.Fuzz(func(t *testing.T, data []byte) {
 		records, err := Read(bytes.NewReader(data))
 		if err != nil && !errors.Is(err, ErrTruncated) {
@@ -75,7 +77,8 @@ func FuzzRepairFile(f *testing.F) {
 	f.Add([]byte(`{"id":1,"seed":1}` + "\n"))
 	f.Add([]byte(`{"id":1,"seed":1}` + "\n" + `{"id":2,"seed":2}`)) // missing newline
 	f.Add([]byte(`{"id":1,"seed":1}` + "\n" + `{"tor`))
-	f.Add([]byte(`{"id":1,"seed":1,"worker":"w1"}` + "\n" + `{"id":2,"seed":2,"worker":"w`)) // torn worker attribution
+	f.Add([]byte(`{"id":1,"seed":1,"worker":"w1"}` + "\n" + `{"id":2,"seed":2,"worker":"w`))   // torn worker attribution
+	f.Add([]byte(`{"id":1,"seed":1,"wall_ms":3.5}` + "\n" + `{"id":2,"seed":2,"wall_ms":1.2`)) // torn wall-clock field
 	f.Add([]byte("\x00\x01\x02"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "journal.jsonl")

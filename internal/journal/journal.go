@@ -16,13 +16,29 @@ import (
 	"sync"
 
 	"rldecide/internal/core"
+	"rldecide/internal/obs"
 	"rldecide/internal/param"
 )
 
+// Journal I/O instruments (process-wide; exposed at GET /metrics). Pure
+// atomic counters off the result path: they never influence what gets
+// written.
+var (
+	metricAppends = obs.Default.NewCounter("rldecide_journal_appends_total",
+		"Trial records appended across all journals.")
+	metricFlushes = obs.Default.NewCounter("rldecide_journal_flushes_total",
+		"Journal buffer flushes to the underlying writer.")
+	metricAppendErrors = obs.Default.NewCounter("rldecide_journal_append_errors_total",
+		"Failed journal appends (encode or flush errors).")
+)
+
 // Record is the on-disk form of one trial. Worker attributes the trial to
-// the executor that evaluated it; journals written before the field
-// existed decode with Worker empty, which reads as "local", so old
-// campaigns resume unchanged.
+// the executor that evaluated it; WallMs is the trial's measured
+// wall-clock compute time in milliseconds. Both are informational:
+// journals written before either field existed decode with them zero, and
+// replay/ranking/determinism fingerprints ignore them, so old campaigns
+// resume unchanged and fleet journals compare byte-identical modulo these
+// fields.
 type Record struct {
 	ID     int                `json:"id"`
 	Params map[string]string  `json:"params"`
@@ -31,6 +47,7 @@ type Record struct {
 	Error  string             `json:"error,omitempty"`
 	Seed   uint64             `json:"seed"`
 	Worker string             `json:"worker,omitempty"`
+	WallMs float64            `json:"wall_ms,omitempty"`
 }
 
 // FromTrial converts a finished trial.
@@ -42,6 +59,7 @@ func FromTrial(t core.Trial) Record {
 		Pruned: t.Pruned,
 		Seed:   t.Seed,
 		Worker: t.Worker,
+		WallMs: t.WallMs,
 	}
 	for k, v := range t.Params {
 		r.Params[k] = v.String()
@@ -62,6 +80,7 @@ func (r Record) ToTrial(space *param.Space) (core.Trial, error) {
 		Pruned: r.Pruned,
 		Seed:   r.Seed,
 		Worker: r.Worker,
+		WallMs: r.WallMs,
 	}
 	if t.Values == nil {
 		t.Values = map[string]float64{}
@@ -134,12 +153,19 @@ func (w *Writer) Append(t core.Trial) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.enc.Encode(FromTrial(t)); err != nil {
+		metricAppendErrors.Inc()
 		return err
 	}
 	// Flush on the record boundary: everything before this record is
 	// already durable, and a crash during this flush tears at most the
 	// final line.
-	return w.buf.Flush()
+	if err := w.buf.Flush(); err != nil {
+		metricAppendErrors.Inc()
+		return err
+	}
+	metricAppends.Inc()
+	metricFlushes.Inc()
+	return nil
 }
 
 // Flush forces any buffered bytes through to the underlying writer. Append
@@ -148,7 +174,11 @@ func (w *Writer) Append(t core.Trial) error {
 func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.buf.Flush()
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	metricFlushes.Inc()
+	return nil
 }
 
 // Observer returns a core.Study OnTrial hook that journals every finished

@@ -54,6 +54,53 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWallMsDecodeCompat pins the backward-compatibility contract for the
+// informational wall_ms field: journals written before the field existed
+// decode with WallMs zero, records carrying wall_ms round-trip it, and a
+// zero wall_ms is omitted on encode so old and new writers produce the
+// same bytes for untimed trials.
+func TestWallMsDecodeCompat(t *testing.T) {
+	// Pre-wall_ms journal line decodes cleanly with the zero value.
+	old := `{"id":1,"values":{"m":2},"seed":9}` + "\n"
+	recs, err := Read(strings.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].WallMs != 0 {
+		t.Fatalf("legacy record decoded wall_ms %v, want 0", recs[0].WallMs)
+	}
+
+	// A timed record carries the field through Read and ToTrial/FromTrial.
+	timed := `{"id":2,"values":{"m":3},"seed":10,"worker":"w1","wall_ms":12.5}` + "\n"
+	recs, err = Read(strings.NewReader(timed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].WallMs != 12.5 || recs[0].Worker != "w1" {
+		t.Fatalf("timed record lost informational fields: %+v", recs[0])
+	}
+	tr, err := recs[0].ToTrial(testSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.WallMs != 12.5 {
+		t.Fatalf("ToTrial dropped wall_ms: %+v", tr)
+	}
+	if back := FromTrial(tr); back.WallMs != 12.5 {
+		t.Fatalf("FromTrial dropped wall_ms: %+v", back)
+	}
+
+	// Zero wall_ms is omitted on encode (byte-stable with old writers).
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(core.Trial{ID: 3, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "wall_ms") {
+		t.Fatalf("zero wall_ms leaked into encoding: %s", buf.String())
+	}
+}
+
 func TestErrorAndPrunedRoundTrip(t *testing.T) {
 	space := testSpace()
 	tr := core.Trial{

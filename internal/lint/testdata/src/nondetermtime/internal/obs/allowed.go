@@ -1,0 +1,17 @@
+// Package obs mirrors the observability layer's import path: wall-clock
+// reads are allowlisted here because everything obs emits (metric
+// timestamps, trace t_ms) is informational by construction and excluded
+// from determinism fingerprints.
+package obs
+
+import "time"
+
+// Stamp reads the wall clock inside the observability layer: allowed.
+func Stamp() int64 {
+	return time.Now().UnixMilli()
+}
+
+// Age measures elapsed wall time for a heartbeat gauge: allowed.
+func Age(beat time.Time) time.Duration {
+	return time.Since(beat)
+}

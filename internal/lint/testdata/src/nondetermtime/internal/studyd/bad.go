@@ -1,0 +1,13 @@
+// Package studyd mirrors the serving daemon's import path. The daemon
+// used to be allowlisted; now that its timing flows through the power
+// Stopwatch seam and the obs bus, a raw wall-clock read here is flagged
+// like any other algorithm-path package.
+package studyd
+
+import "time"
+
+// Deadline leaks a wall-clock read into the (formerly allowlisted)
+// serving daemon.
+func Deadline() time.Time {
+	return time.Now().Add(time.Minute) // want finding
+}

@@ -8,10 +8,12 @@ import (
 // outside the measurement layer. A timestamp that leaks into an algorithm
 // path or a journal record differs between the original run and its
 // replay, silently breaking bit-for-bit resume. Wall-clock reads are
-// allowed only in the allowlisted measurement/serving layers and in
+// allowed only in the allowlisted measurement/observability layers and in
 // commands, where they feed human-facing progress output — and even there
 // timing that reaches trial metrics must flow through the power package's
-// Stopwatch seam.
+// Stopwatch seam. The serving daemon itself is NOT allowlisted: its
+// timing (trial wall_ms, event timestamps) flows through power.Stopwatch
+// and the obs event bus, so a raw time.Now there is a contract breach.
 type NondetermTime struct{}
 
 // Name implements Rule.
@@ -19,13 +21,14 @@ func (NondetermTime) Name() string { return "nondeterm-time" }
 
 // Doc implements Rule.
 func (NondetermTime) Doc() string {
-	return "no time.Now/time.Since outside internal/power, internal/studyd and cmd/"
+	return "no time.Now/time.Since outside internal/power, internal/obs and cmd/"
 }
 
 // timeAllowedSegments are import-path segment sequences where wall-clock
-// reads are legitimate: the power-measurement layer, the serving daemon
-// (HTTP deadlines, shutdown grace), and command entry points.
-var timeAllowedSegments = []string{"internal/power", "internal/studyd", "cmd"}
+// reads are legitimate: the power-measurement layer, the observability
+// layer (metric/trace timestamps are informational by construction), and
+// command entry points.
+var timeAllowedSegments = []string{"internal/power", "internal/obs", "cmd"}
 
 // timeForbidden are the wall-clock selectors the rule flags.
 var timeForbidden = map[string]bool{"Now": true, "Since": true, "Until": true}

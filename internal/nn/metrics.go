@@ -1,0 +1,13 @@
+package nn
+
+import "rldecide/internal/obs"
+
+// Training-pass instruments: one atomic add per whole forward/backward
+// pass (not per layer), preserving the AllocsPerRun == 0 gates in
+// alloc_test.go.
+var (
+	metricForward = obs.Default.NewCounter("rldecide_nn_forward_total",
+		"MLP forward passes (batched and single-observation).")
+	metricBackward = obs.Default.NewCounter("rldecide_nn_backward_total",
+		"MLP backward passes.")
+)

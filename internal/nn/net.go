@@ -217,6 +217,7 @@ func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }
 
 // Forward runs the batch through all layers.
 func (m *MLP) Forward(x *tensor.Mat) *tensor.Mat {
+	metricForward.Inc()
 	h := x
 	for _, l := range m.Layers {
 		h = l.Forward(h)
@@ -242,6 +243,7 @@ func (m *MLP) Forward1(x []float64) []float64 {
 // Backward backpropagates dL/dout through all layers, accumulating
 // parameter gradients, and returns dL/din.
 func (m *MLP) Backward(dout *tensor.Mat) *tensor.Mat {
+	metricBackward.Inc()
 	g := dout
 	for i := len(m.Layers) - 1; i >= 0; i-- {
 		g = m.Layers[i].Backward(g)

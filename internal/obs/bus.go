@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rldecide/internal/power"
+)
+
+// Event kinds emitted by the instrumented stack. Kinds form the span
+// hierarchy study → trial → attempt → dispatch; worker attribution rides
+// on the attempt/dispatch events.
+const (
+	KindStudyStart  = "study_start"
+	KindStudyDone   = "study_done"
+	KindTrialStart  = "trial_start"
+	KindTrialDone   = "trial_done"
+	KindDispatch    = "dispatch"
+	KindDispatchEnd = "dispatch_done"
+	KindWorkerUp    = "worker_up"
+	KindWorkerDown  = "worker_down"
+)
+
+// Event is one observability record. Seq and TMs are stamped by the bus
+// at publish time; TMs is wall-clock milliseconds since the bus's
+// Stopwatch epoch and is informational only — it never feeds results.
+type Event struct {
+	Seq     uint64  `json:"seq"`
+	TMs     float64 `json:"t_ms"`
+	Kind    string  `json:"kind"`
+	Study   string  `json:"study,omitempty"`
+	Trial   int     `json:"trial,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
+	Worker  string  `json:"worker,omitempty"`
+	Status  string  `json:"status,omitempty"`
+	WallMs  float64 `json:"wall_ms,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// Subscription is one consumer's buffered view of the bus. Events the
+// consumer fails to drain in time are dropped (never blocking the
+// producer) and counted.
+type Subscription struct {
+	ch      chan Event
+	dropped atomic.Uint64
+}
+
+// Events returns the receive channel. It is closed when the subscription
+// is cancelled or the bus shuts down.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped reports how many events were discarded because the buffer was
+// full.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Bus is the in-process event bus feeding the tracer and the SSE
+// endpoint. Publish is nil-safe and never blocks: a nil *Bus discards
+// everything, and slow subscribers lose events rather than stalling the
+// scheduler or executor. Subscriptions live in a slice (not a map) so
+// fan-out order is deterministic.
+type Bus struct {
+	clock  *power.Stopwatch
+	seq    atomic.Uint64
+	mu     sync.Mutex
+	subs   []*Subscription
+	closed bool
+}
+
+// NewBus returns a bus stamping events against a fresh Stopwatch epoch.
+func NewBus() *Bus { return NewBusAt(power.StartStopwatch()) }
+
+// NewBusAt returns a bus stamping events against the given Stopwatch
+// (injectable for tests).
+func NewBusAt(clock *power.Stopwatch) *Bus { return &Bus{clock: clock} }
+
+// Publish stamps ev with a sequence number and a wall-clock offset and
+// fans it out to every live subscription without blocking. Safe to call
+// on a nil bus and after Close (both discard).
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	ev.Seq = b.seq.Add(1)
+	ev.TMs = b.clock.ElapsedSeconds() * 1e3
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for _, s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// Subscribe registers a consumer with the given channel buffer (minimum
+// 1). Returns nil if the bus is nil or already closed.
+func (b *Bus) Subscribe(buffer int) *Subscription {
+	if b == nil {
+		return nil
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	s := &Subscription{ch: make(chan Event, buffer)}
+	b.subs = append(b.subs, s)
+	return s
+}
+
+// Unsubscribe removes s and closes its channel. No-op for nil or unknown
+// subscriptions (including after Close, which already closed them all).
+func (b *Bus) Unsubscribe(s *Subscription) {
+	if b == nil || s == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, cur := range b.subs {
+		if cur == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			close(s.ch)
+			return
+		}
+	}
+}
+
+// Close shuts the bus down: every subscription channel is closed (so SSE
+// handlers and tracers drain and exit) and later publishes are
+// discarded. Idempotent and nil-safe. The error is always nil; the
+// io.Closer shape lets callers treat the bus like any other resource.
+func (b *Bus) Close() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for _, s := range b.subs {
+		close(s.ch)
+	}
+	b.subs = nil
+	return nil
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"rldecide/internal/power"
+)
+
+// frozenBus returns a bus on a frozen clock so t_ms stamps are
+// deterministic in tests.
+func frozenBus() *Bus {
+	t0 := time.Unix(1000, 0)
+	return NewBusAt(power.StartStopwatchAt(func() time.Time { return t0 }))
+}
+
+func TestBusFanOutAndOrder(t *testing.T) {
+	b := frozenBus()
+	defer b.Close()
+	s1 := b.Subscribe(8)
+	s2 := b.Subscribe(8)
+
+	b.Publish(Event{Kind: KindTrialStart, Study: "s", Trial: 1})
+	b.Publish(Event{Kind: KindTrialDone, Study: "s", Trial: 1, Status: "ok"})
+
+	for _, s := range []*Subscription{s1, s2} {
+		ev := <-s.Events()
+		if ev.Kind != KindTrialStart || ev.Seq != 1 {
+			t.Fatalf("first event = %+v", ev)
+		}
+		ev = <-s.Events()
+		if ev.Kind != KindTrialDone || ev.Seq != 2 || ev.TMs != 0 {
+			t.Fatalf("second event = %+v", ev)
+		}
+	}
+}
+
+func TestBusDropsWhenFull(t *testing.T) {
+	b := frozenBus()
+	defer b.Close()
+	s := b.Subscribe(1)
+	b.Publish(Event{Kind: "a"})
+	b.Publish(Event{Kind: "b"}) // buffer full: dropped, not blocked
+	if got := s.Dropped(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	if ev := <-s.Events(); ev.Kind != "a" {
+		t.Fatalf("kept event = %+v", ev)
+	}
+}
+
+func TestBusCloseIdempotentAndNilSafe(t *testing.T) {
+	var nilBus *Bus
+	nilBus.Publish(Event{Kind: "x"}) // must not panic
+	nilBus.Close()
+	if nilBus.Subscribe(4) != nil {
+		t.Fatal("nil bus Subscribe != nil")
+	}
+
+	b := frozenBus()
+	s := b.Subscribe(4)
+	b.Close()
+	b.Close()                   // idempotent
+	b.Publish(Event{Kind: "x"}) // discarded, no panic on closed channels
+	if _, ok := <-s.Events(); ok {
+		t.Fatal("subscription channel not closed by bus Close")
+	}
+	if b.Subscribe(4) != nil {
+		t.Fatal("Subscribe after Close != nil")
+	}
+}
+
+func TestUnsubscribeClosesChannel(t *testing.T) {
+	b := frozenBus()
+	defer b.Close()
+	s := b.Subscribe(4)
+	b.Unsubscribe(s)
+	if _, ok := <-s.Events(); ok {
+		t.Fatal("channel open after Unsubscribe")
+	}
+	b.Unsubscribe(s) // double-unsubscribe is a no-op
+	b.Publish(Event{Kind: "x"})
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux is the handler daemons serve on their -debug-addr: the full
+// pprof suite plus a metrics exposition merging the process-wide Default
+// registry with any per-daemon registries. It is deliberately a separate
+// mux from the API handler so profiling endpoints are never reachable on
+// the public listen address.
+func DebugMux(regs ...*Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	all := append([]*Registry{Default}, regs...)
+	mux.Handle("GET /metrics", Handler(all...))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("debugmux_probe_total", "Fixture counter.").Add(3)
+	ts := httptest.NewServer(DebugMux(reg))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	// Merges the extra registry with the process-wide Default one.
+	if !strings.Contains(string(body), "debugmux_probe_total 3") {
+		t.Fatalf("extra registry missing from exposition:\n%s", body)
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+	}
+}

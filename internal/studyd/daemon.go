@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rldecide/internal/executor"
+	"rldecide/internal/obs"
 )
 
 // Config configures a daemon.
@@ -30,20 +33,32 @@ type Config struct {
 	// Fleet tunes the fleet executor (timeouts, retry, heartbeat TTL).
 	// Token and Logf default to the daemon's own.
 	Fleet executor.FleetOptions
+	// Trace, when set, streams the daemon's event bus to
+	// <Dir>/trace.jsonl — one JSON span event per line (study, trial,
+	// dispatch, worker lifecycle). Purely informational: campaign
+	// journals and fronts are byte-identical with tracing on or off.
+	Trace bool
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 }
 
 // Daemon is the study-execution service: store + executor + HTTP API.
 type Daemon struct {
-	cfg   Config
-	store *Store
-	exec  executor.Executor
-	fleet *executor.Fleet
+	cfg    Config
+	store  *Store
+	exec   executor.Executor
+	fleet  *executor.Fleet
+	bus    *obs.Bus
+	tracer *obs.Tracer
+	reg    *obs.Registry
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	// inflight counts trials between proposal and completion; together
+	// with the executor's InUse it yields the scheduler queue depth.
+	inflight atomic.Int64
 
 	mu      sync.Mutex
 	stopped bool
@@ -68,6 +83,13 @@ func New(cfg Config) (*Daemon, error) {
 	if fleetOpts.Logf == nil {
 		fleetOpts.Logf = cfg.Logf
 	}
+	// The bus always exists — SSE consumers and fleet events cost nothing
+	// when nobody subscribes; Trace only decides whether a tracer drains
+	// it to disk.
+	bus := obs.NewBus()
+	if fleetOpts.Events == nil {
+		fleetOpts.Events = bus
+	}
 	// The fleet always exists so workers can register (and be inspected on
 	// /workers) even while the daemon executes locally.
 	fleet := executor.NewFleet(fleetOpts)
@@ -86,8 +108,27 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Daemon{cfg: cfg, store: store, exec: exec, fleet: fleet, ctx: ctx, cancel: cancel}, nil
+	d := &Daemon{cfg: cfg, store: store, exec: exec, fleet: fleet, bus: bus, ctx: ctx, cancel: cancel}
+	d.reg = d.newRegistry()
+	if cfg.Trace {
+		tracer, err := obs.OpenTracer(bus, filepath.Join(cfg.Dir, "trace.jsonl"))
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("studyd: opening trace stream: %w", err)
+		}
+		d.tracer = tracer
+	}
+	return d, nil
 }
+
+// Bus exposes the daemon's event bus (tests, embedders wiring their own
+// consumers).
+func (d *Daemon) Bus() *obs.Bus { return d.bus }
+
+// Registry exposes the daemon's metric registry (queue depth, study
+// status gauges, fleet collectors) for serving on an extra endpoint such
+// as the -debug-addr mux.
+func (d *Daemon) Registry() *obs.Registry { return d.reg }
 
 // Store exposes the study registry (used by tests and the CLI).
 func (d *Daemon) Store() *Store { return d.store }
@@ -117,6 +158,7 @@ func (d *Daemon) Submit(spec Spec) (*ManagedStudy, error) {
 	if err != nil {
 		return nil, err
 	}
+	metricSubmitted.Inc()
 	d.cfg.Logf("studyd: accepted study %s (%q): budget %d, objective %s", m.ID, spec.Name, spec.Budget, spec.Objective)
 	d.launch(m)
 	return m, nil
@@ -126,8 +168,10 @@ func (d *Daemon) launch(m *ManagedStudy) {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		m.run(d.ctx, wrapFor(d.exec, m))
+		d.bus.Publish(obs.Event{Kind: obs.KindStudyStart, Study: m.ID, Status: string(StatusRunning)})
+		m.run(d.ctx, d.wrapFor(m))
 		sum := m.Summary()
+		d.bus.Publish(obs.Event{Kind: obs.KindStudyDone, Study: m.ID, Status: string(sum.Status)})
 		d.cfg.Logf("studyd: study %s is %s (%d/%d trials)", m.ID, sum.Status, sum.Finished, sum.Budget)
 	}()
 }
@@ -147,6 +191,15 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	go func() {
 		d.wg.Wait()
 		close(drained)
+	}()
+	// Closing the bus after the runners drain lets SSE subscribers see
+	// every final event before their channels close (graceful drain); on
+	// a missed deadline it closes anyway so no handler hangs forever.
+	defer func() {
+		_ = d.bus.Close() // always nil
+		if err := d.tracer.Close(); err != nil {
+			d.cfg.Logf("studyd: closing trace stream: %v", err)
+		}
 	}()
 	select {
 	case <-drained:
@@ -173,6 +226,10 @@ func (d *Daemon) ListenAndServe(ctx context.Context, addr string, grace time.Dur
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
+	// Drain the daemon first: cancelling studies and closing the bus ends
+	// the open SSE streams, which srv.Shutdown would otherwise wait on
+	// for the whole grace period.
+	err := d.Shutdown(shutdownCtx)
 	_ = srv.Shutdown(shutdownCtx)
-	return d.Shutdown(shutdownCtx)
+	return err
 }

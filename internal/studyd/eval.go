@@ -10,6 +10,7 @@ import (
 	"rldecide/internal/executor"
 	"rldecide/internal/journal"
 	"rldecide/internal/param"
+	"rldecide/internal/power"
 )
 
 // EvaluateRequest is the executor.EvalFunc every execution mode shares: it
@@ -48,7 +49,13 @@ func EvaluateRequest(ctx context.Context, req executor.TrialRequest) (executor.T
 		return res, err
 	}
 	rec, out := core.NewRecorder(ctx, metrics)
+	// Time the objective itself (not spec decoding) through the sanctioned
+	// wall-clock seam. The measurement is informational — it becomes the
+	// journal's wall_ms field and the trial-latency histogram, never an
+	// input to the result.
+	sw := power.StartStopwatch()
 	err = runObjective(objective, trial.Params, req.Seed, rec)
+	res.WallMs = sw.ElapsedSeconds() * 1e3
 	if err != nil {
 		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// Interrupted, not failed: the dispatcher drops the trial and

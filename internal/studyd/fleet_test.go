@@ -28,8 +28,9 @@ func startFleetWorker(t *testing.T, name string, slots int, eval executor.EvalFu
 }
 
 // canonicalRecords renders a study's finished trials as sorted journal
-// lines with the worker attribution cleared — the byte-level form the
-// determinism cross-check compares.
+// lines with the informational fields (worker attribution, measured
+// wall-clock time) cleared — the byte-level form the determinism
+// cross-check compares.
 func canonicalRecords(t *testing.T, m *ManagedStudy) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -37,6 +38,7 @@ func canonicalRecords(t *testing.T, m *ManagedStudy) []byte {
 	for _, tr := range m.Trials() { // Trials() is ID-sorted
 		rec := journal.FromTrial(tr)
 		rec.Worker = ""
+		rec.WallMs = 0
 		if err := enc.Encode(rec); err != nil {
 			t.Fatal(err)
 		}

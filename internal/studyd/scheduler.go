@@ -6,7 +6,9 @@ import (
 
 	"rldecide/internal/core"
 	"rldecide/internal/executor"
+	"rldecide/internal/obs"
 	"rldecide/internal/param"
+	"rldecide/internal/power"
 )
 
 // The scheduler bridges core.Study trial execution onto the daemon's
@@ -28,11 +30,18 @@ const (
 )
 
 // wrapFor returns the Spec.build objective wrapper that routes each of m's
-// trials through exec as a self-contained TrialRequest. The in-process
-// objective Spec.build constructed is deliberately ignored: the executor's
-// EvalFunc (EvaluateRequest here or on a worker) rebuilds it from the
-// dispatched spec, keeping one evaluation path for every mode.
-func wrapFor(exec executor.Executor, m *ManagedStudy) func(core.Objective) core.Objective {
+// trials through the daemon's executor as a self-contained TrialRequest.
+// The in-process objective Spec.build constructed is deliberately ignored:
+// the executor's EvalFunc (EvaluateRequest here or on a worker) rebuilds
+// it from the dispatched spec, keeping one evaluation path for every mode.
+//
+// The wrapper is also the scheduler's observability point: it publishes
+// trial start/done events to the daemon's bus, observes trial latency
+// (lease wait + evaluation) through the Stopwatch seam, and carries the
+// trial's measured compute time into the journal's wall_ms field. All of
+// it rides alongside the result — the values reported to the Recorder are
+// exactly the executor's, instrumented or not.
+func (d *Daemon) wrapFor(m *ManagedStudy) func(core.Objective) core.Objective {
 	// The spec is immutable for the study's lifetime, so hash it once;
 	// fleet dispatchers use it to ship hash-only requests to workers that
 	// already cached the spec.
@@ -51,11 +60,21 @@ func wrapFor(exec executor.Executor, m *ManagedStudy) func(core.Objective) core.
 				Params:   params,
 				Seed:     seed,
 			}
-			res, err := exec.Run(rec.Context(), req)
+			d.inflight.Add(1)
+			defer d.inflight.Add(-1)
+			d.bus.Publish(obs.Event{Kind: obs.KindTrialStart, Study: m.ID, Trial: req.TrialID})
+			sw := power.StartStopwatch()
+			res, err := d.exec.Run(rec.Context(), req)
+			metricTrialSeconds.Observe(sw.ElapsedSeconds())
 			if err != nil {
+				// Infrastructure failure or cancellation: the trial is not
+				// journaled (retried or re-proposed on resume).
+				d.bus.Publish(obs.Event{Kind: obs.KindTrialDone, Study: m.ID, Trial: req.TrialID, Status: "dropped", Err: err.Error()})
 				return err
 			}
+			metricTrialsFinished.Inc()
 			rec.SetWorker(res.Worker)
+			rec.SetWallMs(res.WallMs)
 			names := make([]string, 0, len(res.Values))
 			for name := range res.Values {
 				names = append(names, name)
@@ -64,9 +83,15 @@ func wrapFor(exec executor.Executor, m *ManagedStudy) func(core.Objective) core.
 			for _, name := range names {
 				rec.Report(name, res.Values[name])
 			}
+			done := obs.Event{Kind: obs.KindTrialDone, Study: m.ID, Trial: req.TrialID, Worker: res.Worker, Status: "ok", WallMs: res.WallMs}
 			if res.Error != "" {
+				metricTrialErrors.Inc()
+				done.Status = "failed"
+				done.Err = res.Error
+				d.bus.Publish(done)
 				return fmt.Errorf("%s", res.Error)
 			}
+			d.bus.Publish(done)
 			return nil
 		}
 	}

@@ -7,16 +7,19 @@ import (
 
 	"rldecide/internal/executor"
 	"rldecide/internal/journal"
+	"rldecide/internal/obs"
 )
 
 // Handler returns the daemon's HTTP API:
 //
 //	GET  /healthz              liveness + executor occupancy
+//	GET  /metrics              Prometheus text-format exposition
 //	GET  /studies              all studies (summaries)
 //	POST /studies              submit a Spec (JSON) -> 201 + summary    [auth]
 //	GET  /studies/{id}         one study's summary
 //	GET  /studies/{id}/trials  finished trials (journal records, ID order)
 //	GET  /studies/{id}/front   current Pareto ranking of completed trials
+//	GET  /studies/{id}/events  SSE push stream of the study's live events
 //	POST /studies/{id}/cancel  stop the study's run (resumable later)   [auth]
 //	GET  /workers              live fleet members
 //	POST /workers/register     add a worker to the fleet                [auth]
@@ -28,6 +31,7 @@ import (
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.Handle("GET /metrics", obs.Handler(obs.Default, d.reg))
 	mux.HandleFunc("GET /studies", d.handleList)
 	mux.HandleFunc("POST /studies", d.auth(d.handleSubmit))
 	mux.HandleFunc("GET /studies/{id}", d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
@@ -35,6 +39,7 @@ func (d *Daemon) Handler() http.Handler {
 	}))
 	mux.HandleFunc("GET /studies/{id}/trials", d.handleStudy(d.serveTrials))
 	mux.HandleFunc("GET /studies/{id}/front", d.handleStudy(d.serveFront))
+	mux.HandleFunc("GET /studies/{id}/events", d.handleStudy(d.serveEvents))
 	mux.HandleFunc("POST /studies/{id}/cancel", d.auth(d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
 		m.Cancel()
 		writeJSON(w, http.StatusAccepted, m.Summary())
@@ -115,6 +120,82 @@ func (d *Daemon) serveTrials(w http.ResponseWriter, r *http.Request, m *ManagedS
 		records[i] = journal.FromTrial(t)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"trials": records})
+}
+
+// terminalStatus reports whether a study's run is over (nothing more will
+// happen until a resume on the next daemon start).
+func terminalStatus(s Status) bool {
+	return s == StatusDone || s == StatusFailed || s == StatusInterrupted
+}
+
+// serveEvents is the push replacement for polling /front: a Server-Sent
+// Events stream of the study's live events (trial starts/completions,
+// dispatch attempts, study completion) off the daemon's event bus. Every
+// stream opens with a `summary` event and ends with one after the study
+// reaches a terminal state. Slow consumers lose events rather than
+// stalling the scheduler (the bus drops on a full buffer); the summary
+// frames carry authoritative counts either way. On daemon shutdown the
+// bus closes, which ends every stream after its final events — the
+// graceful SIGTERM drain.
+func (d *Daemon) serveEvents(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	sub := d.bus.Subscribe(256)
+	if sub == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("daemon is shutting down"))
+		return
+	}
+	defer d.bus.Unsubscribe(sub)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeSSE(w, "summary", m.Summary())
+	flush(fl)
+	if terminalStatus(m.Status()) {
+		// Nothing further will happen this daemon lifetime; close rather
+		// than hold an idle stream open.
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.Events():
+			if !open {
+				return // daemon shutdown: bus closed after the runners drained
+			}
+			if ev.Study != m.ID {
+				continue
+			}
+			writeSSE(w, ev.Kind, ev)
+			if ev.Kind == obs.KindStudyDone {
+				writeSSE(w, "summary", m.Summary())
+				flush(fl)
+				return
+			}
+			flush(fl)
+		}
+	}
+}
+
+// flush forces buffered SSE frames onto the wire. http.Flusher.Flush has
+// no error return; a gone client surfaces through the request context.
+func flush(fl http.Flusher) {
+	fl.Flush() //lint:ignore err-drop http.Flusher.Flush returns nothing
+}
+
+// writeSSE emits one Server-Sent Events frame. Write errors surface on
+// the next frame's Flush (the client is gone; the request context ends
+// the stream).
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	_, _ = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 }
 
 func (d *Daemon) serveFront(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {

@@ -92,20 +92,24 @@ func parallelRows(rows int, fn func(lo, hi int)) {
 		workers = rows
 	}
 	if workers < 2 {
+		metricSerialCalls.Inc()
 		fn(0, rows)
 		return
 	}
 	startPool()
 	chunk := (rows + workers - 1) / workers
 	var wg sync.WaitGroup
+	chunks := uint64(1)
 	for lo := chunk; lo < rows; lo += chunk {
 		hi := lo + chunk
 		if hi > rows {
 			hi = rows
 		}
 		wg.Add(1)
+		chunks++
 		poolTasks <- poolTask{fn: fn, lo: lo, hi: hi, wg: &wg}
 	}
 	fn(0, chunk)
 	wg.Wait()
+	metricPoolChunks.Add(chunks)
 }

@@ -2,7 +2,9 @@
 # smoke-workers.sh — end-to-end fleet round trip: build rldecide-serve and
 # rldecide-worker, start a fleet-mode daemon plus two workers behind a
 # bearer token, submit a tiny sphere study, wait for it to finish, and
-# check that every journaled trial carries a remote worker attribution.
+# check that every journaled trial carries a remote worker attribution,
+# a real wall-clock timing, and that both daemons expose their core
+# metric series on GET /metrics.
 #
 # Runs in CI (see .github/workflows/ci.yml) and locally:
 #
@@ -93,9 +95,38 @@ done
 journal="$DIR/state/$id.trials.jsonl"
 trials=$(wc -l <"$journal")
 attributed=$(grep -c '"worker":"smoke-w' "$journal")
-echo "journal: $trials trials, $attributed attributed to smoke workers"
+timed=$(grep -c '"wall_ms":' "$journal")
+echo "journal: $trials trials, $attributed attributed to smoke workers, $timed timed"
 [ "$trials" = "8" ] || { echo "expected 8 journaled trials" >&2; exit 1; }
 [ "$attributed" = "8" ] || { cat "$journal" >&2; exit 1; }
+[ "$timed" = "8" ] || { echo "trials missing wall_ms timing" >&2; cat "$journal" >&2; exit 1; }
+
+# The daemon's exposition must carry the scheduler and journal series
+# with the campaign's counts baked in.
+metrics=$(curl -sf "$base/metrics")
+for series in \
+  'rldecide_studyd_studies_submitted_total 1' \
+  'rldecide_studyd_trials_finished_total 8' \
+  'rldecide_studyd_studies{status="done"} 1' \
+  'rldecide_fleet_dispatches_total 8' \
+  'rldecide_fleet_workers 2' \
+  'rldecide_journal_appends_total 8' \
+  'rldecide_studyd_trial_seconds_bucket'; do
+  echo "$metrics" | grep -qF "$series" ||
+    { echo "daemon /metrics missing: $series" >&2; echo "$metrics" >&2; exit 1; }
+done
+
+# Each worker exposes its trial counters and in-flight gauge.
+for i in 1 2; do
+  wm=$(curl -sf "http://127.0.0.1:$((PORT + i))/metrics")
+  for series in \
+    'rldecide_worker_trials_total' \
+    "rldecide_worker_in_flight{worker=\"smoke-w$i\"} 0"; do
+    echo "$wm" | grep -qF "$series" ||
+      { echo "worker $i /metrics missing: $series" >&2; echo "$wm" >&2; exit 1; }
+  done
+done
+echo "metrics scrapes OK"
 
 curl -sf "$base/studies/$id/front" | head -c 400; echo
 echo "worker smoke OK"
