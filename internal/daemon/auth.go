@@ -1,0 +1,162 @@
+package daemon
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tenant is one authenticated principal: a bearer token plus a slot
+// quota bounding how many of its studies may be active at once.
+type Tenant struct {
+	// Name identifies the tenant (journal manifests, occupancy metrics).
+	Name string
+	// Token is the tenant's bearer token.
+	Token string
+	// Slots caps the tenant's concurrently active studies; 0 means
+	// unlimited.
+	Slots int
+}
+
+// ParseTenants parses the -tokens flag syntax:
+//
+//	tenant=token:slots,tenant2=token2,...
+//
+// The :slots suffix is optional (omitted means unlimited). Names and
+// tokens must be non-empty and free of the separator characters; names
+// and tokens must both be unique across the list.
+func ParseTenants(s string) ([]Tenant, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	names := map[string]bool{}
+	tokens := map[string]bool{}
+	var out []Tenant
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" || rest == "" {
+			return nil, fmt.Errorf("daemon: bad tenant entry %q (want tenant=token[:slots])", part)
+		}
+		token := rest
+		slots := 0
+		if tok, slotStr, has := strings.Cut(rest, ":"); has {
+			n, err := strconv.Atoi(slotStr)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("daemon: bad slot quota in %q", part)
+			}
+			token, slots = tok, n
+		}
+		if token == "" {
+			return nil, fmt.Errorf("daemon: empty token for tenant %q", name)
+		}
+		if names[name] {
+			return nil, fmt.Errorf("daemon: duplicate tenant %q", name)
+		}
+		if tokens[token] {
+			return nil, fmt.Errorf("daemon: tenants %q and another share a token", name)
+		}
+		names[name] = true
+		tokens[token] = true
+		out = append(out, Tenant{Name: name, Token: token, Slots: slots})
+	}
+	return out, nil
+}
+
+// Auth authenticates bearer tokens for a daemon's mutating endpoints.
+// Two shapes coexist: a per-tenant token table (the sharded control
+// plane's model) and a single shared token (the original -token flag,
+// kept as the single-tenant fallback — it authenticates as the anonymous
+// tenant "" with no quota). A nil *Auth, or one with neither configured,
+// is open: every request passes as the anonymous tenant.
+type Auth struct {
+	single  string
+	tenants []Tenant
+	slots   map[string]int
+}
+
+// NewAuth builds an Auth from the single-token fallback and the tenant
+// table; either (or both) may be empty.
+func NewAuth(single string, tenants []Tenant) *Auth {
+	a := &Auth{single: single, tenants: append([]Tenant(nil), tenants...), slots: map[string]int{}}
+	for _, t := range a.tenants {
+		a.slots[t.Name] = t.Slots
+	}
+	return a
+}
+
+// Enabled reports whether any credential is configured.
+func (a *Auth) Enabled() bool {
+	return a != nil && (a.single != "" || len(a.tenants) > 0)
+}
+
+// Tenants returns the configured tenant table, name-sorted.
+func (a *Auth) Tenants() []Tenant {
+	if a == nil {
+		return nil
+	}
+	out := append([]Tenant(nil), a.tenants...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Slots returns the tenant's configured quota (0 = unlimited, including
+// for unknown tenants and the anonymous single-token tenant).
+func (a *Auth) Slots(tenant string) int {
+	if a == nil {
+		return 0
+	}
+	return a.slots[tenant]
+}
+
+// Authenticate checks r's bearer token. Every configured credential is
+// compared in constant time, and the scan never exits early, so response
+// timing does not reveal which token (if any) matched. With no
+// credentials configured it accepts everything as the anonymous tenant.
+func (a *Auth) Authenticate(r *http.Request) (tenant string, ok bool) {
+	if !a.Enabled() {
+		return "", true
+	}
+	got, has := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !has {
+		return "", false
+	}
+	matched := false
+	if a.single != "" && subtle.ConstantTimeCompare([]byte(got), []byte(a.single)) == 1 {
+		matched = true
+	}
+	for _, t := range a.tenants {
+		if subtle.ConstantTimeCompare([]byte(got), []byte(t.Token)) == 1 && !matched {
+			matched = true
+			tenant = t.Name
+		}
+	}
+	return tenant, matched
+}
+
+// Require wraps h behind authentication: requests without a valid bearer
+// token are refused with 401. The tenant identity is discarded; use
+// RequireTenant when the handler needs it.
+func (a *Auth) Require(h http.HandlerFunc) http.HandlerFunc {
+	return a.RequireTenant(func(w http.ResponseWriter, r *http.Request, _ string) { h(w, r) })
+}
+
+// RequireTenant wraps h behind authentication and passes the
+// authenticated tenant name through ("" for the single-token fallback
+// and for disabled auth).
+func (a *Auth) RequireTenant(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant, ok := a.Authenticate(r)
+		if !ok {
+			WriteError(w, http.StatusUnauthorized, fmt.Errorf("missing or invalid bearer token"))
+			return
+		}
+		h(w, r, tenant)
+	}
+}

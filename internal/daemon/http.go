@@ -1,0 +1,27 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// APIError is the JSON error envelope every daemon API answers with.
+type APIError struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON writes v as an indented JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is already out; an encode failure here surfaces to
+	// the client as a truncated body.
+	_ = enc.Encode(v)
+}
+
+// WriteError writes err in the APIError envelope.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, APIError{Error: err.Error()})
+}

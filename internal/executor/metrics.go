@@ -30,31 +30,47 @@ var (
 // heartbeat ages. State is read at scrape time through the same snapshots
 // the /workers endpoint uses, so scraping adds no bookkeeping to the
 // dispatch path. Call it once per registry (typically the daemon's own).
-func (f *Fleet) RegisterMetrics(reg *obs.Registry) {
+// A non-empty daemonLabel stamps every series with daemon="<name>" so a
+// router merging several daemons' expositions never collides them; ""
+// keeps the single-daemon series names unchanged.
+func (f *Fleet) RegisterMetrics(reg *obs.Registry, daemonLabel string) {
+	stamp := func(collect func() []obs.Sample) func() []obs.Sample {
+		if daemonLabel == "" {
+			return collect
+		}
+		label := [2]string{"daemon", daemonLabel}
+		return func() []obs.Sample {
+			samples := collect()
+			for i := range samples {
+				samples[i].Labels = append([][2]string{label}, samples[i].Labels...)
+			}
+			return samples
+		}
+	}
 	reg.NewGaugeFunc("rldecide_fleet_workers",
-		"Live (non-expired) workers in the fleet.", func() []obs.Sample {
+		"Live (non-expired) workers in the fleet.", stamp(func() []obs.Sample {
 			return []obs.Sample{{Value: float64(f.Stats().Workers)}}
-		})
+		}))
 	reg.NewGaugeFunc("rldecide_fleet_slots",
-		"Summed trial slots of live workers.", func() []obs.Sample {
+		"Summed trial slots of live workers.", stamp(func() []obs.Sample {
 			return []obs.Sample{{Value: float64(f.Stats().Cap)}}
-		})
+		}))
 	reg.NewGaugeFunc("rldecide_fleet_in_flight",
-		"Trials currently dispatched across the fleet.", func() []obs.Sample {
+		"Trials currently dispatched across the fleet.", stamp(func() []obs.Sample {
 			return []obs.Sample{{Value: float64(f.Stats().InUse)}}
-		})
+		}))
 	reg.NewGaugeFunc("rldecide_fleet_worker_beat_age_seconds",
-		"Seconds since each worker's last heartbeat.", f.workerSamples(func(w WorkerStatus) float64 {
+		"Seconds since each worker's last heartbeat.", stamp(f.workerSamples(func(w WorkerStatus) float64 {
 			return w.BeatAgeSec
-		}))
+		})))
 	reg.NewGaugeFunc("rldecide_fleet_worker_in_flight",
-		"Trials currently dispatched to each worker.", f.workerSamples(func(w WorkerStatus) float64 {
+		"Trials currently dispatched to each worker.", stamp(f.workerSamples(func(w WorkerStatus) float64 {
 			return float64(w.InFlight)
-		}))
+		})))
 	reg.NewGaugeFunc("rldecide_fleet_worker_slots",
-		"Each worker's registered slot capacity.", f.workerSamples(func(w WorkerStatus) float64 {
+		"Each worker's registered slot capacity.", stamp(f.workerSamples(func(w WorkerStatus) float64 {
 			return float64(w.Slots)
-		}))
+		})))
 }
 
 // workerSamples adapts a per-worker field into a labeled collect func.

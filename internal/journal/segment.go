@@ -1,0 +1,319 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rldecide/internal/core"
+)
+
+// Manifest is the sidecar that makes a journal shardable: it names the
+// daemon that owns the study (with a generation counter bumped on every
+// ownership handoff, so a re-homed study can tell a stale owner from the
+// current one), the tenant that submitted it, and the sealed rotation
+// segments in replay order. The manifest lives next to the journal as
+// <base>.manifest.json and is rewritten atomically; a journal without a
+// manifest is a legacy single-file journal owned by nobody.
+type Manifest struct {
+	Study      string   `json:"study"`
+	Daemon     string   `json:"daemon,omitempty"`
+	Generation int      `json:"generation"`
+	Tenant     string   `json:"tenant,omitempty"`
+	Segments   []string `json:"segments,omitempty"`
+}
+
+// ManifestPath returns the manifest sidecar path for a journal path
+// (s0001.trials.jsonl -> s0001.trials.manifest.json).
+func ManifestPath(journalPath string) string {
+	return strings.TrimSuffix(journalPath, ".jsonl") + ".manifest.json"
+}
+
+// LoadManifest reads the manifest next to journalPath. A missing
+// manifest is not an error: ok is false and the zero Manifest returns.
+func LoadManifest(journalPath string) (m Manifest, ok bool, err error) {
+	data, err := os.ReadFile(ManifestPath(journalPath))
+	if errors.Is(err, os.ErrNotExist) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("journal: manifest %s: %w", ManifestPath(journalPath), err)
+	}
+	return m, true, nil
+}
+
+// SaveManifest atomically rewrites the manifest next to journalPath
+// (write to a temporary file in the same directory, then rename).
+func SaveManifest(journalPath string, m Manifest) error {
+	path := ManifestPath(journalPath)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// segmentPath names sealed segment n of a journal
+// (s0001.trials.jsonl -> s0001.trials-3.jsonl).
+func segmentPath(journalPath string, n int) string {
+	return fmt.Sprintf("%s-%d.jsonl", strings.TrimSuffix(journalPath, ".jsonl"), n)
+}
+
+// segmentIndex parses the rotation index out of a segment path belonging
+// to journalPath, or returns false for paths that are not its segments.
+func segmentIndex(journalPath, seg string) (int, bool) {
+	base := strings.TrimSuffix(journalPath, ".jsonl") + "-"
+	rest, found := strings.CutPrefix(seg, base)
+	if !found {
+		return 0, false
+	}
+	rest, found = strings.CutSuffix(rest, ".jsonl")
+	if !found {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// SegmentFiles lists the sealed segments of a journal in replay order:
+// the union of the manifest's segment list and any stray segment files on
+// disk (a crash between the rotation rename and the manifest rewrite
+// leaves a sealed segment the manifest does not know about — the union
+// adopts it rather than silently dropping its trials), sorted by
+// rotation index.
+func SegmentFiles(journalPath string) ([]string, error) {
+	m, _, err := LoadManifest(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(journalPath)
+	byIndex := map[int]string{}
+	for _, name := range m.Segments {
+		p := filepath.Join(dir, name)
+		if n, ok := segmentIndex(journalPath, p); ok {
+			byIndex[n] = p
+		}
+	}
+	glob, err := filepath.Glob(strings.TrimSuffix(journalPath, ".jsonl") + "-*.jsonl")
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range glob {
+		if n, ok := segmentIndex(journalPath, p); ok {
+			byIndex[n] = p
+		}
+	}
+	indexes := make([]int, 0, len(byIndex))
+	for n := range byIndex {
+		indexes = append(indexes, n)
+	}
+	sort.Ints(indexes)
+	out := make([]string, 0, len(indexes))
+	for _, n := range indexes {
+		out = append(out, byIndex[n])
+	}
+	return out, nil
+}
+
+// ReadSegmented loads every record of a possibly-rotated journal: sealed
+// segments in rotation order, then the active file. Sealed segments must
+// be intact (they were rotated on a record boundary, so any damage in
+// them is corruption, not a crash tail); only the active file gets the
+// torn-tail tolerance of Read, whose ErrTruncated passes through with the
+// valid prefix.
+func ReadSegmented(journalPath string) ([]Record, error) {
+	segs, err := SegmentFiles(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, seg := range segs {
+		recs, err := ReadFile(seg)
+		if err != nil {
+			return nil, fmt.Errorf("journal: sealed segment %s: %w", seg, err)
+		}
+		out = append(out, recs...)
+	}
+	recs, err := ReadFile(journalPath)
+	out = append(out, recs...)
+	if errors.Is(err, os.ErrNotExist) && len(segs) > 0 {
+		// Rotation just sealed the last segment; the next append recreates
+		// the active file.
+		return out, nil
+	}
+	return out, err
+}
+
+// RepairSegmented is RepairFile for rotated journals: sealed segments are
+// read strictly, the active file's torn tail (if any) is trimmed in
+// place, and the full record sequence returns. A journal with no files at
+// all is empty, not an error.
+func RepairSegmented(journalPath string) ([]Record, error) {
+	segs, err := SegmentFiles(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, seg := range segs {
+		recs, err := ReadFile(seg)
+		if err != nil {
+			return nil, fmt.Errorf("journal: sealed segment %s: %w", seg, err)
+		}
+		out = append(out, recs...)
+	}
+	recs, err := RepairFile(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, recs...), nil
+}
+
+// countingWriter tracks bytes written through to the underlying writer so
+// the segment writer knows when the active file crosses the rotation cap.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// SegWriter appends trial records to a size-capped, rotating journal.
+// When the active file crosses maxBytes after an append, it is sealed:
+// closed, renamed to the next <base>-<n>.jsonl segment, recorded in the
+// manifest, and a fresh active file opened. Rotation happens on record
+// boundaries only, so sealed segments always hold whole records and the
+// torn-tail repair logic stays confined to the active file. The rename
+// lands before the manifest rewrite — if the daemon dies between the two,
+// SegmentFiles adopts the stray segment from disk.
+type SegWriter struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	file     *os.File
+	count    *countingWriter
+	w        *Writer
+}
+
+// OpenSegmented opens (appending) the rotating journal at journalPath.
+// maxBytes <= 0 disables rotation: the writer behaves like a plain
+// single-file journal.
+func OpenSegmented(journalPath string, maxBytes int64) (*SegWriter, error) {
+	s := &SegWriter{path: journalPath, maxBytes: maxBytes}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// open opens the active file and rebuilds the byte count from its size.
+// Caller holds s.mu (or is the constructor).
+func (s *SegWriter) open() error {
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	s.file = f
+	s.count = &countingWriter{w: f, n: fi.Size()}
+	s.w = NewWriter(s.count)
+	return nil
+}
+
+// Append writes one trial, rotating the active file afterwards if it
+// crossed the size cap.
+func (s *SegWriter) Append(t core.Trial) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Append(t); err != nil {
+		return err
+	}
+	if s.maxBytes > 0 && s.count.n >= s.maxBytes {
+		if err := s.rotate(); err != nil {
+			return fmt.Errorf("journal: rotate %s: %w", s.path, err)
+		}
+	}
+	return nil
+}
+
+// rotate seals the active file as the next segment. Caller holds s.mu.
+func (s *SegWriter) rotate() error {
+	if err := s.file.Close(); err != nil {
+		return err
+	}
+	segs, err := SegmentFiles(s.path)
+	if err != nil {
+		return err
+	}
+	next := 1
+	for _, seg := range segs {
+		if n, ok := segmentIndex(s.path, seg); ok && n >= next {
+			next = n + 1
+		}
+	}
+	sealed := segmentPath(s.path, next)
+	if err := os.Rename(s.path, sealed); err != nil {
+		return err
+	}
+	m, _, err := LoadManifest(s.path)
+	if err != nil {
+		return err
+	}
+	m.Segments = append(m.Segments, filepath.Base(sealed))
+	if err := SaveManifest(s.path, m); err != nil {
+		return err
+	}
+	return s.open()
+}
+
+// Observer returns a core.Study OnTrial hook journaling every finished
+// trial, mirroring Writer.Observer.
+func (s *SegWriter) Observer(errSink func(error)) func(core.Trial) {
+	return func(t core.Trial) {
+		if err := s.Append(t); err != nil && errSink != nil {
+			errSink(err)
+		}
+	}
+}
+
+// Close flushes and closes the active file.
+func (s *SegWriter) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.w.Flush()
+	if err := s.file.Close(); err != nil && ferr == nil {
+		ferr = err
+	}
+	return ferr
+}

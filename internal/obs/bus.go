@@ -19,6 +19,14 @@ const (
 	KindDispatchEnd = "dispatch_done"
 	KindWorkerUp    = "worker_up"
 	KindWorkerDown  = "worker_down"
+
+	// Control-plane kinds (router + sharded daemons): study placement
+	// onto a backend, ownership handoff after a backend death, and the
+	// router's view of backend liveness.
+	KindStudyPlaced  = "study_placed"
+	KindStudyAdopted = "study_adopted"
+	KindBackendUp    = "backend_up"
+	KindBackendDown  = "backend_down"
 )
 
 // Event is one observability record. Seq and TMs are stamped by the bus
@@ -32,6 +40,7 @@ type Event struct {
 	Trial   int     `json:"trial,omitempty"`
 	Attempt int     `json:"attempt,omitempty"`
 	Worker  string  `json:"worker,omitempty"`
+	Daemon  string  `json:"daemon,omitempty"`
 	Status  string  `json:"status,omitempty"`
 	WallMs  float64 `json:"wall_ms,omitempty"`
 	Err     string  `json:"err,omitempty"`

@@ -1,0 +1,168 @@
+// Package shard is the sharded control plane's routing layer: a
+// consistent-hash ring with bounded loads for placing studies across
+// serve daemons, a Prometheus exposition merger for the fleet-wide
+// metrics rollup, and the stateless router daemon that fronts the fleet
+// (submission placement, read/SSE proxying, and journal-ownership
+// re-homing after a daemon death).
+//
+// Everything in this package is deterministic by construction: placement
+// is a pure function of the key, the backend set, and the current loads —
+// no wall clock, no randomness — so a replayed control-plane decision
+// lands on the same shard every time (see docs/sharding.md).
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultReplicas is the virtual-node count per backend. 64 points per
+// backend keeps the ring's load spread within a few percent for small
+// fleets while staying cheap to rebuild on membership changes.
+const defaultReplicas = 64
+
+// loadFactor is the bounded-load headroom: a backend may hold at most
+// ceil(loadFactor * (total+1) / n) placements. 1.25 is the classic
+// "consistent hashing with bounded loads" choice — enough slack that the
+// hash walk almost always stops at the first point, tight enough that one
+// hot tenant cannot pin a shard.
+const loadFactor = 1.25
+
+// point is one virtual node: a position on the ring owned by a backend.
+type point struct {
+	hash uint64
+	name string
+}
+
+// Ring is a consistent-hash ring with bounded loads over a fixed set of
+// backend names. It is immutable after construction — membership changes
+// build a new ring (cheap), which is what keeps placement a pure
+// function.
+type Ring struct {
+	names  []string
+	points []point
+}
+
+// hashKey is the ring's hash: 64-bit FNV-1a. Stable across processes and
+// platforms, which is what makes placement reproducible.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s)) // hash.Hash.Write never errors
+	return h.Sum64()
+}
+
+// NewRing builds a ring over the given backend names with the default
+// virtual-node count. Names are deduplicated and sorted; an empty set is
+// an error surfaced at Place time (Place returns "").
+func NewRing(names []string) *Ring {
+	return NewRingReplicas(names, defaultReplicas)
+}
+
+// NewRingReplicas is NewRing with an explicit virtual-node count
+// (tests use small counts to exercise walk collisions).
+func NewRingReplicas(names []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, n := range names {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{names: uniq, points: make([]point, 0, len(uniq)*replicas)}
+	for _, n := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, point{hash: hashKey(fmt.Sprintf("%s#%d", n, i)), name: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare, but determinism admits no
+		// "rare"): break by name so the walk order is total.
+		return r.points[i].name < r.points[j].name
+	})
+	return r
+}
+
+// Backends returns the ring's member names, sorted.
+func (r *Ring) Backends() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Owner returns the unbounded consistent-hash owner of key: the backend
+// owning the first ring point at or after the key's hash. "" on an empty
+// ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].name
+}
+
+func (r *Ring) search(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Cap returns the bounded-load ceiling for a ring of this size given the
+// total number of existing placements: ceil(loadFactor*(total+1)/n).
+// Every backend strictly below the cap can accept the next placement, and
+// at least one always is.
+func (r *Ring) Cap(total int) int {
+	n := len(r.names)
+	if n == 0 {
+		return 0
+	}
+	c := loadFactor * float64(total+1) / float64(n)
+	cap := int(c)
+	if float64(cap) < c {
+		cap++
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// Place returns the bounded-load placement for key: the hash walk starts
+// at the key's ring position and takes the first backend whose current
+// load is below the cap, so placements stay consistent (same key, same
+// members, same loads → same backend) while no backend exceeds its
+// bounded share. load maps backend name → current placement count;
+// missing entries count as zero. Returns "" on an empty ring.
+func (r *Ring) Place(key string, load map[string]int) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	total := 0
+	for _, name := range r.names {
+		total += load[name]
+	}
+	cap := r.Cap(total)
+	start := r.search(key)
+	tried := make(map[string]bool, len(r.names))
+	for i := 0; i < len(r.points) && len(tried) < len(r.names); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if tried[p.name] {
+			continue
+		}
+		tried[p.name] = true
+		if load[p.name] < cap {
+			return p.name
+		}
+	}
+	// Unreachable when load totals match: the cap guarantees a slot. Kept
+	// as a safe fallback for inconsistent load maps.
+	return r.points[start].name
+}

@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("study-%04d", i)
+	}
+	return out
+}
+
+// TestRingDeterminism pins that placement is a pure function: member
+// order, rebuilds, and repeat calls never change the answer.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"alpha", "beta", "gamma"})
+	b := NewRing([]string{"gamma", "alpha", "beta", "alpha"}) // dup + shuffled
+	for _, k := range keys(200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q differs across equivalent rings: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+		if a.Owner(k) != a.Owner(k) {
+			t.Fatalf("owner of %q unstable", k)
+		}
+		load := map[string]int{"alpha": 1, "beta": 2}
+		if a.Place(k, load) != b.Place(k, load) {
+			t.Fatalf("placement of %q differs across equivalent rings", k)
+		}
+	}
+	got := a.Backends()
+	want := []string{"alpha", "beta", "gamma"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Backends() = %v, want %v", got, want)
+	}
+}
+
+// TestRingBoundedLoad places a stream of keys while feeding the loads
+// back, and checks no backend ever exceeds the bounded-load cap.
+func TestRingBoundedLoad(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"})
+	load := map[string]int{}
+	total := 0
+	for _, k := range keys(300) {
+		name := r.Place(k, load)
+		if name == "" {
+			t.Fatalf("no placement for %q", k)
+		}
+		if cap := r.Cap(total); load[name] >= cap {
+			t.Fatalf("placed %q on %q at load %d, cap %d", k, name, load[name], cap)
+		}
+		load[name]++
+		total++
+	}
+	for _, n := range r.Backends() {
+		if load[n] == 0 {
+			t.Errorf("backend %q received nothing across 300 placements", n)
+		}
+	}
+}
+
+// TestRingSpillover pins the bounded-load walk: identical keys hash to
+// the same start point, so only the cap can spread them — and it does.
+func TestRingSpillover(t *testing.T) {
+	r := NewRing([]string{"x", "y"})
+	load := map[string]int{}
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		name := r.Place("same-key", load)
+		load[name]++
+		seen[name] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("4 identical keys stayed on one backend %v despite the cap", load)
+	}
+}
+
+// TestRingConsistency pins the consistent-hash property: removing one
+// member must not move any key owned by a survivor.
+func TestRingConsistency(t *testing.T) {
+	full := NewRing([]string{"alpha", "beta", "gamma"})
+	reduced := NewRing([]string{"alpha", "gamma"})
+	moved := 0
+	for _, k := range keys(500) {
+		before := full.Owner(k)
+		after := reduced.Owner(k)
+		if before != "beta" && before != after {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, before, after)
+		}
+		if before == "beta" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: no key was owned by the removed member")
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil)
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner %q", got)
+	}
+	if got := empty.Place("k", nil); got != "" {
+		t.Fatalf("empty ring placement %q", got)
+	}
+	if got := empty.Cap(10); got != 0 {
+		t.Fatalf("empty ring cap %d", got)
+	}
+	solo := NewRing([]string{"only"})
+	for _, k := range keys(20) {
+		if solo.Owner(k) != "only" || solo.Place(k, map[string]int{"only": 99}) != "only" {
+			t.Fatal("single-member ring must own everything")
+		}
+	}
+}
+
+func TestRingCap(t *testing.T) {
+	r := NewRing([]string{"a", "b"})
+	cases := []struct{ total, want int }{
+		{0, 1}, {1, 2}, {2, 2}, {3, 3}, {7, 5},
+	}
+	for _, c := range cases {
+		if got := r.Cap(c.total); got != c.want {
+			t.Errorf("Cap(%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	got, err := ParseBackends(" alpha=http://a:1 , beta=http://b:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != (Backend{"alpha", "http://a:1"}) || got[1] != (Backend{"beta", "http://b:2"}) {
+		t.Fatalf("parsed %+v", got)
+	}
+	for _, bad := range []string{"", "alpha", "=http://a", "alpha=", "a=u,a=v"} {
+		if _, err := ParseBackends(bad); err == nil {
+			t.Errorf("ParseBackends(%q): expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Exposition is one backend's scraped /metrics payload plus the daemon
+// name whose label gets injected into unlabeled series on merge.
+type Exposition struct {
+	Daemon string
+	Text   string
+}
+
+// family is one merged metric family: the first HELP/TYPE seen wins (the
+// fleet runs one binary, so they agree), samples accumulate across
+// backends in scrape order.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	samples []string
+}
+
+// MergeExpositions merges several Prometheus text-format 0.0.4
+// expositions into one, writing families sorted by name with HELP/TYPE
+// deduplicated. Every sample that does not already carry a daemon label
+// gets daemon="<backend>" injected, so two daemons' identically named
+// series — per-daemon gauges and each process's unlabeled process-wide
+// counters alike — never collide in the rollup. Expositions with an empty
+// Daemon are passed through unstamped (the router's own registry).
+func MergeExpositions(w io.Writer, expos []Exposition) error {
+	families := map[string]*family{}
+	var order []string
+	get := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{name: name}
+			families[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, ex := range expos {
+		// current tracks the family the scan is inside so histogram
+		// children (_bucket/_sum/_count) attach to their parent.
+		var current string
+		for _, line := range strings.Split(ex.Text, "\n") {
+			line = strings.TrimRight(line, "\r")
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+				name, help, _ := strings.Cut(rest, " ")
+				f := get(name)
+				if f.help == "" {
+					f.help = help
+				}
+				current = name
+				continue
+			}
+			if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				name, typ, _ := strings.Cut(rest, " ")
+				f := get(name)
+				if f.typ == "" {
+					f.typ = typ
+				}
+				current = name
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				continue // other comments are dropped
+			}
+			name := sampleName(line)
+			if name == "" {
+				return fmt.Errorf("shard: unparseable exposition line %q from daemon %q", line, ex.Daemon)
+			}
+			owner := name
+			if current != "" && (name == current || strings.HasPrefix(name, current+"_")) {
+				owner = current
+			}
+			f := get(owner)
+			f.samples = append(f.samples, injectDaemon(line, ex.Daemon))
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := families[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if f.typ != "" {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+				return err
+			}
+		}
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintln(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sampleName extracts the metric name from a sample line
+// (`name{labels} value` or `name value`).
+func sampleName(line string) string {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return ""
+	}
+	return line[:i]
+}
+
+// injectDaemon adds daemon="<d>" as the first label of a sample line
+// unless the line already carries a daemon label (a named daemon stamped
+// its own gauges) or d is empty.
+func injectDaemon(line, d string) string {
+	if d == "" {
+		return line
+	}
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return line
+	}
+	name := line[:i]
+	if line[i] != '{' {
+		return fmt.Sprintf(`%s{daemon=%q}%s`, name, d, line[i:])
+	}
+	j := strings.Index(line, "}")
+	if j < 0 {
+		return line
+	}
+	labels := line[i+1 : j]
+	if strings.Contains(labels, `daemon="`) {
+		return line
+	}
+	if labels == "" {
+		return fmt.Sprintf(`%s{daemon=%q}%s`, name, d, line[j+1:])
+	}
+	return fmt.Sprintf(`%s{daemon=%q,%s}%s`, name, d, labels, line[j+1:])
+}

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func merge(t *testing.T, expos ...Exposition) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := MergeExpositions(&buf, expos); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestMergeInjectsDaemon pins satellite (6): two daemons exposing the
+// same series name roll up into distinct daemon-labeled samples under one
+// HELP/TYPE header.
+func TestMergeInjectsDaemon(t *testing.T) {
+	a := "# HELP rldecide_studyd_studies Studies by status.\n# TYPE rldecide_studyd_studies gauge\nrldecide_studyd_studies{status=\"done\"} 3\n"
+	b := "# HELP rldecide_studyd_studies Studies by status.\n# TYPE rldecide_studyd_studies gauge\nrldecide_studyd_studies{status=\"done\"} 5\n"
+	out := merge(t, Exposition{Daemon: "alpha", Text: a}, Exposition{Daemon: "beta", Text: b})
+
+	if n := strings.Count(out, "# HELP rldecide_studyd_studies"); n != 1 {
+		t.Fatalf("HELP repeated %d times:\n%s", n, out)
+	}
+	if n := strings.Count(out, "# TYPE rldecide_studyd_studies"); n != 1 {
+		t.Fatalf("TYPE repeated %d times:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`rldecide_studyd_studies{daemon="alpha",status="done"} 3`,
+		`rldecide_studyd_studies{daemon="beta",status="done"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rollup missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMergeFamiliesSorted pins deterministic output: families appear
+// name-sorted regardless of scrape order.
+func TestMergeFamiliesSorted(t *testing.T) {
+	text := "# HELP zzz last.\n# TYPE zzz counter\nzzz 1\n# HELP aaa first.\n# TYPE aaa counter\naaa 2\n"
+	out := merge(t, Exposition{Daemon: "d", Text: text})
+	if strings.Index(out, "# HELP aaa") > strings.Index(out, "# HELP zzz") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+// TestMergeHistogramChildren pins that _bucket/_sum/_count samples stay
+// attached to their parent family instead of forming headerless families.
+func TestMergeHistogramChildren(t *testing.T) {
+	text := "# HELP lat_seconds Latency.\n# TYPE lat_seconds histogram\n" +
+		"lat_seconds_bucket{le=\"0.1\"} 4\nlat_seconds_bucket{le=\"+Inf\"} 9\nlat_seconds_sum 1.5\nlat_seconds_count 9\n"
+	out := merge(t, Exposition{Daemon: "alpha", Text: text}, Exposition{Daemon: "beta", Text: text})
+	if n := strings.Count(out, "# TYPE lat_seconds histogram"); n != 1 {
+		t.Fatalf("histogram TYPE repeated %d times:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`lat_seconds_bucket{daemon="alpha",le="0.1"} 4`,
+		`lat_seconds_sum{daemon="beta"} 1.5`,
+		`lat_seconds_count{daemon="alpha"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rollup missing %q:\n%s", want, out)
+		}
+	}
+	// The children must all sit inside the one lat_seconds block: no
+	// second HELP/TYPE pair should be minted for them.
+	if strings.Contains(out, "# TYPE lat_seconds_bucket") {
+		t.Fatalf("bucket child minted its own family:\n%s", out)
+	}
+}
+
+// TestMergeRespectsExistingDaemonLabel pins that a daemon-stamped series
+// (a named daemon's own gauges) is not double-labeled.
+func TestMergeRespectsExistingDaemonLabel(t *testing.T) {
+	text := "# HELP g G.\n# TYPE g gauge\ng{daemon=\"alpha\",status=\"done\"} 1\n"
+	out := merge(t, Exposition{Daemon: "alpha", Text: text})
+	if !strings.Contains(out, `g{daemon="alpha",status="done"} 1`) {
+		t.Fatalf("pre-labeled sample mangled:\n%s", out)
+	}
+	if strings.Contains(out, `daemon="alpha",daemon=`) {
+		t.Fatalf("daemon label injected twice:\n%s", out)
+	}
+}
+
+// TestMergeRouterOwnSeries pins that an Exposition with Daemon == "" (the
+// router's own registry) passes through unstamped.
+func TestMergeRouterOwnSeries(t *testing.T) {
+	text := "# HELP rldecide_router_backends B.\n# TYPE rldecide_router_backends gauge\nrldecide_router_backends{state=\"up\"} 2\n"
+	out := merge(t, Exposition{Text: text})
+	if !strings.Contains(out, `rldecide_router_backends{state="up"} 2`) {
+		t.Fatalf("router series mangled:\n%s", out)
+	}
+	if strings.Contains(out, "daemon=") {
+		t.Fatalf("unexpected daemon label:\n%s", out)
+	}
+}
+
+func TestMergeUnparseable(t *testing.T) {
+	var buf bytes.Buffer
+	err := MergeExpositions(&buf, []Exposition{{Daemon: "d", Text: "!!!\n"}})
+	if err == nil {
+		t.Fatal("expected error on unparseable sample line")
+	}
+}
+
+func TestInjectDaemonShapes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`m 1`, `m{daemon="d"} 1`},
+		{`m{} 1`, `m{daemon="d"} 1`},
+		{`m{a="b"} 1`, `m{daemon="d",a="b"} 1`},
+		{`m{daemon="x"} 1`, `m{daemon="x"} 1`},
+	}
+	for _, c := range cases {
+		if got := injectDaemon(c.in, "d"); got != c.want {
+			t.Errorf("injectDaemon(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := injectDaemon(`m{a="b"} 1`, ""); got != `m{a="b"} 1` {
+		t.Errorf("empty daemon must be a no-op, got %q", got)
+	}
+}

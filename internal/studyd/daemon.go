@@ -2,22 +2,31 @@ package studyd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
-	"net/http"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"rldecide/internal/daemon"
 	"rldecide/internal/executor"
 	"rldecide/internal/obs"
 )
 
 // Config configures a daemon.
 type Config struct {
-	// Dir is the state directory (specs + journals). Required.
+	// Dir is the state directory (specs + journals). Required. In a
+	// sharded deployment every serve daemon points at the same directory;
+	// ownership manifests keep their studies apart.
 	Dir string
+	// Name identifies this daemon in a sharded fleet. When set, minted
+	// study IDs are prefixed (<Name>-s0001), ownership manifests are
+	// signed with it, and every per-daemon metric series carries a
+	// daemon="<Name>" label so the router's rollup never collides series.
+	// Empty keeps the single-daemon behavior (and metric names) exactly.
+	Name string
 	// Workers is the local executor's slot count: the max number of trials
 	// executing concurrently across all studies (default 4; ignored in
 	// fleet mode, where registered workers provide the capacity).
@@ -28,8 +37,18 @@ type Config struct {
 	Exec string
 	// Token, when set, requires `Authorization: Bearer <Token>` on study
 	// submission, study cancellation, and the worker endpoints. Read-only
-	// endpoints stay open.
+	// endpoints stay open. Superseded by Auth when both are set (the
+	// token folds in as the anonymous-tenant fallback).
 	Token string
+	// Auth is the kernel authenticator: per-tenant bearer tokens with
+	// slot quotas. Nil builds one from Token alone.
+	Auth *daemon.Auth
+	// JournalMaxBytes caps each study's active journal segment; when a
+	// segment crosses the cap it is sealed as <id>.trials-<n>.jsonl and
+	// recorded in the study's manifest. 0 keeps single-file journals.
+	JournalMaxBytes int64
+	// TraceMaxBytes caps the trace stream's active file the same way.
+	TraceMaxBytes int64
 	// Fleet tunes the fleet executor (timeouts, retry, heartbeat TTL).
 	// Token and Logf default to the daemon's own.
 	Fleet executor.FleetOptions
@@ -76,6 +95,9 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.Auth == nil {
+		cfg.Auth = daemon.NewAuth(cfg.Token, nil)
+	}
 	fleetOpts := cfg.Fleet
 	if fleetOpts.Token == "" {
 		fleetOpts.Token = cfg.Token
@@ -103,7 +125,7 @@ func New(cfg Config) (*Daemon, error) {
 	default:
 		return nil, fmt.Errorf("studyd: unknown executor mode %q (want %q or %q)", cfg.Exec, ExecLocal, ExecFleet)
 	}
-	store, err := OpenStore(cfg.Dir)
+	store, err := OpenStore(cfg.Dir, cfg.Name, cfg.JournalMaxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +133,13 @@ func New(cfg Config) (*Daemon, error) {
 	d := &Daemon{cfg: cfg, store: store, exec: exec, fleet: fleet, bus: bus, ctx: ctx, cancel: cancel}
 	d.reg = d.newRegistry()
 	if cfg.Trace {
-		tracer, err := obs.OpenTracer(bus, filepath.Join(cfg.Dir, "trace.jsonl"))
+		name := "trace.jsonl"
+		if cfg.Name != "" {
+			// Daemons sharing a state directory must not fight over one
+			// trace file.
+			name = "trace-" + cfg.Name + ".jsonl"
+		}
+		tracer, err := obs.OpenTracerRotating(bus, filepath.Join(cfg.Dir, name), cfg.TraceMaxBytes)
 		if err != nil {
 			cancel()
 			return nil, fmt.Errorf("studyd: opening trace stream: %w", err)
@@ -120,6 +148,12 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	return d, nil
 }
+
+// Name returns the daemon's fleet identity ("" for single-daemon mode).
+func (d *Daemon) Name() string { return d.cfg.Name }
+
+// Auth exposes the kernel authenticator.
+func (d *Daemon) Auth() *daemon.Auth { return d.cfg.Auth }
 
 // Bus exposes the daemon's event bus (tests, embedders wiring their own
 // consumers).
@@ -146,21 +180,65 @@ func (d *Daemon) Start() {
 	}
 }
 
-// Submit registers, persists and schedules a new study.
-func (d *Daemon) Submit(spec Spec) (*ManagedStudy, error) {
+// ErrQuota reports a submission refused because the tenant is at its
+// slot quota (HTTP 429 at the API).
+var ErrQuota = errors.New("studyd: tenant slot quota exceeded")
+
+// Submit registers, persists and schedules a new study as the anonymous
+// tenant.
+func (d *Daemon) Submit(spec Spec) (*ManagedStudy, error) { return d.SubmitAs(spec, "") }
+
+// SubmitAs registers, persists and schedules a new study on behalf of
+// tenant, enforcing the tenant's slot quota: a tenant at its cap of
+// active (pending or running) studies gets ErrQuota. Quota accounting is
+// derived from the store on every call — nothing to leak or repair across
+// restarts.
+func (d *Daemon) SubmitAs(spec Spec, tenant string) (*ManagedStudy, error) {
+	// One submission at a time: the quota check and the store insert must
+	// be atomic or two racing submissions could both clear the last slot.
 	d.mu.Lock()
-	stopped := d.stopped
-	d.mu.Unlock()
-	if stopped {
+	defer d.mu.Unlock()
+	if d.stopped {
 		return nil, fmt.Errorf("studyd: daemon is shutting down")
 	}
-	m, err := d.store.Submit(spec)
+	if quota := d.cfg.Auth.Slots(tenant); quota > 0 {
+		if active := d.store.ActiveByTenant()[tenant]; active >= quota {
+			return nil, fmt.Errorf("%w: tenant %q has %d active studies (quota %d)", ErrQuota, tenant, active, quota)
+		}
+	}
+	m, err := d.store.Submit(spec, tenant)
 	if err != nil {
 		return nil, err
 	}
 	metricSubmitted.Inc()
 	d.cfg.Logf("studyd: accepted study %s (%q): budget %d, objective %s", m.ID, spec.Name, spec.Budget, spec.Objective)
 	d.launch(m)
+	return m, nil
+}
+
+// Adopt takes ownership of an on-disk study (typically one stranded by a
+// dead daemon sharing this state directory), replays its journal, and —
+// when budget remains — resumes it. Idempotent: adopting a study this
+// daemon already runs returns it unchanged.
+func (d *Daemon) Adopt(id string) (*ManagedStudy, error) {
+	d.mu.Lock()
+	stopped := d.stopped
+	d.mu.Unlock()
+	if stopped {
+		return nil, fmt.Errorf("studyd: daemon is shutting down")
+	}
+	m, fresh, err := d.store.Adopt(id)
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		sum := m.Summary()
+		d.bus.Publish(obs.Event{Kind: obs.KindStudyAdopted, Study: m.ID, Daemon: d.cfg.Name, Status: string(sum.Status)})
+		d.cfg.Logf("studyd: adopted study %s (generation %d) at %d/%d trials", m.ID, m.Generation, sum.Finished, sum.Budget)
+		if m.Status() == StatusPending {
+			d.launch(m)
+		}
+	}
 	return m, nil
 }
 
@@ -211,25 +289,10 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 }
 
 // ListenAndServe serves the daemon's HTTP API on addr until ctx is
-// cancelled, then shuts the server down and drains studies with the given
-// grace period.
+// cancelled, then drains studies and shuts the server down with the given
+// grace period — the kernel's serve-then-drain lifecycle.
 func (d *Daemon) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
-	srv := &http.Server{Addr: addr, Handler: d.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
 	stats := d.exec.Stats()
 	d.cfg.Logf("studyd: serving on %s (exec=%s, cap=%d, dir=%s)", addr, d.cfg.Exec, stats.Cap, d.cfg.Dir)
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
-	defer cancel()
-	// Drain the daemon first: cancelling studies and closing the bus ends
-	// the open SSE streams, which srv.Shutdown would otherwise wait on
-	// for the whole grace period.
-	err := d.Shutdown(shutdownCtx)
-	_ = srv.Shutdown(shutdownCtx)
-	return err
+	return daemon.Run(ctx, addr, d.Handler(), grace, d.Shutdown)
 }

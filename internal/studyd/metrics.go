@@ -24,13 +24,31 @@ var (
 // studyStatuses is the fixed label order for the by-status study gauge.
 var studyStatuses = []Status{StatusPending, StatusRunning, StatusDone, StatusInterrupted, StatusFailed}
 
+// stamp prepends the daemon="<Name>" label to every sample of a named
+// daemon. Unnamed (single-daemon) deployments keep their series exactly
+// as before; in a sharded fleet the label is what keeps two daemons'
+// gauges from colliding when the router merges their expositions.
+func (d *Daemon) stamp(collect func() []obs.Sample) func() []obs.Sample {
+	if d.cfg.Name == "" {
+		return collect
+	}
+	label := [2]string{"daemon", d.cfg.Name}
+	return func() []obs.Sample {
+		samples := collect()
+		for i := range samples {
+			samples[i].Labels = append([][2]string{label}, samples[i].Labels...)
+		}
+		return samples
+	}
+}
+
 // newRegistry builds the daemon's own collector registry: gauges that
 // read daemon state at scrape time. Served at GET /metrics alongside
 // obs.Default.
 func (d *Daemon) newRegistry() *obs.Registry {
 	reg := obs.NewRegistry()
 	reg.NewGaugeFunc("rldecide_studyd_studies",
-		"Managed studies by lifecycle status.", func() []obs.Sample {
+		"Managed studies by lifecycle status.", d.stamp(func() []obs.Sample {
 			counts := make(map[Status]int, len(studyStatuses))
 			for _, m := range d.store.List() {
 				counts[m.Status()]++
@@ -40,23 +58,36 @@ func (d *Daemon) newRegistry() *obs.Registry {
 				out[i] = obs.Sample{Labels: [][2]string{{"status", string(st)}}, Value: float64(counts[st])}
 			}
 			return out
-		})
+		}))
+	reg.NewGaugeFunc("rldecide_studyd_tenant_active_studies",
+		"Active (pending or running) studies per configured tenant.", d.stamp(func() []obs.Sample {
+			tenants := d.cfg.Auth.Tenants()
+			if len(tenants) == 0 {
+				return nil
+			}
+			active := d.store.ActiveByTenant()
+			out := make([]obs.Sample, len(tenants))
+			for i, t := range tenants {
+				out[i] = obs.Sample{Labels: [][2]string{{"tenant", t.Name}}, Value: float64(active[t.Name])}
+			}
+			return out
+		}))
 	reg.NewGaugeFunc("rldecide_studyd_exec_slots",
-		"Executor trial capacity (local slots, or summed fleet slots).", func() []obs.Sample {
+		"Executor trial capacity (local slots, or summed fleet slots).", d.stamp(func() []obs.Sample {
 			return []obs.Sample{{Value: float64(d.exec.Stats().Cap)}}
-		})
+		}))
 	reg.NewGaugeFunc("rldecide_studyd_exec_in_use",
-		"Trials executing right now.", func() []obs.Sample {
+		"Trials executing right now.", d.stamp(func() []obs.Sample {
 			return []obs.Sample{{Value: float64(d.exec.Stats().InUse)}}
-		})
+		}))
 	reg.NewGaugeFunc("rldecide_studyd_queue_depth",
-		"Proposed trials waiting for an executor lease.", func() []obs.Sample {
+		"Proposed trials waiting for an executor lease.", d.stamp(func() []obs.Sample {
 			queued := d.inflight.Load() - int64(d.exec.Stats().InUse)
 			if queued < 0 {
 				queued = 0
 			}
 			return []obs.Sample{{Value: float64(queued)}}
-		})
-	d.fleet.RegisterMetrics(reg)
+		}))
+	d.fleet.RegisterMetrics(reg, d.cfg.Name)
 	return reg
 }

@@ -2,9 +2,11 @@ package studyd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
+	"rldecide/internal/daemon"
 	"rldecide/internal/executor"
 	"rldecide/internal/journal"
 	"rldecide/internal/obs"
@@ -21,55 +23,45 @@ import (
 //	GET  /studies/{id}/front   current Pareto ranking of completed trials
 //	GET  /studies/{id}/events  SSE push stream of the study's live events
 //	POST /studies/{id}/cancel  stop the study's run (resumable later)   [auth]
-//	GET  /workers              live fleet members
+//	POST /studies/{id}/adopt   claim ownership of an on-disk study      [auth]
+//	GET  /workers              live fleet members (daemon-stamped)
 //	POST /workers/register     add a worker to the fleet                [auth]
 //	POST /workers/heartbeat    refresh a worker (upserts)               [auth]
 //	POST /workers/deregister   remove a worker                         [auth]
 //
-// [auth] endpoints require `Authorization: Bearer <token>` when the daemon
-// was configured with one; read-only endpoints are always open.
+// [auth] endpoints go through the kernel authenticator: a single shared
+// token or per-tenant tokens with slot quotas (submissions over quota get
+// 429). Read-only endpoints are always open.
 func (d *Daemon) Handler() http.Handler {
+	auth := d.cfg.Auth
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.Handle("GET /metrics", obs.Handler(obs.Default, d.reg))
 	mux.HandleFunc("GET /studies", d.handleList)
-	mux.HandleFunc("POST /studies", d.auth(d.handleSubmit))
+	mux.HandleFunc("POST /studies", auth.RequireTenant(d.handleSubmit))
 	mux.HandleFunc("GET /studies/{id}", d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
 		writeJSON(w, http.StatusOK, m.Summary())
 	}))
 	mux.HandleFunc("GET /studies/{id}/trials", d.handleStudy(d.serveTrials))
 	mux.HandleFunc("GET /studies/{id}/front", d.handleStudy(d.serveFront))
 	mux.HandleFunc("GET /studies/{id}/events", d.handleStudy(d.serveEvents))
-	mux.HandleFunc("POST /studies/{id}/cancel", d.auth(d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
+	mux.HandleFunc("POST /studies/{id}/cancel", auth.Require(d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
 		m.Cancel()
 		writeJSON(w, http.StatusAccepted, m.Summary())
 	})))
+	mux.HandleFunc("POST /studies/{id}/adopt", auth.Require(d.handleAdopt))
 	mux.HandleFunc("GET /workers", d.handleWorkers)
-	mux.HandleFunc("POST /workers/register", d.auth(d.handleWorkerUpsert))
-	mux.HandleFunc("POST /workers/heartbeat", d.auth(d.handleWorkerUpsert))
-	mux.HandleFunc("POST /workers/deregister", d.auth(d.handleWorkerDeregister))
+	mux.HandleFunc("POST /workers/register", auth.Require(d.handleWorkerUpsert))
+	mux.HandleFunc("POST /workers/heartbeat", auth.Require(d.handleWorkerUpsert))
+	mux.HandleFunc("POST /workers/deregister", auth.Require(d.handleWorkerDeregister))
 	return mux
-}
-
-// auth gates h on the daemon's bearer token; with no token configured it
-// is a no-op.
-func (d *Daemon) auth(h http.HandlerFunc) http.HandlerFunc {
-	if d.cfg.Token == "" {
-		return h
-	}
-	return func(w http.ResponseWriter, r *http.Request) {
-		if !executor.CheckBearer(r, d.cfg.Token) {
-			writeErr(w, http.StatusUnauthorized, fmt.Errorf("missing or invalid bearer token"))
-			return
-		}
-		h(w, r)
-	}
 }
 
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	stats := d.exec.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":       true,
+		"daemon":   d.cfg.Name,
 		"studies":  len(d.store.List()),
 		"executor": d.cfg.Exec,
 		"pool":     map[string]int{"cap": stats.Cap, "in_use": stats.InUse},
@@ -86,7 +78,7 @@ func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"studies": out})
 }
 
-func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request, tenant string) {
 	var spec Spec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -94,12 +86,30 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err := d.Submit(spec)
+	m, err := d.SubmitAs(spec, tenant)
+	if errors.Is(err, ErrQuota) {
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, m.Summary())
+}
+
+// handleAdopt claims ownership of a study persisted in the shared state
+// directory — the re-homing half of the router's failover protocol. It
+// looks the study up on disk, not in the live registry, because the whole
+// point is that this daemon does not own it yet.
+func (d *Daemon) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, err := d.Adopt(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Summary())
 }
 
 func (d *Daemon) handleStudy(h func(http.ResponseWriter, *http.Request, *ManagedStudy)) http.HandlerFunc {
@@ -208,7 +218,9 @@ func (d *Daemon) serveFront(w http.ResponseWriter, r *http.Request, m *ManagedSt
 }
 
 func (d *Daemon) handleWorkers(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"workers": d.fleet.Workers()})
+	// The daemon stamp lets the router's fleet-wide /workers view
+	// attribute each registry without guessing from the backend URL.
+	writeJSON(w, http.StatusOK, map[string]any{"daemon": d.cfg.Name, "workers": d.fleet.Workers()})
 }
 
 // handleWorkerUpsert serves both registration and heartbeat: the payload
@@ -243,18 +255,8 @@ func (d *Daemon) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) 
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "fleet": d.fleet.Stats()})
 }
 
-type apiError struct {
-	Error string `json:"error"`
-}
+// The response helpers are the kernel's: every daemon in the fleet
+// answers with the same JSON envelope.
+func writeJSON(w http.ResponseWriter, status int, v any) { daemon.WriteJSON(w, status, v) }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
-}
+func writeErr(w http.ResponseWriter, status int, err error) { daemon.WriteError(w, status, err) }

@@ -40,8 +40,17 @@ const (
 type ManagedStudy struct {
 	ID   string
 	Spec Spec
+	// Tenant is the principal that submitted the study ("" when auth is
+	// disabled or the single-token fallback was used).
+	Tenant string
+	// Daemon names the owning daemon in a sharded deployment ("" for
+	// single-daemon stores); Generation counts ownership handoffs.
+	Daemon     string
+	Generation int
 
 	journalPath string
+	// journalMax caps the active journal segment size (0 = unbounded).
+	journalMax int64
 	// rawSpec is the spec exactly as persisted on disk; trial dispatches
 	// carry it verbatim so every worker rebuilds the identical objective.
 	rawSpec []byte
@@ -90,6 +99,9 @@ func (m *ManagedStudy) Trials() []core.Trial {
 type Summary struct {
 	ID          string `json:"id"`
 	Name        string `json:"name"`
+	Tenant      string `json:"tenant,omitempty"`
+	Daemon      string `json:"daemon,omitempty"`
+	Generation  int    `json:"generation,omitempty"`
 	Status      Status `json:"status"`
 	Error       string `json:"error,omitempty"`
 	JournalErr  string `json:"journal_error,omitempty"`
@@ -113,6 +125,9 @@ func (m *ManagedStudy) Summary() Summary {
 	return Summary{
 		ID:          m.ID,
 		Name:        m.Spec.Name,
+		Tenant:      m.Tenant,
+		Daemon:      m.Daemon,
+		Generation:  m.Generation,
 		Status:      m.status,
 		Error:       m.errMsg,
 		JournalErr:  m.journalErr,
@@ -191,12 +206,11 @@ func (m *ManagedStudy) run(ctx context.Context, wrap func(core.Objective) core.O
 		return
 	}
 
-	jf, err := os.OpenFile(m.journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	jw, err := journal.OpenSegmented(m.journalPath, m.journalMax)
 	if err != nil {
 		fail(err)
 		return
 	}
-	jw := journal.NewWriter(jf)
 	study.OnTrial = func(t core.Trial) {
 		if err := jw.Append(t); err != nil {
 			m.mu.Lock()
@@ -211,7 +225,7 @@ func (m *ManagedStudy) run(ctx context.Context, wrap func(core.Objective) core.O
 	}
 
 	_, err = study.RunContext(ctx, m.Spec.Budget)
-	closeErr := jf.Close()
+	closeErr := jw.Close()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -233,9 +247,19 @@ func (m *ManagedStudy) run(ctx context.Context, wrap func(core.Objective) core.O
 }
 
 // Store is the daemon's persistent study registry: one <id>.spec.json and
-// one <id>.trials.jsonl per study under dir.
+// one <id>.trials.jsonl (plus rotation segments and an ownership
+// manifest) per study under dir. In a sharded deployment several daemons
+// share one state directory; each Store loads only the studies its owner
+// name claims (or unowned legacy studies), and ownership moves between
+// daemons through Adopt.
 type Store struct {
 	dir string
+	// owner is this daemon's name; "" is the single-daemon legacy mode
+	// that loads everything and mints unprefixed IDs.
+	owner string
+	// journalMax caps active journal segments for studies run from this
+	// store (0 = single-file journals, the legacy layout).
+	journalMax int64
 
 	mu      sync.Mutex
 	studies map[string]*ManagedStudy
@@ -244,15 +268,17 @@ type Store struct {
 }
 
 // OpenStore opens (creating if needed) the state directory and loads every
-// persisted study: the spec is re-read, the journal is repaired (torn
-// final record truncated) and replayed, and studies whose journals hold
-// fewer trials than their budget come back StatusInterrupted, ready for
-// resume.
-func OpenStore(dir string) (*Store, error) {
+// persisted study this owner may run: the spec is re-read, the journal
+// (including rotated segments) is repaired (torn final record truncated)
+// and replayed, and studies whose journals hold fewer trials than their
+// budget come back StatusInterrupted, ready for resume. Studies whose
+// manifest names a different owning daemon are left on disk untouched —
+// they belong to another shard until adopted.
+func OpenStore(dir, owner string, journalMax int64) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	st := &Store{dir: dir, studies: map[string]*ManagedStudy{}, nextID: 1}
+	st := &Store{dir: dir, owner: owner, journalMax: journalMax, studies: map[string]*ManagedStudy{}, nextID: 1}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -265,18 +291,59 @@ func OpenStore(dir string) (*Store, error) {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
+		mine, err := st.owns(id)
+		if err != nil {
+			return nil, fmt.Errorf("studyd: manifest for study %s: %w", id, err)
+		}
+		if !mine {
+			continue
+		}
 		m, err := st.load(id)
 		if err != nil {
 			return nil, fmt.Errorf("studyd: loading study %s: %w", id, err)
 		}
 		st.studies[id] = m
 		st.order = append(st.order, id)
-		var n int
-		if _, err := fmt.Sscanf(id, "s%d", &n); err == nil && n >= st.nextID {
-			st.nextID = n + 1
-		}
+		st.bumpNext(id)
 	}
 	return st, nil
+}
+
+// owns reports whether this store may load the study: it is unowned (no
+// manifest, or a manifest without a daemon — the legacy layout), owned by
+// this daemon, or the store is in single-daemon mode.
+func (st *Store) owns(id string) (bool, error) {
+	m, ok, err := journal.LoadManifest(st.journalPath(id))
+	if err != nil {
+		return false, err
+	}
+	if !ok || m.Daemon == "" || st.owner == "" {
+		return true, nil
+	}
+	return m.Daemon == st.owner, nil
+}
+
+func (st *Store) journalPath(id string) string {
+	return filepath.Join(st.dir, id+".trials.jsonl")
+}
+
+// bumpNext advances the ID counter past an observed study ID so freshly
+// minted IDs never collide. IDs are s%04d, optionally prefixed with the
+// minting daemon's name (alpha-s0001); the trailing segment carries the
+// counter.
+func (st *Store) bumpNext(id string) {
+	tail := id
+	if i := strings.LastIndex(id, "-"); i >= 0 {
+		tail = id[i+1:]
+	}
+	var n int
+	if _, err := fmt.Sscanf(tail, "s%d", &n); err == nil {
+		st.mu.Lock()
+		if n >= st.nextID {
+			st.nextID = n + 1
+		}
+		st.mu.Unlock()
+	}
 }
 
 func (st *Store) load(id string) (*ManagedStudy, error) {
@@ -295,14 +362,22 @@ func (st *Store) load(id string) (*ManagedStudy, error) {
 		ID:          id,
 		Spec:        spec,
 		rawSpec:     raw,
-		journalPath: filepath.Join(st.dir, id+".trials.jsonl"),
+		journalPath: st.journalPath(id),
+		journalMax:  st.journalMax,
 		status:      StatusPending,
 		done:        make(chan struct{}),
 	}
+	if mf, ok, err := journal.LoadManifest(m.journalPath); err != nil {
+		return nil, err
+	} else if ok {
+		m.Tenant = mf.Tenant
+		m.Daemon = mf.Daemon
+		m.Generation = mf.Generation
+	}
 	// Crash safety: a torn final record (append cut short by the crash)
 	// is truncated away so the journal is clean for both replay and the
-	// appends of the resumed run.
-	records, err := journal.RepairFile(m.journalPath)
+	// appends of the resumed run. Sealed rotation segments replay first.
+	records, err := journal.RepairSegmented(m.journalPath)
 	if err != nil {
 		return nil, err
 	}
@@ -324,13 +399,19 @@ func (st *Store) load(id string) (*ManagedStudy, error) {
 }
 
 // Submit validates and persists a new study spec and registers it as
-// pending. The caller (the daemon) schedules it.
-func (st *Store) Submit(spec Spec) (*ManagedStudy, error) {
+// pending. The caller (the daemon) schedules it. Owned stores prefix the
+// study ID with the daemon name (alpha-s0001) so IDs stay unique across a
+// fleet sharing one state directory, and persist an ownership manifest
+// next to the journal.
+func (st *Store) Submit(spec Spec, tenant string) (*ManagedStudy, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	st.mu.Lock()
 	id := fmt.Sprintf("s%04d", st.nextID)
+	if st.owner != "" {
+		id = fmt.Sprintf("%s-s%04d", st.owner, st.nextID)
+	}
 	st.nextID++
 	st.mu.Unlock()
 
@@ -344,16 +425,81 @@ func (st *Store) Submit(spec Spec) (*ManagedStudy, error) {
 	m := &ManagedStudy{
 		ID:          id,
 		Spec:        spec,
+		Tenant:      tenant,
+		Daemon:      st.owner,
 		rawSpec:     raw,
-		journalPath: filepath.Join(st.dir, id+".trials.jsonl"),
+		journalPath: st.journalPath(id),
+		journalMax:  st.journalMax,
 		status:      StatusPending,
 		done:        make(chan struct{}),
+	}
+	if st.owner != "" || tenant != "" {
+		m.Generation = 1
+		mf := journal.Manifest{Study: id, Daemon: st.owner, Generation: 1, Tenant: tenant}
+		if err := journal.SaveManifest(m.journalPath, mf); err != nil {
+			return nil, err
+		}
 	}
 	st.mu.Lock()
 	st.studies[id] = m
 	st.order = append(st.order, id)
 	st.mu.Unlock()
 	return m, nil
+}
+
+// Adopt moves ownership of an on-disk study to this store's daemon: the
+// manifest is rewritten with this owner and a bumped generation, the
+// journal (segments included) is repaired and replayed, and the study
+// registers here ready to resume. Already-loaded studies return as-is
+// with fresh=false. The old owner must be dead or drained — nothing
+// fences a live owner's appends (see docs/sharding.md).
+func (st *Store) Adopt(id string) (m *ManagedStudy, fresh bool, err error) {
+	st.mu.Lock()
+	existing, ok := st.studies[id]
+	st.mu.Unlock()
+	if ok {
+		return existing, false, nil
+	}
+	if _, err := os.Stat(filepath.Join(st.dir, id+".spec.json")); err != nil {
+		return nil, false, fmt.Errorf("studyd: no study %q on disk: %w", id, err)
+	}
+	jp := st.journalPath(id)
+	mf, _, err := journal.LoadManifest(jp)
+	if err != nil {
+		return nil, false, err
+	}
+	mf.Study = id
+	mf.Daemon = st.owner
+	mf.Generation++
+	if err := journal.SaveManifest(jp, mf); err != nil {
+		return nil, false, err
+	}
+	m, err = st.load(id)
+	if err != nil {
+		return nil, false, err
+	}
+	st.mu.Lock()
+	if raced, ok := st.studies[id]; ok {
+		st.mu.Unlock()
+		return raced, false, nil
+	}
+	st.studies[id] = m
+	st.order = append(st.order, id)
+	st.mu.Unlock()
+	st.bumpNext(id)
+	return m, true, nil
+}
+
+// ActiveByTenant counts pending/running studies per tenant — the
+// occupancy the per-tenant slot quotas bound.
+func (st *Store) ActiveByTenant() map[string]int {
+	out := map[string]int{}
+	for _, m := range st.List() {
+		if s := m.Status(); s == StatusPending || s == StatusRunning {
+			out[m.Tenant]++
+		}
+	}
+	return out
 }
 
 // Get returns the study with the given ID.

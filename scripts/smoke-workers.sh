@@ -49,9 +49,10 @@ for _ in $(seq 1 50); do
 done
 curl -sf "$base/healthz" >/dev/null || { echo "daemon never came up" >&2; exit 1; }
 
-# Wait for both workers to register before submitting.
+# Wait for both workers to register before submitting. The || n=0 keeps
+# a zero-match grep (empty fleet, pipefail) from aborting the retry loop.
 for _ in $(seq 1 50); do
-  n=$(curl -sf "$base/workers" | grep -o '"name"' | wc -l)
+  n=$(curl -sf "$base/workers" | grep -o '"name"' | wc -l) || n=0
   [ "$n" -ge 2 ] && break
   sleep 0.2
 done
