@@ -2,7 +2,10 @@
 // analysis suite (internal/lint) over the module and reports violations
 // of the replay contract: global-RNG draws, stray wall-clock reads,
 // order-sensitive map iteration, exact float comparisons, context-less
-// blocking APIs, and silently dropped errors.
+// blocking APIs, silently dropped errors, and — through the type-aware
+// module rules — interprocedural clock/RNG taint reaching journal sinks,
+// guarded-by lock discipline, goroutines that block forever without
+// observing cancellation, and unauthenticated mutating HTTP routes.
 //
 // Usage:
 //
@@ -11,11 +14,16 @@
 // Patterns are directories, optionally suffixed with /... for recursion;
 // the default is ./... (the whole module, skipping testdata). The exit
 // code is 0 when clean, 1 when findings are reported, 2 on usage or load
-// errors. Findings can be suppressed in source with
+// errors. Output is deterministic and machine-independent: file paths
+// are relative to the working directory (slash-separated) and findings
+// are ordered by (file, line, col, rule), so two runs over the same tree
+// are byte-identical — in text and in -json mode alike. Findings can be
+// suppressed in source with
 //
 //	//lint:ignore <rule> <reason>
 //
-// on the offending line or the line above it. See docs/lint.md.
+// on the offending line or the line above it; a directive that no longer
+// suppresses anything is itself reported (stale-ignore). See docs/lint.md.
 package main
 
 import (
@@ -48,6 +56,10 @@ func main() {
 		fatalf("%v", err)
 	}
 	findings := lint.NewRunner().Run(pkgs)
+	// Run sorts by absolute path; relativizing preserves that order (all
+	// paths share the root prefix) while making output machine-independent.
+	lint.Relativize(findings, root)
+	lint.SortFindings(findings)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

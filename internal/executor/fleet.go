@@ -96,9 +96,11 @@ type Fleet struct {
 	events *obs.Bus
 	logf   func(string, ...any)
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// guarded-by: mu
 	workers map[string]*remoteWorker
-	wait    chan struct{} // closed+replaced whenever capacity may have grown
+	// guarded-by: mu
+	wait chan struct{} // closed+replaced whenever capacity may have grown
 }
 
 type remoteWorker struct {

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rldecide/internal/daemon"
 	"rldecide/internal/obs"
 )
 
@@ -40,8 +41,10 @@ type Server struct {
 	// The cache is bounded (FIFO eviction) and purely an optimization —
 	// a miss answers 428 and the dispatcher resends in full, which is
 	// also how a restarted (empty-cache) worker recovers mid-campaign.
-	specMu    sync.Mutex
-	specs     map[string]json.RawMessage
+	specMu sync.Mutex
+	// guarded-by: specMu
+	specs map[string]json.RawMessage
+	// guarded-by: specMu
 	specOrder []string
 }
 
@@ -91,7 +94,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", obs.Handler(obs.Default, reg))
-	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /run", daemon.NewAuth(s.Token, nil).Require(s.handleRun))
 	return mux
 }
 
@@ -110,10 +113,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	if !CheckBearer(r, s.Token) {
-		writeJSON(w, http.StatusUnauthorized, map[string]any{"error": "missing or invalid bearer token"})
-		return
-	}
 	var req TrialRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})

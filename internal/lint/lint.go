@@ -6,16 +6,21 @@
 // serializes map iteration order, compares floats exactly, blocks without
 // a context, or drops errors on the floor.
 //
-// The analyzer is stdlib-only (go/ast, go/parser, go/token): it parses the
-// module from source, runs each registered Rule over every package, and
-// reports findings with file:line:column positions. Findings can be
+// The analyzer is stdlib-only (go/ast, go/parser, go/token, go/types): it
+// parses the module from source into one shared token.FileSet, type-checks
+// every package with go/types (module-internal imports resolved from the
+// parsed ASTs, standard-library imports through go/importer), builds a
+// per-module call graph, and runs two kinds of rules over the result:
+// per-package Rules (syntax-level) and ModuleRules (type- and flow-aware,
+// cross-package). Findings carry file:line:column positions and can be
 // silenced one at a time with a directive comment:
 //
 //	//lint:ignore <rule> <reason>
 //
 // placed on the offending line or on the line directly above it. The rule
 // name must match exactly and the reason is mandatory — an ignore without
-// a justification is itself a finding.
+// a justification is itself a finding, and so is a directive that no
+// longer suppresses anything (stale-ignore).
 package lint
 
 import (
@@ -23,6 +28,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -50,11 +56,23 @@ type Package struct {
 	Path string
 	// Dir is the on-disk directory.
 	Dir string
-	// Fset positions every file in the package.
+	// Fset positions every file in the package. All packages returned by
+	// one Load call share a single FileSet so cross-package analyses can
+	// resolve positions uniformly.
 	Fset *token.FileSet
 	// Files maps file names (absolute) to parsed files, including _test.go
 	// files.
 	Files map[string]*ast.File
+	// Types is the type-checked package, populated by NewModule. It is set
+	// even when type checking reported errors (go/types returns a partial
+	// package); it is nil only before NewModule runs.
+	Types *types.Package
+	// TypesInfo records type-checker facts (uses, defs, selections, expr
+	// types) for the package's non-test files. Nil before NewModule runs.
+	TypesInfo *types.Info
+	// TypeErrs holds the type-checker errors for this package, if any.
+	// Type-aware rules skip packages that failed to check.
+	TypeErrs []error
 }
 
 // IsTestFile reports whether name is a _test.go file.
@@ -65,6 +83,19 @@ func (p *Package) SortedFileNames() []string {
 	names := make([]string, 0, len(p.Files))
 	for name := range p.Files {
 		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NonTestFileNames returns the package's non-test file names in
+// deterministic order — the set of files the type checker sees.
+func (p *Package) NonTestFileNames() []string {
+	names := make([]string, 0, len(p.Files))
+	for name := range p.Files {
+		if !IsTestFile(name) {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -82,6 +113,16 @@ type Rule interface {
 	Doc() string
 	// Check inspects pkg and reports findings.
 	Check(pkg *Package, report ReportFunc)
+}
+
+// ModuleRule is a rule that needs the whole type-checked module at once:
+// cross-package flows, the call graph, resolved types. A rule may
+// implement both interfaces; the Runner invokes CheckModule exactly once
+// per run instead of Check per package.
+type ModuleRule interface {
+	Rule
+	// CheckModule inspects the type-checked module and reports findings.
+	CheckModule(mod *Module, report ReportFunc)
 }
 
 // Runner loads packages and applies rules.
@@ -104,6 +145,10 @@ func AllRules() []Rule {
 		CtxBlocking{},
 		ErrDrop{},
 		GoSpawn{},
+		DetermTaint{},
+		LockDiscipline{},
+		GoroutineLeak{},
+		HandlerAuth{},
 	}
 }
 
@@ -158,9 +203,10 @@ func Load(root string, patterns []string) ([]*Package, error) {
 	}
 	sort.Strings(sorted)
 
+	fset := token.NewFileSet()
 	var pkgs []*Package
 	for _, dir := range sorted {
-		pkg, err := loadDir(root, module, dir)
+		pkg, err := loadDir(fset, root, module, dir)
 		if err != nil {
 			return nil, err
 		}
@@ -171,13 +217,13 @@ func Load(root string, patterns []string) ([]*Package, error) {
 	return pkgs, nil
 }
 
-// loadDir parses one directory, returning nil when it holds no Go files.
-func loadDir(root, module, dir string) (*Package, error) {
+// loadDir parses one directory into the shared fset, returning nil when it
+// holds no Go files.
+func loadDir(fset *token.FileSet, root, module, dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	files := map[string]*ast.File{}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
@@ -222,28 +268,42 @@ func moduleName(root string) string {
 	return ""
 }
 
-// Run applies every rule to every package and returns the surviving
-// findings (suppressed ones removed) sorted by position.
+// Run type-checks the module, applies every rule and returns the
+// surviving findings (suppressed ones removed, stale directives added)
+// sorted by position. Syntax rules run per package; ModuleRules run once
+// over the whole type-checked module. Packages whose type check failed
+// are skipped by ModuleRules but still see the syntax rules.
 func (r *Runner) Run(pkgs []*Package) []Finding {
+	mod := NewModule(pkgs)
 	var findings []Finding
-	for _, pkg := range pkgs {
-		var pkgFindings []Finding
-		report := func(rule string, pos token.Pos, format string, args ...any) {
-			p := pkg.Fset.Position(pos)
-			pkgFindings = append(pkgFindings, Finding{
-				Rule:    rule,
-				Pos:     p,
-				File:    p.Filename,
-				Line:    p.Line,
-				Col:     p.Column,
-				Message: fmt.Sprintf(format, args...),
-			})
+	report := func(rule string, pos token.Pos, format string, args ...any) {
+		p := mod.Fset.Position(pos)
+		findings = append(findings, Finding{
+			Rule:    rule,
+			Pos:     p,
+			File:    p.Filename,
+			Line:    p.Line,
+			Col:     p.Column,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, rule := range r.Rules {
+		if mr, ok := rule.(ModuleRule); ok {
+			mr.CheckModule(mod, report)
+			continue
 		}
-		for _, rule := range r.Rules {
+		for _, pkg := range pkgs {
 			rule.Check(pkg, report)
 		}
-		findings = append(findings, applySuppressions(pkg, pkgFindings)...)
 	}
+	findings = r.applySuppressions(pkgs, findings)
+	SortFindings(findings)
+	return findings
+}
+
+// SortFindings orders findings by (file, line, col, rule) — the stable
+// order every consumer (CLI text, -json, goldens) relies on.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -257,5 +317,18 @@ func (r *Runner) Run(pkgs []*Package) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return findings
+}
+
+// Relativize rewrites finding file paths to slash-separated paths
+// relative to root, so tool output is machine-independent (CI artifacts,
+// golden diffs). Findings outside root keep their absolute path. The
+// relative order of findings is preserved.
+func Relativize(findings []Finding, root string) {
+	for i := range findings {
+		rel, err := filepath.Rel(root, findings[i].File)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		findings[i].File = filepath.ToSlash(rel)
+	}
 }

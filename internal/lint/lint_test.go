@@ -82,6 +82,10 @@ func TestRuleGolden(t *testing.T) {
 		{"ctxblocking", CtxBlocking{}},
 		{"errdrop", ErrDrop{}},
 		{"gospawn", GoSpawn{}},
+		{"determtaint", DetermTaint{}},
+		{"lockguard", LockDiscipline{}},
+		{"goleak", GoroutineLeak{}},
+		{"handlerauth", HandlerAuth{}},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -106,8 +110,8 @@ func TestRuleGolden(t *testing.T) {
 
 // TestSuppressDirective runs the full rule suite over the suppression
 // fixture: a well-formed directive silences exactly its named rule, a
-// directive naming another rule silences nothing, and a directive without
-// a reason is reported as bad-ignore.
+// directive naming another rule silences nothing (and is reported stale),
+// and a directive without a reason is reported as bad-ignore.
 func TestSuppressDirective(t *testing.T) {
 	pkgs := loadFixture(t, "suppress")
 	findings := NewRunner().Run(pkgs)
@@ -118,12 +122,16 @@ func TestSuppressDirective(t *testing.T) {
 	}
 	// suppress.go has five rand.Float64 call sites; exactly two directives
 	// are valid (Suppressed, Trailing), so three findings survive plus one
-	// bad-ignore for the reason-less directive.
+	// bad-ignore for the reason-less directive and one stale-ignore for the
+	// wrong-rule directive that silenced nothing.
 	if byRule["nondeterm-rand"] != 3 {
 		t.Errorf("want 3 surviving nondeterm-rand findings, got %d", byRule["nondeterm-rand"])
 	}
 	if byRule[BadIgnoreRule] != 1 {
 		t.Errorf("want 1 %s finding, got %d", BadIgnoreRule, byRule[BadIgnoreRule])
+	}
+	if byRule[StaleIgnoreRule] != 1 {
+		t.Errorf("want 1 %s finding, got %d", StaleIgnoreRule, byRule[StaleIgnoreRule])
 	}
 	checkGolden(t, "suppress", renderFindings(t, "suppress", findings))
 }
@@ -150,6 +158,47 @@ func TestRepoClean(t *testing.T) {
 	findings := NewRunner().Run(pkgs)
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestRelativizeDeterministic pins the machine-independent output
+// contract the CLI's -json mode relies on: relativized paths are
+// slash-separated and root-free, paths outside root survive untouched,
+// and sorting after relativization reproduces the same order every time.
+func TestRelativizeDeterministic(t *testing.T) {
+	root := filepath.Join(string(filepath.Separator), "home", "ci", "repo")
+	mk := func(file string, line int, rule string) Finding {
+		return Finding{Rule: rule, File: file, Line: line, Col: 1, Message: "x"}
+	}
+	findings := []Finding{
+		mk(filepath.Join(root, "b", "b.go"), 9, "err-drop"),
+		mk(filepath.Join(root, "a", "a.go"), 3, "nondeterm-rand"),
+		mk(filepath.Join(root, "a", "a.go"), 3, "determinism-taint"),
+		mk(filepath.Join(string(filepath.Separator), "elsewhere", "x.go"), 1, "go-spawn"),
+	}
+	Relativize(findings, root)
+	SortFindings(findings)
+	got := make([]string, len(findings))
+	for i, f := range findings {
+		got[i] = fmt.Sprintf("%s:%d:%s", f.File, f.Line, f.Rule)
+	}
+	want := []string{
+		filepath.Join(string(filepath.Separator), "elsewhere", "x.go") + ":1:go-spawn",
+		"a/a.go:3:determinism-taint",
+		"a/a.go:3:nondeterm-rand",
+		"b/b.go:9:err-drop",
+	}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order mismatch\n got: %v\nwant: %v", got, want)
+		}
+	}
+	// Idempotence: a second pass must change nothing.
+	before := fmt.Sprint(findings)
+	Relativize(findings, root)
+	SortFindings(findings)
+	if after := fmt.Sprint(findings); after != before {
+		t.Errorf("second Relativize+Sort changed output:\n%s\nvs\n%s", before, after)
 	}
 }
 

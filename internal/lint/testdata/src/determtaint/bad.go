@@ -1,0 +1,44 @@
+// Package determtaint holds the determinism-taint true positives: every
+// flow in this file moves a wall-clock or global-RNG value into the
+// journal, directly or laundered through another package.
+package determtaint
+
+import (
+	"math/rand"
+	"time"
+
+	"src/determtaint/helper"
+	"src/determtaint/internal/journal"
+)
+
+// Direct stores a raw clock read in a record literal.
+func Direct(path string) error {
+	rec := journal.Record{WallMs: float64(time.Now().UnixNano())} // want finding: determinism-taint
+	return journal.Append(path, rec)
+}
+
+// Laundered journals a value produced by a helper in another package —
+// the call site looks clean; only the helper's summary reveals the clock.
+func Laundered(path string) error {
+	v := helper.Stamp()
+	return journal.Append(path, journal.Record{Value: v}) // want finding: determinism-taint
+}
+
+// ParamSink hands a clock-derived value to a helper whose parameter flows
+// into the journal inside the other package.
+func ParamSink(path string, start time.Time) error {
+	return helper.Journal(path, float64(time.Since(start).Milliseconds())) // want finding: determinism-taint
+}
+
+// ClockSeeded draws from an RNG seeded off the wall clock: the taint
+// rides through the constructor into every draw.
+func ClockSeeded(path string) error {
+	r := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return journal.Append(path, journal.Record{Value: r.Float64()}) // want finding: determinism-taint
+}
+
+// FieldWrite assigns a clock read into an existing record's field.
+func FieldWrite(path string, rec *journal.Record) error {
+	rec.WallMs = float64(time.Now().UnixNano()) // want finding: determinism-taint
+	return journal.Append(path, *rec)
+}

@@ -1,0 +1,27 @@
+// Clean flows: everything journaled here comes through the sanctioned
+// seams, so the rule must stay silent about this file.
+package determtaint
+
+import (
+	"math/rand"
+
+	"src/determtaint/internal/journal"
+	"src/determtaint/internal/power"
+)
+
+// SeamTimed journals a wall-clock measurement taken behind the power
+// seam — the sanctioned Stopwatch shape.
+func SeamTimed(path string) error {
+	return journal.Append(path, journal.Record{WallMs: power.WallMs()})
+}
+
+// Seeded draws from an explicitly seeded RNG: deterministic, clean.
+func Seeded(path string, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	return journal.Append(path, journal.Record{Value: r.Float64()})
+}
+
+// Derived journals a value computed purely from inputs.
+func Derived(path string, trial int, score float64) error {
+	return journal.Append(path, journal.Record{Trial: trial, Value: score * 2})
+}

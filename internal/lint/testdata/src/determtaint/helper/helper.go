@@ -1,0 +1,23 @@
+// Package helper launders taint across a package boundary: Stamp returns
+// a wall-clock value and Journal forwards its parameter into the sink.
+// Neither call site inside this package is a finding on its own — the
+// flows only complete in the importing package.
+package helper
+
+import (
+	"time"
+
+	"src/determtaint/internal/journal"
+)
+
+// Stamp returns a wall-clock reading; callers that journal it are caught
+// through this function's summary (returns tainted).
+func Stamp() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+// Journal forwards v into the journal; tainted arguments at call sites
+// are caught through this function's summary (param 1 reaches a sink).
+func Journal(path string, v float64) error {
+	return journal.Append(path, journal.Record{Value: v})
+}

@@ -1,0 +1,18 @@
+// Package journal is a determinism-taint fixture sink: its import path
+// contains the internal/journal segment, so every call into it is a
+// journal-affecting path.
+package journal
+
+// Record mirrors the real trial record shape.
+type Record struct {
+	Trial  int
+	Value  float64
+	WallMs float64
+}
+
+// Append is the sink the rule watches arguments of.
+func Append(path string, rec Record) error {
+	_ = path
+	_ = rec
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package power is the fixture's sanctioned clock seam: its import path
+// contains the internal/power segment, so time reads inside it are exempt
+// sources and its return values are clean.
+package power
+
+import "time"
+
+// WallMs mimics the Stopwatch API: a wall-clock read behind the seam.
+func WallMs() float64 {
+	return float64(time.Now().UnixNano()) / 1e6
+}

@@ -1,0 +1,17 @@
+// Suppressed case: the flow is tainted, but an inline directive with a
+// justification silences it — and because it suppresses a real finding,
+// it is not stale.
+package determtaint
+
+import (
+	"time"
+
+	"src/determtaint/internal/journal"
+)
+
+// DebugStamp intentionally journals a raw timestamp in a debug-only
+// record; the directive documents why that is acceptable here.
+func DebugStamp(path string) error {
+	//lint:ignore determinism-taint fixture: debug-only record, exempt from replay
+	return journal.Append(path, journal.Record{WallMs: float64(time.Now().UnixNano())})
+}

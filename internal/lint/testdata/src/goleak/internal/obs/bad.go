@@ -1,0 +1,37 @@
+// Package obs (fixture) holds the goroutine-leak true positives: the
+// import path carries the internal/obs segment so the rule is in scope.
+package obs
+
+// Pump models the leak-shaped bus drain: an infinite receive loop with no
+// close observation, spawned on its own goroutine.
+type Pump struct {
+	ch   chan int
+	seen int
+}
+
+// drain blocks forever once the producer stops: the single-variable
+// receive never observes a close.
+func (p *Pump) drain() {
+	for {
+		v := <-p.ch
+		p.seen += v
+	}
+}
+
+// Start spawns the leaky drain loop.
+func (p *Pump) Start() {
+	go p.drain() // want finding: goroutine-leak
+}
+
+// StartInline spawns a literal with the same shape: a ticker-style select
+// that never watches ctx.Done().
+func (p *Pump) StartInline(tick <-chan int) {
+	go func() { // want finding: goroutine-leak
+		for {
+			select {
+			case v := <-tick:
+				p.seen += v
+			}
+		}
+	}()
+}

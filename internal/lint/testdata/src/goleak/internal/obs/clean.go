@@ -1,0 +1,78 @@
+// Clean goroutine shapes: every accepted way to run a background loop.
+package obs
+
+import "context"
+
+// StartCtx watches ctx.Done() — the canonical reconcile/heartbeat shape.
+func (p *Pump) StartCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-p.ch:
+				p.seen += v
+			}
+		}
+	}()
+}
+
+// StartRange ranges over the channel and ends when it is closed.
+func (p *Pump) StartRange() {
+	go func() {
+		for v := range p.ch {
+			p.seen += v
+		}
+	}()
+}
+
+// StartCommaOk observes the close through the two-value receive.
+func (p *Pump) StartCommaOk() {
+	go func() {
+		for {
+			v, ok := <-p.ch
+			if !ok {
+				return
+			}
+			p.seen += v
+		}
+	}()
+}
+
+// StartSignal waits on a chan struct{} — the close-signal convention.
+func (p *Pump) StartSignal(stop chan struct{}, tick <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-tick:
+				p.seen += v
+			}
+		}
+	}()
+}
+
+// StartOnce sends a single result into a buffered channel: straight-line
+// channel ops are the caller's contract, not a leak.
+func StartOnce(run func() error) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- run() }()
+	return errc
+}
+
+// StartBounded loops a fixed number of times.
+func StartBounded(n int, ch chan int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+	}()
+}
+
+// StartAudited is a deliberate forever-drain with a justified
+// suppression: the process exits with the daemon, never joins.
+func (p *Pump) StartAudited() {
+	//lint:ignore goroutine-leak fixture: process-lifetime drain, reaped at exit
+	go p.drain()
+}

@@ -1,0 +1,21 @@
+// Package handlerauth holds the handler-auth true positives: mutating
+// routes registered on a ServeMux with nothing between the network and
+// the handler.
+package handlerauth
+
+import "net/http"
+
+// BadRoutes registers open mutating handlers.
+func BadRoutes(a Auth) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /studies", submit)                                               // want finding: handler-auth
+	mux.HandleFunc("DELETE /studies/{id}", func(w http.ResponseWriter, r *http.Request) { // want finding: handler-auth
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.Handle("PUT /specs", http.HandlerFunc(submit)) // want finding: handler-auth
+	return mux
+}
+
+func submit(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusAccepted)
+}

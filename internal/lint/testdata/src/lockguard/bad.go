@@ -1,0 +1,42 @@
+// Package lockguard holds the lock-discipline true positives.
+package lockguard
+
+import "sync"
+
+// Counter is a shared struct with annotated state.
+type Counter struct {
+	mu sync.Mutex
+	// guarded-by: mu
+	n int
+	// guarded-by: mu
+	names []string
+	// guarded-by: missing — the annotation itself is broken here
+	stray int // want finding: guarded-by names unknown field
+}
+
+// BadDirect touches n without taking the lock.
+func (c *Counter) BadDirect() int {
+	return c.n // want finding: lock-discipline
+}
+
+// BadPartial locks for one field but leaks another through a closure that
+// runs on its own goroutine without the lock.
+func (c *Counter) BadPartial() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	go func() {
+		c.names = append(c.names, "late") // want finding: lock-discipline
+	}()
+}
+
+// appendLocked relies on callers holding mu — but one caller below does
+// not, so the one-level inference refuses to bless it.
+func (c *Counter) appendLocked(name string) {
+	c.names = append(c.names, name) // want finding: lock-discipline
+}
+
+// BadCaller calls appendLocked without the lock.
+func (c *Counter) BadCaller(name string) {
+	c.appendLocked(name)
+}

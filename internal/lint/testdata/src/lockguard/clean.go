@@ -1,0 +1,66 @@
+// Clean lock discipline: every access pattern the rule must accept.
+package lockguard
+
+import "sync"
+
+// Gauge is a shared struct whose guarded fields are always accessed
+// correctly.
+type Gauge struct {
+	mu sync.RWMutex
+	// guarded-by: mu
+	value float64
+	// guarded-by: mu
+	marks map[string]int
+}
+
+// Set holds the write lock.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.value = v
+}
+
+// Get holds the read lock.
+func (g *Gauge) Get() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.value
+}
+
+// bumpLocked is the xxxLocked convention: every caller locks, so the
+// one-level inference accepts the bare access.
+func (g *Gauge) bumpLocked(name string) {
+	g.marks[name]++
+}
+
+// Bump locks before delegating.
+func (g *Gauge) Bump(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bumpLocked(name)
+}
+
+// NewGauge touches guarded fields during construction — the value is not
+// published yet, so no lock is needed.
+func NewGauge() *Gauge {
+	g := &Gauge{}
+	g.value = 0
+	g.marks = map[string]int{}
+	return g
+}
+
+// Closure holds the lock inside the literal that runs elsewhere.
+func (g *Gauge) Closure() func() float64 {
+	return func() float64 {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		return g.value
+	}
+}
+
+// Audited reads without the lock on purpose — a single-writer snapshot
+// path — and says so with a justified suppression.
+func (g *Gauge) Audited() float64 {
+	//lint:ignore lock-discipline fixture: racy snapshot read is acceptable for monitoring
+	return g.value
+}

@@ -1,0 +1,26 @@
+// Package staleignore is the stale-suppression fixture: one live
+// directive (suppresses a real finding), one stale directive (its line is
+// clean, so it silences nothing), and one naming a rule outside the
+// suite (never reported — a partial run cannot judge it).
+package staleignore
+
+import "math/rand/v2"
+
+// Live suppresses a real nondeterm-rand finding: not stale.
+func Live() float64 {
+	//lint:ignore nondeterm-rand fixture: the draw below really happens
+	return rand.Float64()
+}
+
+// Stale sits above a line with no finding at all.
+func Stale(x float64) float64 {
+	//lint:ignore nondeterm-rand nothing on the next line draws randomness
+	return x * 2 // want finding: stale-ignore (on the directive line)
+}
+
+// UnknownRule names a rule that does not exist in the suite; the runner
+// cannot know whether it is live, so it is left alone.
+func UnknownRule(x float64) float64 {
+	//lint:ignore no-such-rule directives for unknown rules are not judged
+	return x + 1
+}

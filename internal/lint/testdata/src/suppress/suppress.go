@@ -9,10 +9,11 @@ func Suppressed() float64 {
 	return rand.Float64()
 }
 
-// WrongRule names a different rule, so the finding survives.
+// WrongRule names a different rule, so the finding survives — and the
+// directive itself is reported as stale (it suppresses nothing).
 func WrongRule() float64 {
 	//lint:ignore float-eq this names the wrong rule and must not silence
-	return rand.Float64() // want finding: nondeterm-rand
+	return rand.Float64() // want findings: nondeterm-rand and stale-ignore
 }
 
 // Unsuppressed has no directive at all.

@@ -1,0 +1,63 @@
+// Package typesmoke exercises the lint engine's type checker on modern
+// syntax: generics, type aliases and embedded interfaces. It is not a
+// rule fixture — TestTypecheckModernSyntax only asserts the package
+// checks cleanly, so a go/types regression (or an importer that chokes on
+// instantiation) fails loudly instead of silently disabling every
+// type-aware rule.
+package typesmoke
+
+import "sort"
+
+// Number is a generic constraint with a union.
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+// Sum is a generic function over the constraint.
+func Sum[T Number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Pair is a generic struct with two parameters.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Keys instantiates Pair and returns sorted keys.
+func Keys(ps []Pair[string, float64]) []string {
+	out := make([]string, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, p.Key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scalar is a type alias (old form) and Vec a generic alias use.
+type Scalar = float64
+
+// Ranker embeds an interface — method sets must flatten correctly.
+type Ranker interface {
+	sort.Interface
+	Rank(i int) Scalar
+}
+
+// TopRank runs a Ranker through both embedded and direct methods.
+func TopRank(r Ranker) Scalar {
+	sort.Sort(r)
+	if r.Len() == 0 {
+		return 0
+	}
+	return r.Rank(0)
+}
+
+// Apply takes a generic function value — instantiation as an expression.
+func Apply(xs []float64) float64 {
+	f := Sum[float64]
+	return f(xs)
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+)
+
+// Module is the type-checked view of one Load result: every package
+// checked with go/types against a single shared FileSet, plus the
+// module-internal call graph. Module-internal imports resolve straight
+// from the parsed ASTs (so fixture trees under testdata type-check with
+// fake import paths), standard-library imports resolve through the
+// compiler's export data with a source-importer fallback.
+//
+// Type checking is best-effort: a package that fails to check records its
+// errors in Package.TypeErrs and is skipped by type-aware rules, while
+// syntax rules keep running over it. NewModule never fails.
+type Module struct {
+	// Fset is the FileSet shared by every package in the module.
+	Fset *token.FileSet
+	// Pkgs are the module's packages in Load order (sorted by directory).
+	Pkgs []*Package
+	// Graph is the module-internal call graph over non-test code.
+	Graph *CallGraph
+
+	byPath   map[string]*Package
+	imp      *moduleImporter
+	done     map[*Package]bool
+	checking map[string]bool
+}
+
+// NewModule type-checks pkgs (which must share one FileSet, as Load
+// guarantees) and builds the call graph.
+func NewModule(pkgs []*Package) *Module {
+	fset := token.NewFileSet()
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	m := &Module{
+		Fset:     fset,
+		Pkgs:     pkgs,
+		byPath:   make(map[string]*Package, len(pkgs)),
+		done:     map[*Package]bool{},
+		checking: map[string]bool{},
+	}
+	for _, p := range pkgs {
+		m.byPath[p.Path] = p
+	}
+	m.imp = &moduleImporter{mod: m, std: map[string]*types.Package{}, errs: map[string]error{}}
+	for _, p := range pkgs {
+		// Check errors land in p.TypeErrs; a failed package is skipped by
+		// type-aware rules, never fatal.
+		_, _ = m.ensure(p)
+	}
+	m.Graph = buildCallGraph(m)
+	return m
+}
+
+// PkgByPath returns the module package with the given import path, or nil.
+func (m *Module) PkgByPath(path string) *Package { return m.byPath[path] }
+
+// Checked reports whether the package type-checked without errors —
+// the gate type-aware rules use before trusting TypesInfo.
+func (p *Package) Checked() bool { return p.TypesInfo != nil && len(p.TypeErrs) == 0 }
+
+// ensure type-checks p once, memoized; imports of other module packages
+// recurse through the importer. Only non-test files are checked — every
+// rule skips test files, and in-dir _test.go files may belong to an
+// external test package anyway.
+func (m *Module) ensure(p *Package) (*types.Package, error) {
+	if m.done[p] {
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: package %s has no checkable files", p.Path)
+		}
+		return p.Types, nil
+	}
+	if m.checking[p.Path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", p.Path)
+	}
+	m.checking[p.Path] = true
+	defer delete(m.checking, p.Path)
+
+	var files []*ast.File
+	for _, name := range p.NonTestFileNames() {
+		files = append(files, p.Files[name])
+	}
+	if len(files) == 0 {
+		m.done[p] = true
+		return nil, fmt.Errorf("lint: package %s has no checkable files", p.Path)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer:    m.imp,
+		FakeImportC: true,
+		Error:       func(err error) { p.TypeErrs = append(p.TypeErrs, err) },
+	}
+	path := p.Path
+	if path == "" {
+		path = "module"
+	}
+	tpkg, err := conf.Check(path, p.Fset, files, info)
+	if err != nil && len(p.TypeErrs) == 0 {
+		p.TypeErrs = append(p.TypeErrs, err)
+	}
+	p.Types = tpkg
+	p.TypesInfo = info
+	m.done[p] = true
+	if tpkg == nil {
+		return nil, err
+	}
+	return tpkg, nil
+}
+
+// moduleImporter resolves imports in three layers: module-internal
+// packages from their parsed source, "unsafe" specially, and everything
+// else (the standard library) through the gc export-data importer with a
+// source importer fallback. Results and failures are memoized.
+type moduleImporter struct {
+	mod  *Module
+	std  map[string]*types.Package
+	errs map[string]error
+	gc   types.Importer
+	src  types.Importer
+}
+
+// Import implements types.Importer.
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := im.mod.byPath[path]; p != nil {
+		return im.mod.ensure(p)
+	}
+	if pkg := im.std[path]; pkg != nil {
+		return pkg, nil
+	}
+	if err := im.errs[path]; err != nil {
+		return nil, err
+	}
+	if im.gc == nil {
+		im.gc = importer.Default()
+	}
+	pkg, err := im.gc.Import(path)
+	if err != nil {
+		if im.src == nil {
+			im.src = importer.ForCompiler(im.mod.Fset, "source", nil)
+		}
+		var srcErr error
+		pkg, srcErr = im.src.Import(path)
+		if srcErr != nil {
+			err = fmt.Errorf("lint: import %q: %v (source fallback: %v)", path, err, srcErr)
+			im.errs[path] = err
+			return nil, err
+		}
+	}
+	im.std[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoTypechecks loads the whole module and requires every package to
+// type-check cleanly through the engine's importer stack. TestRepoClean
+// silently skips unchecked packages for type-aware rules, so this test is
+// what keeps that degradation from hiding a broken importer forever.
+func TestRepoTypechecks(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := NewModule(pkgs)
+	for _, pkg := range mod.Pkgs {
+		if !pkg.Checked() {
+			for _, e := range pkg.TypeErrs {
+				t.Errorf("%s: type error: %v", pkg.Path, e)
+			}
+			if len(pkg.TypeErrs) == 0 {
+				t.Errorf("%s: no type info", pkg.Path)
+			}
+		}
+	}
+	if len(mod.Graph.DeclOf) == 0 {
+		t.Fatal("call graph is empty for the whole module")
+	}
+}
+
+// TestTypecheckModernSyntax pins the engine on generics, type aliases and
+// embedded interfaces: the fixture must check without a single error and
+// survive the full rule suite silently.
+func TestTypecheckModernSyntax(t *testing.T) {
+	pkgs := loadFixture(t, "typesmoke")
+	mod := NewModule(pkgs)
+	for _, pkg := range mod.Pkgs {
+		for _, e := range pkg.TypeErrs {
+			t.Errorf("%s: type error: %v", pkg.Path, e)
+		}
+		if pkg.TypesInfo == nil {
+			t.Fatalf("%s: engine produced no type info", pkg.Path)
+		}
+	}
+	if findings := NewRunner().Run(pkgs); len(findings) != 0 {
+		for _, f := range findings {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// TestCallGraphCrossPackage asserts the call graph links callers across
+// package boundaries — what one-level holder inference and taint
+// summaries both stand on.
+func TestCallGraphCrossPackage(t *testing.T) {
+	pkgs := loadFixture(t, "determtaint")
+	mod := NewModule(pkgs)
+	helper := mod.PkgByPath("src/determtaint/helper")
+	if helper == nil || !helper.Checked() {
+		t.Fatalf("helper package missing or unchecked: %+v", helper)
+	}
+	stamp, ok := helper.Types.Scope().Lookup("Stamp").(*types.Func)
+	if !ok {
+		t.Fatal("helper.Stamp not found in type info")
+	}
+	callers := mod.Graph.Callers[stamp]
+	if len(callers) == 0 {
+		t.Fatal("no callers recorded for helper.Stamp across packages")
+	}
+	found := false
+	for _, c := range callers {
+		if c.Name() == "Laundered" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected Laundered among Stamp's callers, got %v", callers)
+	}
+}
+
+// TestStaleIgnore runs the full suite over the stale fixture: the live
+// directive survives, the stale one is reported, the unknown-rule one is
+// left alone.
+func TestStaleIgnore(t *testing.T) {
+	pkgs := loadFixture(t, "staleignore")
+	findings := NewRunner().Run(pkgs)
+	stale := 0
+	for _, f := range findings {
+		if f.Rule != StaleIgnoreRule {
+			t.Errorf("unexpected non-stale finding: %s", f)
+			continue
+		}
+		stale++
+	}
+	if stale != 1 {
+		t.Errorf("want exactly 1 stale-ignore finding, got %d", stale)
+	}
+	checkGolden(t, "staleignore", renderFindings(t, "staleignore", findings))
+}

@@ -68,10 +68,12 @@ func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 // scheduler or executor. Subscriptions live in a slice (not a map) so
 // fan-out order is deterministic.
 type Bus struct {
-	clock  *power.Stopwatch
-	seq    atomic.Uint64
-	mu     sync.Mutex
-	subs   []*Subscription
+	clock *power.Stopwatch
+	seq   atomic.Uint64
+	mu    sync.Mutex
+	// guarded-by: mu
+	subs []*Subscription
+	// guarded-by: mu
 	closed bool
 }
 

@@ -125,9 +125,11 @@ type instrument struct {
 // and sorted by name at exposition time, so output order is
 // deterministic regardless of registration order.
 type Registry struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// guarded-by: mu
 	byName map[string]bool
-	fams   []*instrument
+	// guarded-by: mu
+	fams []*instrument
 }
 
 // NewRegistry returns an empty registry.

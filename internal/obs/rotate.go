@@ -22,8 +22,10 @@ type rotatingFile struct {
 	mu       sync.Mutex
 	path     string
 	maxBytes int64
-	f        *os.File
-	n        int64
+	// guarded-by: mu
+	f *os.File
+	// guarded-by: mu
+	n int64
 }
 
 // openRotating opens (truncating, matching OpenTracer) the rotating file

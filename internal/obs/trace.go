@@ -21,7 +21,8 @@ type Tracer struct {
 	done chan struct{}
 	once sync.Once
 	mu   sync.Mutex
-	err  error
+	// guarded-by: mu
+	err error
 }
 
 // traceBuffer is the subscription depth for tracers: deep enough to ride

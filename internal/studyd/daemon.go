@@ -79,7 +79,8 @@ type Daemon struct {
 	// with the executor's InUse it yields the scheduler queue depth.
 	inflight atomic.Int64
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// guarded-by: mu
 	stopped bool
 }
 

@@ -55,14 +55,20 @@ type ManagedStudy struct {
 	// carry it verbatim so every worker rebuilds the identical objective.
 	rawSpec []byte
 
-	mu         sync.Mutex
-	status     Status
-	errMsg     string
+	mu sync.Mutex
+	// guarded-by: mu
+	status Status
+	// guarded-by: mu
+	errMsg string
+	// guarded-by: mu
 	journalErr string
-	trials     []core.Trial
-	resumed    int // trials seeded from the journal at load time
-	cancel     context.CancelFunc
-	done       chan struct{}
+	// guarded-by: mu
+	trials []core.Trial
+	// guarded-by: mu
+	resumed int // trials seeded from the journal at load time
+	// guarded-by: mu
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 // Status returns the study's current lifecycle state.
@@ -261,10 +267,13 @@ type Store struct {
 	// store (0 = single-file journals, the legacy layout).
 	journalMax int64
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// guarded-by: mu
 	studies map[string]*ManagedStudy
-	order   []string
-	nextID  int
+	// guarded-by: mu
+	order []string
+	// guarded-by: mu
+	nextID int
 }
 
 // OpenStore opens (creating if needed) the state directory and loads every
