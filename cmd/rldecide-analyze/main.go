@@ -1,0 +1,213 @@
+// Command rldecide-analyze turns a study's recorded artifacts into
+// decisions: trace span summaries with straggler flagging, trajectory
+// attribution (which recorded episodes most influenced the final
+// policy), and counterfactual rollouts (what a different action at a
+// recorded decision point would have returned). It is the offline
+// companion to studyd's /studies/{id}/analysis/{kind} endpoints and
+// reads the same files the daemon writes.
+//
+// Usage:
+//
+//	rldecide-analyze traces          [-trace PATH | -url URL -study ID] [-k 3]
+//	rldecide-analyze attribution     [-traj PATH  | -url URL -study ID] [-clusters 4]
+//	rldecide-analyze counterfactuals [-traj PATH  | -url URL -study ID] [-horizon 20] [-stride 5] [-top 10]
+//
+// Offline mode reads artifacts straight from a state directory: -trace
+// points at the daemon's trace stream (rotated segments are found
+// automatically; a torn final line is tolerated like any journal), and
+// -traj points at a study's <id>.trajectories.jsonl. With -url the tool
+// instead fetches the report from a running daemon (or through
+// rldecide-router, which proxies study reads to the owning shard).
+//
+// Every analyzer is deterministic: the same inputs produce byte-identical
+// reports, so reports can be diffed across runs and cached safely.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"rldecide/internal/analysis"
+	"rldecide/internal/journal"
+	"rldecide/internal/rl"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "traces":
+		err = runTraces(args)
+	case "attribution":
+		err = runAttribution(args)
+	case "counterfactuals":
+		err = runCounterfactuals(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "rldecide-analyze: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rldecide-analyze: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `rldecide-analyze <command> [flags]
+
+Commands:
+  traces           span summaries + stragglers from a trace stream
+  attribution      cluster-and-ablate influence of recorded trajectories
+  counterfactuals  alternative-action rollouts from recorded decision points
+
+Each command reads local artifacts (-trace / -traj) or fetches the
+report from a daemon (-url http://HOST:PORT -study ID).
+`)
+}
+
+func runTraces(args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace stream path (trace.jsonl; rotated segments found automatically)")
+	study := fs.String("study", "", "restrict to one study's events (required with -url)")
+	k := fs.Float64("k", 3, "straggler threshold: flag trials slower than k times the p50")
+	url := fs.String("url", "", "fetch from a daemon instead: base URL (requires -study)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url != "" {
+		return fetch(*url, *study, studydKindTraces)
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("traces needs -trace PATH or -url URL -study ID")
+	}
+	events, err := analysis.ReadTrace(*tracePath)
+	if err != nil && !errors.Is(err, journal.ErrTruncated) {
+		return err
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rldecide-analyze: note: %v (analyzing the valid prefix)\n", err)
+	}
+	rep := analysis.AnalyzeTrace(events, analysis.TraceOptions{Study: *study, StragglerK: *k})
+	return emit(rep)
+}
+
+func runAttribution(args []string) error {
+	fs := flag.NewFlagSet("attribution", flag.ExitOnError)
+	traj := fs.String("traj", "", "trajectory journal path (<id>.trajectories.jsonl)")
+	clusters := fs.Int("clusters", 4, "number of trajectory clusters")
+	study := fs.String("study", "", "study ID (required with -url)")
+	url := fs.String("url", "", "fetch from a daemon instead: base URL (requires -study)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url != "" {
+		return fetch(*url, *study, studydKindAttribution)
+	}
+	if *traj == "" {
+		return fmt.Errorf("attribution needs -traj PATH or -url URL -study ID")
+	}
+	eps, err := loadEpisodes(*traj)
+	if err != nil {
+		return err
+	}
+	rep, err := analysis.AnalyzeAttribution(eps, analysis.AttributionOptions{Clusters: *clusters})
+	if err != nil {
+		return err
+	}
+	return emit(rep)
+}
+
+func runCounterfactuals(args []string) error {
+	fs := flag.NewFlagSet("counterfactuals", flag.ExitOnError)
+	traj := fs.String("traj", "", "trajectory journal path (<id>.trajectories.jsonl)")
+	horizon := fs.Int("horizon", 20, "pilot-policy steps rolled out after each branch")
+	stride := fs.Int("stride", 5, "probe every stride-th recorded step")
+	top := fs.Int("top", 10, "decision points reported, most regretful first")
+	study := fs.String("study", "", "study ID (required with -url)")
+	url := fs.String("url", "", "fetch from a daemon instead: base URL (requires -study)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url != "" {
+		return fetch(*url, *study, studydKindCounterfactuals)
+	}
+	if *traj == "" {
+		return fmt.Errorf("counterfactuals needs -traj PATH or -url URL -study ID")
+	}
+	eps, err := loadEpisodes(*traj)
+	if err != nil {
+		return err
+	}
+	rep, err := analysis.AnalyzeCounterfactuals(eps, analysis.CounterfactualOptions{
+		Horizon: *horizon, Stride: *stride, TopN: *top,
+	})
+	if err != nil {
+		return err
+	}
+	return emit(rep)
+}
+
+// The endpoint kind segments, mirroring studyd's route constants.
+const (
+	studydKindTraces          = "traces"
+	studydKindAttribution     = "attribution"
+	studydKindCounterfactuals = "counterfactuals"
+)
+
+// fetch retrieves a cached-or-computed report over the daemon API (or
+// via the router, which proxies study GETs to the owning shard).
+func fetch(base, study, kind string) error {
+	if study == "" {
+		return fmt.Errorf("-url needs -study ID")
+	}
+	resp, err := http.Get(base + "/studies/" + study + "/analysis/" + kind)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s analysis: %s: %s", kind, resp.Status, body)
+	}
+	// Re-indent for terminal reading; the wire format is compact JSON.
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		return err
+	}
+	return emit(v)
+}
+
+// loadEpisodes reads a trajectory journal, tolerating a torn tail.
+func loadEpisodes(path string) ([]rl.Episode, error) {
+	eps, err := analysis.ReadEpisodes(path)
+	if err != nil && !errors.Is(err, journal.ErrTruncated) {
+		return nil, err
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rldecide-analyze: note: %v (analyzing the valid prefix)\n", err)
+	}
+	return eps, nil
+}
+
+// emit writes a report as indented JSON on stdout.
+func emit(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

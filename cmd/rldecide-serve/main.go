@@ -9,7 +9,8 @@
 //	               [-exec local|fleet] [-name NAME]
 //	               [-token TOKEN] [-tokens tenant=token:slots,...]
 //	               [-journal-max-bytes N] [-trace-max-bytes N]
-//	               [-drain 30s] [-trace] [-debug-addr 127.0.0.1:6060]
+//	               [-drain 30s] [-trace] [-analysis]
+//	               [-debug-addr 127.0.0.1:6060]
 //
 // With -exec fleet the daemon executes no trials itself: it dispatches
 // them to rldecide-worker daemons that register over HTTP and stay live
@@ -25,7 +26,11 @@
 // single-daemon layout, which is unchanged.
 //
 // -trace writes a per-trial span stream (trace.jsonl in the state
-// directory) off the daemon's event bus. -journal-max-bytes and
+// directory) off the daemon's event bus. -analysis additionally journals
+// the trajectories of locally executed trials (one
+// <id>.trajectories.jsonl per study) for the decision-analysis endpoints
+// and rldecide-analyze; like tracing, it never changes trial results
+// (see docs/analysis.md). -journal-max-bytes and
 // -trace-max-bytes cap journal/trace file sizes, rotating into numbered
 // segments (0 = unbounded). -debug-addr serves the pprof suite and a
 // /metrics exposition on a second listener, kept separate so profiling
@@ -48,6 +53,9 @@
 //	GET  /studies/{id}         one study's summary
 //	GET  /studies/{id}/trials  finished trials so far
 //	GET  /studies/{id}/front   current Pareto ranking
+//	GET  /studies/{id}/analysis/{kind}
+//	                           decision-analysis report (traces |
+//	                           attribution | counterfactuals)
 //	POST /studies/{id}/cancel  stop a study (resumable later)
 //	POST /studies/{id}/adopt   take ownership of a stranded study
 //	GET  /workers              live fleet members
@@ -79,6 +87,7 @@ func main() {
 		traceMax   = flag.Int64("trace-max-bytes", 0, "rotate the trace stream past this size (0 = unbounded)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		trace      = flag.Bool("trace", false, "write a per-trial trace stream (trace.jsonl) to the state directory")
+		analyze    = flag.Bool("analysis", false, "journal trial trajectories for the decision-analysis endpoints")
 		debugAddr  = flag.String("debug-addr", "", "optional second listener for pprof + /metrics (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
@@ -96,6 +105,7 @@ func main() {
 		Token:           *token,
 		Auth:            daemon.NewAuth(*token, tenants),
 		Trace:           *trace,
+		Analysis:        *analyze,
 		JournalMaxBytes: *journalMax,
 		TraceMaxBytes:   *traceMax,
 	})

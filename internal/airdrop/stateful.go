@@ -1,0 +1,46 @@
+package airdrop
+
+import (
+	"fmt"
+
+	"rldecide/internal/gym"
+)
+
+// snapDim is the airdrop snapshot layout: the 7-dimensional ODE state,
+// the effective wind and decaying gust vectors, the simulation clock,
+// the step counter, the landed flag, the solver-error estimate and its
+// refresh tick, and the latched brake command.
+const snapDim = stateDim + 2 + 2 + 6
+
+// Snapshot implements gym.StatefulEnv. The RNG stream (observation
+// noise, gust draws) is not captured — pair Restore with Seed for
+// reproducible branches, per the gym.StatefulEnv contract.
+func (e *Env) Snapshot(dst []float64) []float64 {
+	dst = append(dst, e.state[:]...)
+	dst = append(dst, e.wind[0], e.wind[1], e.gust[0], e.gust[1])
+	landed := 0.0
+	if e.landed {
+		landed = 1
+	}
+	return append(dst, e.t, float64(e.steps), landed, e.errLvl, float64(e.errTick), e.u)
+}
+
+// Restore implements gym.StatefulEnv.
+func (e *Env) Restore(snap []float64) error {
+	if len(snap) != snapDim {
+		return fmt.Errorf("airdrop: snapshot needs %d values, got %d", snapDim, len(snap))
+	}
+	copy(e.state[:], snap[:stateDim])
+	e.wind = [2]float64{snap[stateDim], snap[stateDim+1]}
+	e.gust = [2]float64{snap[stateDim+2], snap[stateDim+3]}
+	rest := snap[stateDim+4:]
+	e.t = rest[0]
+	e.steps = int(rest[1])
+	e.landed = rest[2] != 0
+	e.errLvl = rest[3]
+	e.errTick = int(rest[4])
+	e.u = rest[5]
+	return nil
+}
+
+var _ gym.StatefulEnv = (*Env)(nil)

@@ -1,0 +1,400 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rldecide/internal/rl"
+)
+
+// AttributionOptions tunes AnalyzeAttribution. Zero values take
+// defaults.
+type AttributionOptions struct {
+	// Clusters is the number of trajectory clusters k (default 4, capped
+	// at the episode count).
+	Clusters int `json:"clusters,omitempty"`
+	// MaxProbes caps the decision-probe set the ablation is scored on
+	// (default 256).
+	MaxProbes int `json:"max_probes,omitempty"`
+	// MaxRefSteps caps the behavior-reference step set (default 4096).
+	MaxRefSteps int `json:"max_ref_steps,omitempty"`
+}
+
+// EpisodeRef identifies one recorded episode in a report.
+type EpisodeRef struct {
+	Trial  int     `json:"trial"`
+	Index  int     `json:"index"`
+	Return float64 `json:"return"`
+}
+
+// AttributionCluster is one trajectory cluster with its influence score:
+// the fraction of probed decisions the data-derived behavior policy
+// changes when the cluster's trajectories are removed from the data.
+type AttributionCluster struct {
+	Cluster    int          `json:"cluster"`
+	Size       int          `json:"size"`
+	Steps      int          `json:"steps"`
+	MeanReturn float64      `json:"mean_return"`
+	Influence  float64      `json:"influence"`
+	Episodes   []EpisodeRef `json:"episodes"`
+}
+
+// AttributionReport scores which recorded trajectories most influenced
+// the final policy, in the cluster-and-ablate shape of the
+// trajectory-attribution literature: embed every episode as a fixed
+// vector, cluster the embeddings, and measure each cluster's influence
+// by ablating it from the data behind a behavior policy and counting the
+// decisions that flip.
+type AttributionReport struct {
+	Episodes int `json:"episodes"`
+	Steps    int `json:"steps"`
+	K        int `json:"k"`
+	Probes   int `json:"probes"`
+	// Clusters in cluster-id order; Ranking is the cluster ids by
+	// influence, most influential first.
+	Clusters []AttributionCluster `json:"clusters"`
+	Ranking  []int                `json:"ranking"`
+	// Top lists the most representative episodes (closest to centroid)
+	// of the most influential cluster.
+	Top []EpisodeRef `json:"top,omitempty"`
+}
+
+// AnalyzeAttribution runs cluster-and-ablate attribution over recorded
+// trajectories. Everything is deterministic: episodes are consumed in
+// canonical order, clustering uses farthest-first initialization (no
+// randomness), and all ties break toward the lower index — identical
+// journals yield byte-identical reports.
+//
+// The "retrain without this data" step of the published method is
+// approximated by a nonparametric behavior policy: a 1-nearest-neighbor
+// lookup from observation to recorded action over the (possibly ablated)
+// step set. A cluster whose removal flips many of the probed decisions
+// contributed decisions no other data covers — the influence signal.
+func AnalyzeAttribution(episodes []rl.Episode, opts AttributionOptions) (AttributionReport, error) {
+	if opts.Clusters <= 0 {
+		opts.Clusters = 4
+	}
+	if opts.MaxProbes <= 0 {
+		opts.MaxProbes = 256
+	}
+	if opts.MaxRefSteps <= 0 {
+		opts.MaxRefSteps = 4096
+	}
+	if len(episodes) == 0 {
+		return AttributionReport{}, fmt.Errorf("analysis: attribution needs at least one recorded episode")
+	}
+	obsDim := 0
+	for _, ep := range episodes {
+		if len(ep.Obs) > 0 {
+			obsDim = len(ep.Obs[0])
+			break
+		}
+	}
+	if obsDim == 0 {
+		return AttributionReport{}, fmt.Errorf("analysis: recorded episodes carry no observations")
+	}
+
+	// Embed: [normalized length, return, mean obs, final obs].
+	var embeds [][]float64
+	var kept []rl.Episode
+	for _, ep := range episodes {
+		if len(ep.Obs) == 0 || len(ep.Obs[0]) != obsDim {
+			continue
+		}
+		kept = append(kept, ep)
+		embeds = append(embeds, embedEpisode(ep, obsDim))
+	}
+	totalSteps := 0
+	for _, ep := range kept {
+		totalSteps += ep.Len()
+	}
+
+	k := opts.Clusters
+	if k > len(kept) {
+		k = len(kept)
+	}
+	assign, centroids := kmeans(embeds, k)
+
+	// Step sets: the reference set the behavior policy looks actions up
+	// in, and the probe set the ablation is scored on. Both subsample
+	// with a deterministic stride.
+	type step struct {
+		cluster int
+		obs     []float64
+		act     float64
+	}
+	var refs []step
+	refStride := strideFor(totalSteps, opts.MaxRefSteps)
+	seen := 0
+	for e, ep := range kept {
+		for t := 0; t < ep.Len(); t++ {
+			if len(ep.Obs) <= t || len(ep.Act) <= t || len(ep.Act[t]) == 0 {
+				continue
+			}
+			if seen%refStride == 0 {
+				refs = append(refs, step{cluster: assign[e], obs: ep.Obs[t], act: ep.Act[t][0]})
+			}
+			seen++
+		}
+	}
+	probeStride := strideFor(len(refs), opts.MaxProbes)
+	var probes []step
+	for i := 0; i < len(refs); i += probeStride {
+		probes = append(probes, refs[i])
+	}
+
+	// Baseline decision per probe under the full data, then per-cluster
+	// ablated decisions. exclude < 0 means "nothing excluded".
+	decide := func(obs []float64, exclude int) (float64, bool) {
+		best := math.Inf(1)
+		act := 0.0
+		found := false
+		for _, r := range refs {
+			if r.cluster == exclude {
+				continue
+			}
+			d := sqDist(obs, r.obs)
+			if d < best {
+				best = d
+				act = r.act
+				found = true
+			}
+		}
+		return act, found
+	}
+	base := make([]float64, len(probes))
+	for i, p := range probes {
+		base[i], _ = decide(p.obs, -1)
+	}
+
+	rep := AttributionReport{Episodes: len(kept), Steps: totalSteps, K: k, Probes: len(probes)}
+	for c := 0; c < k; c++ {
+		cl := AttributionCluster{Cluster: c}
+		retSum := 0.0
+		for e, ep := range kept {
+			if assign[e] != c {
+				continue
+			}
+			cl.Size++
+			cl.Steps += ep.Len()
+			retSum += ep.Return
+			cl.Episodes = append(cl.Episodes, EpisodeRef{Trial: ep.Trial, Index: ep.Index, Return: ep.Return})
+		}
+		if cl.Size > 0 {
+			cl.MeanReturn = retSum / float64(cl.Size)
+		}
+		flipped := 0
+		scored := 0
+		for i, p := range probes {
+			act, found := decide(p.obs, c)
+			if !found {
+				// Removing this cluster removes all data: every decision
+				// it covered is lost.
+				flipped++
+				scored++
+				continue
+			}
+			scored++
+			if int(act) != int(base[i]) {
+				flipped++
+			}
+		}
+		if scored > 0 {
+			cl.Influence = float64(flipped) / float64(scored)
+		}
+		rep.Clusters = append(rep.Clusters, cl)
+	}
+
+	rep.Ranking = make([]int, k)
+	for i := range rep.Ranking {
+		rep.Ranking[i] = i
+	}
+	sort.SliceStable(rep.Ranking, func(i, j int) bool {
+		return rep.Clusters[rep.Ranking[i]].Influence > rep.Clusters[rep.Ranking[j]].Influence
+	})
+
+	// Top episodes: the most influential cluster's members, closest to
+	// its centroid first.
+	if k > 0 {
+		top := rep.Ranking[0]
+		type scored struct {
+			ref  EpisodeRef
+			dist float64
+			ord  int
+		}
+		var members []scored
+		for e, ep := range kept {
+			if assign[e] != top {
+				continue
+			}
+			members = append(members, scored{
+				ref:  EpisodeRef{Trial: ep.Trial, Index: ep.Index, Return: ep.Return},
+				dist: sqDist(embeds[e], centroids[top]),
+				ord:  e,
+			})
+		}
+		sort.SliceStable(members, func(i, j int) bool {
+			if members[i].dist < members[j].dist {
+				return true
+			}
+			if members[i].dist > members[j].dist {
+				return false
+			}
+			return members[i].ord < members[j].ord
+		})
+		if len(members) > 5 {
+			members = members[:5]
+		}
+		for _, m := range members {
+			rep.Top = append(rep.Top, m.ref)
+		}
+	}
+	return rep, nil
+}
+
+// embedEpisode maps an episode to [len/100, return, mean obs..., final
+// obs...] — a fixed 2·obsDim+2 vector.
+func embedEpisode(ep rl.Episode, obsDim int) []float64 {
+	out := make([]float64, 0, 2*obsDim+2)
+	out = append(out, float64(ep.Len())/100, ep.Return)
+	mean := make([]float64, obsDim)
+	n := 0
+	for _, o := range ep.Obs {
+		if len(o) != obsDim {
+			continue
+		}
+		for i, v := range o {
+			mean[i] += v
+		}
+		n++
+	}
+	if n > 0 {
+		for i := range mean {
+			mean[i] /= float64(n)
+		}
+	}
+	out = append(out, mean...)
+	return append(out, ep.Obs[len(ep.Obs)-1]...)
+}
+
+// strideFor returns the subsampling stride that keeps n items under cap.
+func strideFor(n, cap int) int {
+	if n <= cap {
+		return 1
+	}
+	return (n + cap - 1) / cap
+}
+
+// sqDist is the squared Euclidean distance over the common prefix.
+func sqDist(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kmeans clusters points into k groups deterministically: centroids are
+// initialized by farthest-first traversal from the global mean (no
+// randomness) and refined with a fixed number of Lloyd iterations; all
+// ties break toward the lower index.
+func kmeans(points [][]float64, k int) (assign []int, centroids [][]float64) {
+	n := len(points)
+	assign = make([]int, n)
+	if n == 0 || k <= 0 {
+		return assign, nil
+	}
+	dim := len(points[0])
+	mean := make([]float64, dim)
+	for _, p := range points {
+		for i, v := range p {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(n)
+	}
+	// Farthest-first: seed with the point farthest from the global mean,
+	// then repeatedly add the point farthest from its nearest centroid.
+	centroids = make([][]float64, 0, k)
+	pick := farthest(points, [][]float64{mean})
+	centroids = append(centroids, clone(points[pick]))
+	for len(centroids) < k {
+		pick = farthest(points, centroids)
+		centroids = append(centroids, clone(points[pick]))
+	}
+	for iter := 0; iter < 25; iter++ {
+		changed := false
+		for i, p := range points {
+			best := 0
+			bd := sqDist(p, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := sqDist(p, centroids[c]); d < bd {
+					bd = d
+					best = c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		for c := range centroids {
+			for i := range centroids[c] {
+				centroids[c][i] = 0
+			}
+		}
+		counts := make([]int, k)
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				centroids[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Empty cluster: re-seed at the point farthest from the
+				// non-empty centroids (deterministic).
+				copy(centroids[c], points[farthest(points, centroids)])
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	return assign, centroids
+}
+
+// farthest returns the index of the point with the greatest
+// nearest-centroid distance (lowest index on ties).
+func farthest(points, centroids [][]float64) int {
+	best := -1
+	bd := -1.0
+	for i, p := range points {
+		nd := math.Inf(1)
+		for _, c := range centroids {
+			if d := sqDist(p, c); d < nd {
+				nd = d
+			}
+		}
+		if nd > bd {
+			bd = nd
+			best = i
+		}
+	}
+	return best
+}
+
+// clone copies a vector.
+func clone(v []float64) []float64 { return append([]float64(nil), v...) }

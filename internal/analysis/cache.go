@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Envelope is the on-disk sidecar format for a cached analysis report:
+// the report itself plus the fingerprint of the inputs it was computed
+// from, so a cache hit can be validated against the current artifacts
+// without recomputing anything.
+type Envelope struct {
+	Kind        string          `json:"kind"`
+	Study       string          `json:"study"`
+	Fingerprint string          `json:"fingerprint"`
+	Report      json.RawMessage `json:"report"`
+}
+
+// Fingerprint summarizes a set of input files as "name:size" pairs in
+// sorted order. Sizes only — analyses read append-only journals, where
+// growth is the only mutation that matters, and hashing multi-megabyte
+// trace files on every cache probe would cost more than some analyses.
+// Missing files contribute "name:-" so appearance or disappearance also
+// invalidates.
+func Fingerprint(paths ...string) string {
+	parts := make([]string, 0, len(paths))
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			parts = append(parts, filepath.Base(p)+":-")
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s:%d", filepath.Base(p), st.Size()))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// CachePath names the sidecar file for one study's analysis kind,
+// alongside the study's other artifacts.
+func CachePath(dir, study, kind string) string {
+	return filepath.Join(dir, study+".analysis-"+kind+".json")
+}
+
+// LoadCached reads a sidecar envelope and returns its report if the
+// stored fingerprint matches fingerprint. Any miss — absent file,
+// unparsable envelope, stale fingerprint — returns (nil, false); the
+// cache never turns an analysis into an error.
+func LoadCached(path, kind, fingerprint string) (json.RawMessage, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, false
+	}
+	if env.Kind != kind || env.Fingerprint != fingerprint || len(env.Report) == 0 {
+		return nil, false
+	}
+	return env.Report, true
+}
+
+// SaveCached writes a sidecar envelope atomically (tmp + rename), so a
+// concurrent reader never observes a torn cache file.
+func SaveCached(path, kind, study, fingerprint string, report any) error {
+	raw, err := json.Marshal(report)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(Envelope{Kind: kind, Study: study, Fingerprint: fingerprint, Report: raw})
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

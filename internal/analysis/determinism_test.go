@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rldecide/internal/gym"
+)
+
+// TestStatefulEnvContract exercises every registered environment's
+// snapshot/restore seam: a restored branch must replay exactly like a
+// second restored branch under the same seed (common random numbers),
+// and snapshots must round-trip.
+func TestStatefulEnvContract(t *testing.T) {
+	for _, name := range Envs() {
+		t.Run(name, func(t *testing.T) {
+			spec, err := LookupEnv(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, ok := spec.Maker(7).(gym.StatefulEnv)
+			if !ok {
+				t.Fatalf("registered env %q does not implement gym.StatefulEnv", name)
+			}
+			// Advance into the episode so the snapshot is non-trivial.
+			obs := env.Reset()
+			for i := 0; i < 5; i++ {
+				res := env.Step(spec.Pilot.Act(obs))
+				obs = res.Obs
+				if res.Done {
+					obs = env.Reset()
+				}
+			}
+			snap := env.Snapshot(nil)
+
+			branch := func(action []float64) []float64 {
+				env.Seed(99)
+				env.Reset()
+				if err := env.Restore(append([]float64(nil), snap...)); err != nil {
+					t.Fatal(err)
+				}
+				res := env.Step(action)
+				rews := []float64{res.Reward}
+				for j := 0; j < 10 && !res.Done; j++ {
+					res = env.Step(spec.Pilot.Act(res.Obs))
+					rews = append(rews, res.Reward)
+				}
+				return rews
+			}
+			a := branch([]float64{0})
+			b := branch([]float64{0})
+			ja, _ := json.Marshal(a)
+			jb, _ := json.Marshal(b)
+			if string(ja) != string(jb) {
+				t.Fatalf("restored branches diverge under the same seed:\n%s\n%s", ja, jb)
+			}
+
+			// Restore + Snapshot round-trips.
+			env.Seed(99)
+			env.Reset()
+			if err := env.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			again := env.Snapshot(nil)
+			js, _ := json.Marshal(snap)
+			jg, _ := json.Marshal(again)
+			if string(js) != string(jg) {
+				t.Fatalf("snapshot does not round-trip:\n%s\n%s", js, jg)
+			}
+
+			// Malformed snapshots are rejected, not absorbed.
+			if err := env.Restore([]float64{1}); err == nil {
+				t.Fatal("Restore accepted a snapshot of the wrong arity")
+			}
+		})
+	}
+}
+
+// TestAttributionDeterminism: identical recorded fleets yield
+// byte-identical attribution reports, run after run.
+func TestAttributionDeterminism(t *testing.T) {
+	eps := recordFleet(t, 3, 4)
+	r1, err := AnalyzeAttribution(eps, AttributionOptions{Clusters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run over a freshly recorded (but identical) fleet.
+	r2, err := AnalyzeAttribution(recordFleet(t, 3, 4), AttributionOptions{Clusters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if string(j1) != string(j2) {
+		t.Fatalf("attribution reports diverge across runs:\n%s\n%s", j1, j2)
+	}
+	if r1.Episodes != 12 || r1.K != 3 || len(r1.Clusters) != 3 {
+		t.Fatalf("report shape: %+v", r1)
+	}
+	total := 0
+	for _, c := range r1.Clusters {
+		total += c.Size
+	}
+	if total != 12 {
+		t.Fatalf("cluster sizes sum to %d, want 12", total)
+	}
+	if len(r1.Ranking) != 3 || len(r1.Top) == 0 {
+		t.Fatalf("ranking/top missing: %+v", r1)
+	}
+	for i := 1; i < len(r1.Ranking); i++ {
+		if r1.Clusters[r1.Ranking[i-1]].Influence < r1.Clusters[r1.Ranking[i]].Influence {
+			t.Fatalf("ranking not sorted by influence: %+v", r1)
+		}
+	}
+
+	if _, err := AnalyzeAttribution(nil, AttributionOptions{}); err == nil {
+		t.Fatal("attribution over zero episodes should error")
+	}
+}
+
+// TestCounterfactualDeterminism: same journal, same rankings — byte for
+// byte — and the factual branch is always present at each decision point.
+func TestCounterfactualDeterminism(t *testing.T) {
+	eps := recordFleet(t, 2, 3)
+	opts := CounterfactualOptions{Horizon: 10, Stride: 7, TopN: 5}
+	r1, err := AnalyzeCounterfactuals(eps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := AnalyzeCounterfactuals(recordFleet(t, 2, 3), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if string(j1) != string(j2) {
+		t.Fatalf("counterfactual reports diverge across runs:\n%s\n%s", j1, j2)
+	}
+	if r1.Episodes != 6 || r1.Points == 0 || len(r1.Top) == 0 || len(r1.Top) > 5 {
+		t.Fatalf("report shape: %+v", r1)
+	}
+	for _, dp := range r1.Top {
+		if dp.Env != "steer1d" || len(dp.Branches) != 3 { // factual + 2 alternatives of Discrete(3)
+			t.Fatalf("decision point: %+v", dp)
+		}
+		if !dp.Branches[0].Factual {
+			t.Fatalf("first branch is not the factual one: %+v", dp)
+		}
+		if dp.Regret < 0 {
+			t.Fatalf("negative regret (best excludes factual?): %+v", dp)
+		}
+	}
+	// Ranked by regret, descending.
+	for i := 1; i < len(r1.Top); i++ {
+		if r1.Top[i-1].Regret < r1.Top[i].Regret {
+			t.Fatalf("top not sorted by regret: %+v", r1.Top)
+		}
+	}
+
+	// Episodes without snapshots or with unknown envs are skipped; all
+	// skipped is an error.
+	bare := recordFleet(t, 1, 1)
+	bare[0].States = nil
+	if _, err := AnalyzeCounterfactuals(bare, opts); err == nil {
+		t.Fatal("snapshot-less episodes should not be branchable")
+	}
+}

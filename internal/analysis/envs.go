@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rldecide/internal/airdrop"
+	"rldecide/internal/gym"
+	"rldecide/internal/gym/toy"
+	"rldecide/internal/rl"
+)
+
+// EnvSpec is one entry of the analysis environment registry: how to
+// rebuild the environment a trajectory was recorded on, and a scripted
+// pilot policy to continue rollouts with after a counterfactual branch.
+// Analysis cannot execute arbitrary code named by an on-disk journal, so
+// — exactly like the daemon's objective registry — every environment a
+// recorded episode may name must be registered in-process.
+type EnvSpec struct {
+	Maker gym.EnvMaker
+	Pilot rl.Policy
+}
+
+var (
+	envMu       sync.RWMutex
+	envRegistry = map[string]EnvSpec{}
+)
+
+// RegisterEnv makes an environment available to the counterfactual
+// analyzer under the given name, replacing any previous registration.
+func RegisterEnv(name string, maker gym.EnvMaker, pilot rl.Policy) {
+	if name == "" || maker == nil || pilot == nil {
+		panic("analysis: RegisterEnv needs a name, a maker and a pilot policy")
+	}
+	envMu.Lock()
+	defer envMu.Unlock()
+	envRegistry[name] = EnvSpec{Maker: maker, Pilot: pilot}
+}
+
+// LookupEnv resolves a registered environment.
+func LookupEnv(name string) (EnvSpec, error) {
+	envMu.RLock()
+	spec, ok := envRegistry[name]
+	envMu.RUnlock()
+	if !ok {
+		return EnvSpec{}, fmt.Errorf("analysis: unknown environment %q (registered: %v)", name, Envs())
+	}
+	return spec, nil
+}
+
+// Envs lists the registered environment names, sorted.
+func Envs() []string {
+	envMu.RLock()
+	defer envMu.RUnlock()
+	out := make([]string, 0, len(envRegistry))
+	for name := range envRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	RegisterEnv("chain", toy.MakeChain(9), rl.PolicyFunc(chainPilot))
+	RegisterEnv("steer1d", toy.MakeSteer1D(), rl.PolicyFunc(steer1DPilot))
+	RegisterEnv("airdrop", airdrop.Make(airdrop.NewConfig()), airdrop.Autopilot{})
+}
+
+// chainPilot always walks right — the optimal Chain policy.
+func chainPilot([]float64) []float64 { return []float64{1} }
+
+// steer1DPilot is a proportional controller for Steer1D: drive velocity
+// toward the value that lands at the origin when the time budget runs
+// out. Observation = (pos, vel, time-left fraction); the default horizon
+// is 60 steps.
+func steer1DPilot(obs []float64) []float64 {
+	pos, vel := obs[0], obs[1]
+	left := obs[2] * 60
+	if left < 1 {
+		left = 1
+	}
+	want := -pos / left
+	switch {
+	case vel > want+0.04:
+		return []float64{0}
+	case vel < want-0.04:
+		return []float64{2}
+	default:
+		return []float64{1}
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"sort"
+
+	"rldecide/internal/obs"
+)
+
+// TraceOptions tunes AnalyzeTrace. Zero values take defaults.
+type TraceOptions struct {
+	// Study filters the stream to one study's events ("" keeps all).
+	Study string `json:"study,omitempty"`
+	// StragglerK flags trials slower than K times the p50 trial duration
+	// (default 3; straggler detection needs at least 4 finished trials).
+	StragglerK float64 `json:"straggler_k,omitempty"`
+}
+
+// WorkerSummary aggregates the trial spans attributed to one worker.
+type WorkerSummary struct {
+	Worker string      `json:"worker"`
+	Trials SpanSummary `json:"trials"`
+}
+
+// Straggler is a trial whose duration exceeded StragglerK times the p50.
+type Straggler struct {
+	Study      string  `json:"study,omitempty"`
+	Trial      int     `json:"trial"`
+	Worker     string  `json:"worker,omitempty"`
+	DurationMs float64 `json:"duration_ms"`
+	// Ratio is DurationMs over the population p50.
+	Ratio float64 `json:"ratio"`
+}
+
+// TraceReport is the trace analyzer's output: span latency summaries per
+// population and per worker, plus the straggler list, all in canonical
+// (sorted) order so identical streams render byte-identical reports.
+type TraceReport struct {
+	Study      string          `json:"study,omitempty"`
+	Events     int             `json:"events"`
+	Studies    []string        `json:"studies,omitempty"`
+	Trials     SpanSummary     `json:"trials"`
+	Dispatches SpanSummary     `json:"dispatches"`
+	Workers    []WorkerSummary `json:"workers,omitempty"`
+	StragglerK float64         `json:"straggler_k"`
+	Stragglers []Straggler     `json:"stragglers,omitempty"`
+}
+
+// trialKey identifies one trial span across studies.
+type trialKey struct {
+	study string
+	trial int
+}
+
+// dispatchKey identifies one dispatch attempt.
+type dispatchKey struct {
+	study   string
+	trial   int
+	attempt int
+}
+
+// AnalyzeTrace summarizes a trace stream: trial spans (trial_start →
+// trial_done), dispatch spans (dispatch → dispatch_done), per-worker
+// latency distributions, and stragglers. Durations come from the bus's
+// monotonic t_ms stamps; unmatched starts (trials still running, or cut
+// off by a torn tail) are simply not counted.
+func AnalyzeTrace(events []obs.Event, opts TraceOptions) TraceReport {
+	if opts.StragglerK <= 0 {
+		opts.StragglerK = 3
+	}
+	rep := TraceReport{Study: opts.Study, StragglerK: opts.StragglerK}
+
+	type span struct {
+		start  float64
+		end    float64
+		worker string
+		closed bool
+	}
+	trials := map[trialKey]*span{}
+	dispatches := map[dispatchKey]*span{}
+	studies := map[string]bool{}
+	var trialOrder []trialKey
+
+	for _, ev := range events {
+		if opts.Study != "" && ev.Study != opts.Study {
+			continue
+		}
+		rep.Events++
+		if ev.Study != "" {
+			studies[ev.Study] = true
+		}
+		switch ev.Kind {
+		case obs.KindTrialStart:
+			k := trialKey{ev.Study, ev.Trial}
+			if _, ok := trials[k]; !ok {
+				trialOrder = append(trialOrder, k)
+			}
+			trials[k] = &span{start: ev.TMs}
+		case obs.KindTrialDone:
+			if s, ok := trials[trialKey{ev.Study, ev.Trial}]; ok && !s.closed {
+				s.end = ev.TMs
+				s.worker = ev.Worker
+				s.closed = true
+			}
+		case obs.KindDispatch:
+			dispatches[dispatchKey{ev.Study, ev.Trial, ev.Attempt}] = &span{start: ev.TMs}
+		case obs.KindDispatchEnd:
+			if s, ok := dispatches[dispatchKey{ev.Study, ev.Trial, ev.Attempt}]; ok && !s.closed {
+				s.end = ev.TMs
+				s.closed = true
+			}
+		}
+	}
+
+	for s := range studies {
+		rep.Studies = append(rep.Studies, s)
+	}
+	sort.Strings(rep.Studies)
+
+	var trialDur []float64
+	byWorker := map[string][]float64{}
+	type closedTrial struct {
+		key    trialKey
+		worker string
+		dur    float64
+	}
+	var closed []closedTrial
+	for _, k := range trialOrder {
+		s := trials[k]
+		if !s.closed {
+			continue
+		}
+		d := s.end - s.start
+		trialDur = append(trialDur, d)
+		byWorker[s.worker] = append(byWorker[s.worker], d)
+		closed = append(closed, closedTrial{key: k, worker: s.worker, dur: d})
+	}
+	rep.Trials = summarize(trialDur)
+
+	var dispatchDur []float64
+	for _, s := range dispatches {
+		if s.closed {
+			dispatchDur = append(dispatchDur, s.end-s.start)
+		}
+	}
+	rep.Dispatches = summarize(dispatchDur)
+
+	workers := make([]string, 0, len(byWorker))
+	for w := range byWorker {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+	for _, w := range workers {
+		rep.Workers = append(rep.Workers, WorkerSummary{Worker: w, Trials: summarize(byWorker[w])})
+	}
+
+	// Straggler flagging needs a meaningful p50: require a few trials.
+	if len(closed) >= 4 && rep.Trials.P50Ms > 0 {
+		cut := opts.StragglerK * rep.Trials.P50Ms
+		for _, c := range closed {
+			if c.dur > cut {
+				rep.Stragglers = append(rep.Stragglers, Straggler{
+					Study:      c.key.study,
+					Trial:      c.key.trial,
+					Worker:     c.worker,
+					DurationMs: c.dur,
+					Ratio:      c.dur / rep.Trials.P50Ms,
+				})
+			}
+		}
+		sort.Slice(rep.Stragglers, func(i, j int) bool {
+			a, b := rep.Stragglers[i], rep.Stragglers[j]
+			if a.Ratio > b.Ratio {
+				return true
+			}
+			if a.Ratio < b.Ratio {
+				return false
+			}
+			if a.Study != b.Study {
+				return a.Study < b.Study
+			}
+			return a.Trial < b.Trial
+		})
+	}
+	return rep
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rldecide/internal/journal"
+	"rldecide/internal/obs"
+)
+
+// span emits a trial_start/trial_done pair.
+func span(study string, trial int, worker string, start, dur float64) []obs.Event {
+	return []obs.Event{
+		{TMs: start, Kind: obs.KindTrialStart, Study: study, Trial: trial},
+		{TMs: start + dur, Kind: obs.KindTrialDone, Study: study, Trial: trial, Worker: worker, Status: "ok"},
+	}
+}
+
+func TestAnalyzeTrace(t *testing.T) {
+	var events []obs.Event
+	// Four normal trials and one straggler (10x the p50) on worker b.
+	events = append(events, span("s1", 1, "a", 0, 10)...)
+	events = append(events, span("s1", 2, "a", 5, 10)...)
+	events = append(events, span("s1", 3, "b", 10, 12)...)
+	events = append(events, span("s1", 4, "b", 15, 100)...)
+	events = append(events, span("s2", 1, "a", 0, 10)...) // other study
+	events = append(events,
+		obs.Event{TMs: 0, Kind: obs.KindDispatch, Study: "s1", Trial: 1, Attempt: 1},
+		obs.Event{TMs: 4, Kind: obs.KindDispatchEnd, Study: "s1", Trial: 1, Attempt: 1},
+		// Unmatched start: a trial still running must not be counted.
+		obs.Event{TMs: 50, Kind: obs.KindTrialStart, Study: "s1", Trial: 5},
+	)
+
+	rep := AnalyzeTrace(events, TraceOptions{Study: "s1"})
+	if rep.Trials.Count != 4 {
+		t.Fatalf("closed trials = %d, want 4", rep.Trials.Count)
+	}
+	if rep.Dispatches.Count != 1 {
+		t.Fatalf("closed dispatches = %d, want 1", rep.Dispatches.Count)
+	}
+	if len(rep.Workers) != 2 || rep.Workers[0].Worker != "a" || rep.Workers[1].Worker != "b" {
+		t.Fatalf("workers = %+v, want sorted a, b", rep.Workers)
+	}
+	if rep.Workers[0].Trials.Count != 2 {
+		t.Fatalf("worker a trials = %d, want 2", rep.Workers[0].Trials.Count)
+	}
+	if len(rep.Stragglers) != 1 {
+		t.Fatalf("stragglers = %+v, want exactly trial 4", rep.Stragglers)
+	}
+	s := rep.Stragglers[0]
+	if s.Trial != 4 || s.Worker != "b" || s.Ratio < 9 {
+		t.Fatalf("straggler = %+v", s)
+	}
+	if len(rep.Studies) != 1 || rep.Studies[0] != "s1" {
+		t.Fatalf("studies = %v, want [s1]", rep.Studies)
+	}
+
+	// Unfiltered, both studies appear and the p50 shifts; the report stays
+	// deterministic across repeated runs.
+	all1, _ := json.Marshal(AnalyzeTrace(events, TraceOptions{}))
+	all2, _ := json.Marshal(AnalyzeTrace(events, TraceOptions{}))
+	if string(all1) != string(all2) {
+		t.Fatalf("AnalyzeTrace is not deterministic:\n%s\n%s", all1, all2)
+	}
+}
+
+// writeLines writes JSONL events (plus an optional raw tail) to path.
+func writeLines(t *testing.T, path string, events []obs.Event, tail string) {
+	t.Helper()
+	var b strings.Builder
+	for _, ev := range events {
+		j, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(j)
+		b.WriteByte('\n')
+	}
+	b.WriteString(tail)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadTraceRotatedAndTorn is the torn-tail satellite: a rotated
+// trace (sealed segments plus an active file whose final line was cut by
+// a crash) yields every valid event and an error wrapping
+// journal.ErrTruncated — the same contract trial journals honor.
+func TestReadTraceRotatedAndTorn(t *testing.T) {
+	dir := t.TempDir()
+	active := filepath.Join(dir, "trace.jsonl")
+
+	var sealed0, sealed1, live []obs.Event
+	for i := 0; i < 3; i++ {
+		sealed0 = append(sealed0, obs.Event{Seq: uint64(i), Kind: obs.KindTrialStart, Study: "s1", Trial: i})
+		sealed1 = append(sealed1, obs.Event{Seq: uint64(10 + i), Kind: obs.KindTrialDone, Study: "s1", Trial: i})
+		live = append(live, obs.Event{Seq: uint64(20 + i), Kind: obs.KindDispatch, Study: "s1", Trial: i})
+	}
+	// Segment files as obs.OpenTracerRotating seals them: <base>-<n>.<ext>.
+	writeLines(t, filepath.Join(dir, "trace-0.jsonl"), sealed0, "")
+	writeLines(t, filepath.Join(dir, "trace-1.jsonl"), sealed1, "")
+	writeLines(t, active, live, `{"seq":99,"kind":"trial_`) // torn mid-flush
+
+	events, err := ReadTrace(active)
+	if !errors.Is(err, journal.ErrTruncated) {
+		t.Fatalf("torn tail: err = %v, want ErrTruncated", err)
+	}
+	if len(events) != 9 {
+		t.Fatalf("got %d events, want 9 (3 per segment)", len(events))
+	}
+	// Segment order: sealed by index, then the active file.
+	if events[0].Seq != 0 || events[3].Seq != 10 || events[6].Seq != 20 {
+		t.Fatalf("segment order broken: seqs %d %d %d", events[0].Seq, events[3].Seq, events[6].Seq)
+	}
+
+	// A torn line in a SEALED segment is corruption, not a tail.
+	writeLines(t, filepath.Join(dir, "trace-0.jsonl"), sealed0, "{torn")
+	if _, err := ReadTrace(active); err == nil || errors.Is(err, journal.ErrTruncated) {
+		t.Fatalf("sealed-segment corruption: err = %v, want a hard error", err)
+	}
+	writeLines(t, filepath.Join(dir, "trace-0.jsonl"), sealed0, "")
+
+	// Mid-file corruption in the active file is also a hard error.
+	var b strings.Builder
+	j, _ := json.Marshal(live[0])
+	b.Write(j)
+	b.WriteString("\n{corrupt}\n")
+	j, _ = json.Marshal(live[1])
+	b.Write(j)
+	b.WriteByte('\n')
+	if err := os.WriteFile(active, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(active); err == nil || errors.Is(err, journal.ErrTruncated) {
+		t.Fatalf("mid-file corruption: err = %v, want a hard error", err)
+	}
+
+	// A missing trace is empty, not broken.
+	events, err = ReadTrace(filepath.Join(dir, "never-traced.jsonl"))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("missing trace: events=%d err=%v, want 0, nil", len(events), err)
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	durs := make([]float64, 100)
+	for i := range durs {
+		durs[i] = float64(i + 1) // 1..100
+	}
+	s := summarize(durs)
+	if s.Count != 100 || s.P50Ms != 50 || s.P99Ms != 99 || s.MaxMs != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := summarize(nil)
+	if empty.Count != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+	one := summarize([]float64{7})
+	if one.P50Ms != 7 || one.P99Ms != 7 || one.MeanMs != 7 {
+		t.Fatalf("single summary = %+v", one)
+	}
+}

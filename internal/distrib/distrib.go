@@ -27,6 +27,7 @@ import (
 
 	"rldecide/internal/cluster"
 	"rldecide/internal/gym"
+	"rldecide/internal/rl"
 	"rldecide/internal/rl/ppo"
 	"rldecide/internal/rl/sac"
 )
@@ -94,6 +95,12 @@ type TrainConfig struct {
 	// Cluster overrides the simulated hardware (defaults to the paper's
 	// testbed dimensions with the requested Nodes/Cores).
 	Cluster *cluster.Config
+
+	// EpisodeSink, when non-nil, receives every final-evaluation episode
+	// as a recorded trajectory (rl.Episode) for offline decision
+	// analysis. Recording is passive: the run's results are identical
+	// with the sink attached or nil.
+	EpisodeSink rl.EpisodeSink
 }
 
 func (c *TrainConfig) withDefaults() (TrainConfig, error) {

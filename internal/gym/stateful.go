@@ -1,0 +1,31 @@
+package gym
+
+// StatefulEnv is implemented by environments whose complete dynamical
+// state can be exported as a flat vector and re-imported later — the
+// snapshot/restore seam the decision-analysis subsystem builds
+// counterfactual rollouts on: save the state at a decision point, then
+// branch the episode under alternative actions.
+//
+// The snapshot covers everything Step reads except the RNG stream
+// (math/rand/v2 generators do not expose their state): position,
+// velocities, counters, latched flags. Callers that need reproducible
+// branches therefore pair Restore with Seed — after
+//
+//	env.Seed(s)
+//	env.Restore(snap)
+//
+// two environments fed identical actions produce identical StepResults.
+// Using the same seed for every branch of one decision point gives
+// common random numbers across the alternatives, so return differences
+// measure the action, not the noise draw.
+type StatefulEnv interface {
+	Env
+	// Snapshot appends the full dynamical state to dst (allocating when
+	// dst is nil) and returns it. The encoding is env-specific but stable
+	// for a given environment type.
+	Snapshot(dst []float64) []float64
+	// Restore loads a vector produced by Snapshot on an environment of
+	// the same type and configuration. It replaces any in-progress
+	// episode; the environment is ready to Step immediately.
+	Restore(snap []float64) error
+}

@@ -5,6 +5,7 @@
 package toy
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 
@@ -69,6 +70,21 @@ func (c *Chain) Step(action []float64) gym.StepResult {
 	return res
 }
 
+// Snapshot implements gym.StatefulEnv: [pos, steps].
+func (c *Chain) Snapshot(dst []float64) []float64 {
+	return append(dst, float64(c.pos), float64(c.steps))
+}
+
+// Restore implements gym.StatefulEnv.
+func (c *Chain) Restore(snap []float64) error {
+	if len(snap) != 2 {
+		return fmt.Errorf("toy: Chain snapshot needs 2 values, got %d", len(snap))
+	}
+	c.pos = int(snap[0])
+	c.steps = int(snap[1])
+	return nil
+}
+
 // Steer1D is a one-dimensional "precision landing": the agent starts at a
 // random horizontal offset with a fixed descent time budget and steers
 // left/coast/right; at the final step the reward is -|position|/scale.
@@ -130,6 +146,22 @@ func (s *Steer1D) Step(action []float64) gym.StepResult {
 		res.Reward = -math.Abs(s.pos) / s.Scale
 	}
 	return res
+}
+
+// Snapshot implements gym.StatefulEnv: [pos, vel, t].
+func (s *Steer1D) Snapshot(dst []float64) []float64 {
+	return append(dst, s.pos, s.vel, float64(s.t))
+}
+
+// Restore implements gym.StatefulEnv.
+func (s *Steer1D) Restore(snap []float64) error {
+	if len(snap) != 3 {
+		return fmt.Errorf("toy: Steer1D snapshot needs 3 values, got %d", len(snap))
+	}
+	s.pos = snap[0]
+	s.vel = snap[1]
+	s.t = int(snap[2])
+	return nil
 }
 
 // Steer1DC is the continuous-action variant of Steer1D: the action is a

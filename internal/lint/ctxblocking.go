@@ -26,11 +26,11 @@ func (CtxBlocking) Name() string { return "ctx-blocking" }
 
 // Doc implements Rule.
 func (CtxBlocking) Doc() string {
-	return "exported blocking funcs in internal/{core,studyd,executor,daemon,shard} take ctx first"
+	return "exported blocking funcs in internal/{core,studyd,executor,daemon,shard,analysis} take ctx first"
 }
 
 // ctxScopes are the package path segment sequences the rule applies to.
-var ctxScopes = []string{"internal/core", "internal/studyd", "internal/executor", "internal/daemon", "internal/shard"}
+var ctxScopes = []string{"internal/core", "internal/studyd", "internal/executor", "internal/daemon", "internal/shard", "internal/analysis"}
 
 // Check implements Rule.
 func (r CtxBlocking) Check(pkg *Package, report ReportFunc) {

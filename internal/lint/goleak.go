@@ -35,7 +35,7 @@ func (GoroutineLeak) Check(pkg *Package, report ReportFunc) {}
 
 // goleakScopes are the package path segments the rule applies to — the
 // concurrent control plane and the daemon mains.
-var goleakScopes = []string{"internal/executor", "internal/studyd", "internal/shard", "internal/obs", "internal/daemon", "cmd"}
+var goleakScopes = []string{"internal/executor", "internal/studyd", "internal/shard", "internal/obs", "internal/daemon", "internal/analysis", "cmd"}
 
 // CheckModule implements ModuleRule.
 func (r GoroutineLeak) CheckModule(mod *Module, report ReportFunc) {

@@ -13,6 +13,9 @@ func BadRoutes(a Auth) *http.ServeMux {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.Handle("PUT /specs", http.HandlerFunc(submit)) // want finding: handler-auth
+	// A hypothetical mutating analysis route must be guarded like any
+	// other write — only the GET report reads stay open.
+	mux.HandleFunc("POST /studies/{id}/analysis/recompute", submit) // want finding: handler-auth
 	return mux
 }
 

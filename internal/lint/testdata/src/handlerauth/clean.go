@@ -22,7 +22,8 @@ func CheckBearer(r *http.Request) bool { return r.Header.Get("Authorization") !=
 // CleanRoutes covers every accepted shape.
 func CleanRoutes(a Auth) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /studies", submit) // reads stay open by design
+	mux.HandleFunc("GET /studies", submit)                      // reads stay open by design
+	mux.HandleFunc("GET /studies/{id}/analysis/{kind}", submit) // analysis reports are reads
 	mux.HandleFunc("POST /studies", a.Require(submit))
 	mux.HandleFunc("POST /submit", a.RequireTenant(func(w http.ResponseWriter, r *http.Request, tenant string) {}))
 	mux.HandleFunc("POST /run", guardedInline)

@@ -97,6 +97,42 @@ func (r *rotatingFile) Close() error {
 
 var _ io.WriteCloser = (*rotatingFile)(nil)
 
+// TraceFiles lists the on-disk files of a (possibly rotated) trace
+// stream in read order: sealed <base>-<n>.<ext> segments sorted by
+// index, then the active file at path itself. Non-numeric suffixes are
+// skipped, so per-daemon streams sharing a directory (trace-alpha.jsonl
+// next to trace-beta.jsonl) never pick up each other's segments. A
+// stream that never rotated yields just the active file; a path that
+// does not exist yields an empty list, not an error.
+func TraceFiles(path string) ([]string, error) {
+	ext := filepath.Ext(path)
+	base := strings.TrimSuffix(path, ext)
+	glob, err := filepath.Glob(base + "-*" + ext)
+	if err != nil {
+		return nil, err
+	}
+	type seg struct {
+		idx  int
+		path string
+	}
+	var segs []seg
+	for _, g := range glob {
+		idx := strings.TrimSuffix(strings.TrimPrefix(g, base+"-"), ext)
+		if k, err := strconv.Atoi(idx); err == nil {
+			segs = append(segs, seg{idx: k, path: g})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].idx < segs[j].idx })
+	out := make([]string, 0, len(segs)+1)
+	for _, s := range segs {
+		out = append(out, s.path)
+	}
+	if _, err := os.Stat(path); err == nil {
+		out = append(out, path)
+	}
+	return out, nil
+}
+
 // OpenTracerRotating is OpenTracer with size-capped rotation: the trace
 // stream rolls to <base>-<n>.jsonl segments so long-lived campaigns are
 // bounded on disk. maxBytes <= 0 behaves exactly like OpenTracer.

@@ -1,0 +1,67 @@
+package rl
+
+import (
+	"rldecide/internal/gym"
+)
+
+// Episode is one recorded trajectory: the per-step (state, action,
+// reward) journal the decision-analysis subsystem consumes. Obs carries
+// the observation the policy acted on; States carries the environment's
+// full dynamical snapshot at the same decision points when the env
+// implements gym.StatefulEnv (the counterfactual-rollout input), and is
+// nil otherwise. Recording is passive — it copies data the episode
+// produced anyway and consumes no randomness — so a run records the
+// same trajectory it would have produced unrecorded (the replay
+// contract).
+type Episode struct {
+	// Trial and Index identify the episode within a study: the trial it
+	// was evaluated under and its ordinal within that trial.
+	Trial int `json:"trial,omitempty"`
+	Index int `json:"index"`
+	// Env names the environment in the analysis registry; Seed is the
+	// seed the environment was created with for this episode.
+	Env  string `json:"env,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+
+	Obs    [][]float64 `json:"obs"`
+	States [][]float64 `json:"states,omitempty"`
+	Act    [][]float64 `json:"act"`
+	Rew    []float64   `json:"rew"`
+	Return float64     `json:"return"`
+}
+
+// Len returns the number of recorded steps.
+func (e *Episode) Len() int { return len(e.Act) }
+
+// EpisodeSink receives recorded episodes. Implementations must treat the
+// episode as immutable; the recorder hands over ownership of its slices.
+type EpisodeSink interface {
+	Record(ep Episode)
+}
+
+// RecordEpisode runs policy for one full episode on env and returns the
+// recorded trajectory alongside nothing the plain evaluation loop would
+// not have computed: observations, snapshots (for gym.StatefulEnv
+// implementations), actions and rewards are copied, never fed back, so
+// the episode's return is exactly what Evaluate would report for the
+// same env state and policy.
+func RecordEpisode(env gym.Env, policy Policy) Episode {
+	var ep Episode
+	se, stateful := env.(gym.StatefulEnv)
+	obs := env.Reset()
+	for {
+		ep.Obs = append(ep.Obs, append([]float64(nil), obs...))
+		if stateful {
+			ep.States = append(ep.States, se.Snapshot(nil))
+		}
+		act := policy.Act(obs)
+		ep.Act = append(ep.Act, append([]float64(nil), act...))
+		res := env.Step(act)
+		ep.Rew = append(ep.Rew, res.Reward)
+		ep.Return += res.Reward
+		obs = res.Obs
+		if res.Done {
+			return ep
+		}
+	}
+}

@@ -6,13 +6,16 @@ import (
 	"fmt"
 	"log"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"rldecide/internal/analysis"
 	"rldecide/internal/daemon"
 	"rldecide/internal/executor"
 	"rldecide/internal/obs"
+	"rldecide/internal/rl"
 )
 
 // Config configures a daemon.
@@ -57,6 +60,12 @@ type Config struct {
 	// dispatch, worker lifecycle). Purely informational: campaign
 	// journals and fronts are byte-identical with tracing on or off.
 	Trace bool
+	// Analysis, when set, journals the trajectories of locally executed
+	// trials to <Dir>/<id>.trajectories.jsonl (one rl.Episode per line)
+	// for the decision-analysis endpoints. Like Trace, it is provably
+	// off the result path: journals and fronts are byte-identical with
+	// analysis on or off.
+	Analysis bool
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -70,6 +79,14 @@ type Daemon struct {
 	bus    *obs.Bus
 	tracer *obs.Tracer
 	reg    *obs.Registry
+
+	// tracePath is where this daemon's trace stream lives (whether or
+	// not tracing is enabled) — the trace-analysis endpoint reads it.
+	tracePath string
+
+	epMu sync.Mutex
+	// guarded-by: epMu
+	epWriters map[string]*analysis.EpisodeWriter
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -131,16 +148,20 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	d := &Daemon{cfg: cfg, store: store, exec: exec, fleet: fleet, bus: bus, ctx: ctx, cancel: cancel}
+	d := &Daemon{cfg: cfg, store: store, exec: exec, fleet: fleet, bus: bus, ctx: ctx, cancel: cancel,
+		epWriters: map[string]*analysis.EpisodeWriter{}}
 	d.reg = d.newRegistry()
+	name := "trace.jsonl"
+	if cfg.Name != "" {
+		// Daemons sharing a state directory must not fight over one
+		// trace file.
+		name = "trace-" + cfg.Name + ".jsonl"
+	}
+	// The path is fixed whether or not tracing is on: the trace-analysis
+	// endpoint summarizes whatever stream exists at it.
+	d.tracePath = filepath.Join(cfg.Dir, name)
 	if cfg.Trace {
-		name := "trace.jsonl"
-		if cfg.Name != "" {
-			// Daemons sharing a state directory must not fight over one
-			// trace file.
-			name = "trace-" + cfg.Name + ".jsonl"
-		}
-		tracer, err := obs.OpenTracerRotating(bus, filepath.Join(cfg.Dir, name), cfg.TraceMaxBytes)
+		tracer, err := obs.OpenTracerRotating(bus, d.tracePath, cfg.TraceMaxBytes)
 		if err != nil {
 			cancel()
 			return nil, fmt.Errorf("studyd: opening trace stream: %w", err)
@@ -243,6 +264,30 @@ func (d *Daemon) Adopt(id string) (*ManagedStudy, error) {
 	return m, nil
 }
 
+// trajPath names a study's trajectory journal inside the state
+// directory, alongside its spec and trial journal.
+func (d *Daemon) trajPath(id string) string {
+	return filepath.Join(d.cfg.Dir, id+".trajectories.jsonl")
+}
+
+// episodeSinkFor returns the study's trajectory journal writer, creating
+// it on first use, or nil when analysis recording is off. Writers live
+// for the daemon's lifetime (a resumed study appends to its journal) and
+// are flushed and closed by Shutdown.
+func (d *Daemon) episodeSinkFor(id string) rl.EpisodeSink {
+	if !d.cfg.Analysis {
+		return nil
+	}
+	d.epMu.Lock()
+	defer d.epMu.Unlock()
+	w, ok := d.epWriters[id]
+	if !ok {
+		w = analysis.NewEpisodeWriter(d.trajPath(id))
+		d.epWriters[id] = w
+	}
+	return w
+}
+
 func (d *Daemon) launch(m *ManagedStudy) {
 	d.wg.Add(1)
 	go func() {
@@ -279,6 +324,18 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 		if err := d.tracer.Close(); err != nil {
 			d.cfg.Logf("studyd: closing trace stream: %v", err)
 		}
+		d.epMu.Lock()
+		ids := make([]string, 0, len(d.epWriters))
+		for id := range d.epWriters {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if err := d.epWriters[id].Close(); err != nil {
+				d.cfg.Logf("studyd: closing trajectory journal for %s: %v", id, err)
+			}
+		}
+		d.epMu.Unlock()
 	}()
 	select {
 	case <-drained:

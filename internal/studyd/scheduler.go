@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rldecide/internal/analysis"
 	"rldecide/internal/core"
 	"rldecide/internal/executor"
 	"rldecide/internal/obs"
@@ -63,8 +64,19 @@ func (d *Daemon) wrapFor(m *ManagedStudy) func(core.Objective) core.Objective {
 			d.inflight.Add(1)
 			defer d.inflight.Add(-1)
 			d.bus.Publish(obs.Event{Kind: obs.KindTrialStart, Study: m.ID, Trial: req.TrialID})
+			// In analysis mode, locally executed trials carry the study's
+			// trajectory sink on their context; trajectory-aware objectives
+			// journal evaluation episodes through it. Fleet dispatch sends
+			// the request over HTTP, so remote trials naturally record
+			// nothing (the daemon cannot reach a worker's disk). Either
+			// way the values reported below are untouched — recording is
+			// off the result path.
+			ctx := rec.Context()
+			if sink := d.episodeSinkFor(m.ID); sink != nil {
+				ctx = analysis.WithEpisodeSink(ctx, sink)
+			}
 			sw := power.StartStopwatch()
-			res, err := d.exec.Run(rec.Context(), req)
+			res, err := d.exec.Run(ctx, req)
 			metricTrialSeconds.Observe(sw.ElapsedSeconds())
 			if err != nil {
 				// Infrastructure failure or cancellation: the trial is not

@@ -22,6 +22,10 @@ import (
 //	GET  /studies/{id}/trials  finished trials (journal records, ID order)
 //	GET  /studies/{id}/front   current Pareto ranking of completed trials
 //	GET  /studies/{id}/events  SSE push stream of the study's live events
+//	GET  /studies/{id}/analysis/{kind}
+//	                           decision-analysis report (kind: traces |
+//	                           attribution | counterfactuals), computed
+//	                           on demand and cached in a sidecar file
 //	POST /studies/{id}/cancel  stop the study's run (resumable later)   [auth]
 //	POST /studies/{id}/adopt   claim ownership of an on-disk study      [auth]
 //	GET  /workers              live fleet members (daemon-stamped)
@@ -45,6 +49,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /studies/{id}/trials", d.handleStudy(d.serveTrials))
 	mux.HandleFunc("GET /studies/{id}/front", d.handleStudy(d.serveFront))
 	mux.HandleFunc("GET /studies/{id}/events", d.handleStudy(d.serveEvents))
+	mux.HandleFunc("GET /studies/{id}/analysis/{kind}", d.handleStudy(d.serveAnalysis))
 	mux.HandleFunc("POST /studies/{id}/cancel", auth.Require(d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
 		m.Cancel()
 		writeJSON(w, http.StatusAccepted, m.Summary())

@@ -42,10 +42,10 @@ go build -o "$BIN/rldecide-worker" ./cmd/rldecide-worker
 go build -o "$BIN/rldecide-router" ./cmd/rldecide-router
 
 "$BIN/rldecide-serve" -addr "127.0.0.1:$A_PORT" -dir "$DIR/state" \
-  -name alpha -exec fleet -token "$TOKEN" &
+  -name alpha -exec fleet -token "$TOKEN" -trace &
 PIDS+=($!)
 "$BIN/rldecide-serve" -addr "127.0.0.1:$B_PORT" -dir "$DIR/state" \
-  -name beta -exec fleet -token "$TOKEN" &
+  -name beta -exec fleet -token "$TOKEN" -trace &
 BETA_PID=$!
 PIDS+=($BETA_PID)
 
@@ -133,6 +133,14 @@ for id in "${ids[@]}"; do
   [ "$trials" = "8" ] || { echo "$id journaled $trials trials, want 8" >&2; exit 1; }
 done
 echo "all studies done through the router"
+
+# Decision-analysis reads are per-study GETs, so the router must proxy
+# them to the owning shard like any other study read.
+report=$(curl -sf "$base/studies/${ids[0]}/analysis/traces") ||
+  { echo "router did not proxy analysis/traces for ${ids[0]}" >&2; exit 1; }
+echo "$report" | grep -q '"trials"' ||
+  { echo "proxied trace report malformed: $report" >&2; exit 1; }
+echo "analysis proxy OK"
 
 # The rollup must label every shard's series and collide nothing.
 metrics=$(curl -sf "$base/metrics")
