@@ -179,7 +179,13 @@ func check(args []string) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	golden := fs.String("golden", "BENCH_4.json", "committed benchmark record to gate against")
 	tolerance := fs.Float64("tolerance", 2.5, "allowed ns/op slowdown factor vs the record")
+	maxAllocs := fs.String("max-allocs", "", "comma-separated name=N absolute allocs/op ceilings (e.g. BenchmarkStudyOverhead=64); each named benchmark must appear in the input and stay at or under N regardless of the recorded value")
 	_ = fs.Parse(args)
+
+	ceilings, err := parseMaxAllocs(*maxAllocs)
+	if err != nil {
+		fail("check: %v", err)
+	}
 
 	data, err := os.ReadFile(*golden)
 	if err != nil {
@@ -235,10 +241,53 @@ func check(args []string) {
 	if checked == 0 {
 		fail("check: no benchmark in the input matches %s", *golden)
 	}
+	// Absolute ceilings are contract gates, independent of the recorded
+	// values: a re-record can ratchet the golden numbers, but never past
+	// an explicit -max-allocs budget.
+	ceilNames := make([]string, 0, len(ceilings))
+	for name := range ceilings {
+		ceilNames = append(ceilNames, name)
+	}
+	sort.Strings(ceilNames)
+	for _, name := range ceilNames {
+		limit := ceilings[name]
+		g, ok := got[name]
+		if !ok {
+			failures++
+			fmt.Printf("FAIL %s: -max-allocs named it but it is not in the input\n", name)
+			continue
+		}
+		if g.AllocsPerOp > limit {
+			failures++
+			fmt.Printf("FAIL %s: allocs/op %.0f exceeds ceiling %.0f\n", name, g.AllocsPerOp, limit)
+			continue
+		}
+		fmt.Printf("ok   %s: allocs/op %.0f within ceiling %.0f\n", name, g.AllocsPerOp, limit)
+	}
 	if failures > 0 {
-		fail("check: %d of %d benchmarks regressed", failures, checked)
+		fail("check: %d benchmark gates failed", failures)
 	}
 	fmt.Printf("check: %d benchmarks within tolerance\n", checked)
+}
+
+// parseMaxAllocs parses a comma-separated list of name=N ceilings.
+func parseMaxAllocs(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, num, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -max-allocs entry %q: want name=N", part)
+		}
+		v, err := strconv.ParseFloat(num, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -max-allocs ceiling %q: %v", part, err)
+		}
+		out[name] = v
+	}
+	return out, nil
 }
 
 func fail(format string, args ...any) {

@@ -58,7 +58,7 @@ func main() {
 	front, _ := rep.FrontIDs(experiments.FrontEps, experiments.MetricReward, experiments.MetricTime, experiments.MetricPower)
 	fmt.Printf("\n3-objective Pareto front: trials %v\n", front)
 	if best, ok := rep.Best(experiments.MetricReward); ok {
-		fmt.Printf("best reward: trial %d  %s  (%.3f)\n", best.ID, best.Params, best.Values[experiments.MetricReward])
+		fmt.Printf("best reward: trial %d  %s  (%.3f)\n", best.ID, best.Params, best.Values.At(experiments.MetricReward))
 	}
 	var _ *core.Report = rep
 }

@@ -57,17 +57,17 @@ func main() {
 		Title: "landing precision vs. per-episode compute",
 	})
 	if best, ok := rep.Best("reward"); ok {
-		fmt.Printf("\neasiest environment: %s (reward %.3f)\n", best.Params, best.Values["reward"])
+		fmt.Printf("\neasiest environment: %s (reward %.3f)\n", best.Params, best.Values.At("reward"))
 	}
 }
 
 // flyGrid evaluates one environment configuration with the PD autopilot.
 func flyGrid(a param.Assignment, seed uint64, rec *core.Recorder) error {
 	cfg := airdrop.NewConfig()
-	cfg.RKOrder = a["rk_order"].Int()
-	cfg.Wind.Enabled = a["wind"].Int() == 1
-	cfg.Wind.Gusts = cfg.Wind.Enabled && a["gust_prob"].Float() > 0
-	cfg.Wind.GustProb = a["gust_prob"].Float()
+	cfg.RKOrder = a.Value("rk_order").Int()
+	cfg.Wind.Enabled = a.Value("wind").Int() == 1
+	cfg.Wind.Gusts = cfg.Wind.Enabled && a.Value("gust_prob").Float() > 0
+	cfg.Wind.GustProb = a.Value("gust_prob").Float()
 	env, err := airdrop.New(cfg, seed)
 	if err != nil {
 		return err

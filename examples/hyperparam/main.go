@@ -62,7 +62,7 @@ func main() {
 	fmt.Printf("trials: %d finished, %d pruned early\n\n", len(rep.Completed()), pruned)
 	report.Table(os.Stdout, rep)
 	if best, ok := rep.Best("return"); ok {
-		fmt.Printf("\nbest configuration: %s  (return %.3f)\n", best.Params, best.Values["return"])
+		fmt.Printf("\nbest configuration: %s  (return %.3f)\n", best.Params, best.Values.At("return"))
 	}
 }
 
@@ -72,9 +72,9 @@ func trainObjective(a param.Assignment, seed uint64, rec *core.Recorder) error {
 	seeder := mathx.NewSeeder(seed)
 	vec := gym.NewVec(toy.MakeSteer1D(), 4, seeder, false)
 	cfg := ppo.Config{
-		LR:      a["lr"].Float(),
-		Epochs:  a["epochs"].Int(),
-		ClipEps: a["clip"].Float(),
+		LR:      a.Value("lr").Float(),
+		Epochs:  a.Value("epochs").Int(),
+		ClipEps: a.Value("clip").Float(),
 	}
 	learner := ppo.New(cfg, vec.ObservationSpace().Dim(), 3, seeder.Next())
 	col := ppo.NewCollector(vec)

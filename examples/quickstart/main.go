@@ -46,8 +46,8 @@ func main() {
 		Ranker: core.ParetoRanker{},
 		// The objective evaluates one configuration.
 		Objective: func(a param.Assignment, seed uint64, rec *core.Recorder) error {
-			size := a["model_size"].Float()
-			prec := a["precision"].Float()
+			size := a.Value("model_size").Float()
+			prec := a.Value("precision").Float()
 			rec.Report("accuracy", 1-math.Exp(-size*prec/40))
 			rec.Report("runtime", 0.05*size*prec)
 			rec.Report("energy", 2+0.8*size*prec)

@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -48,8 +49,8 @@ type Metric struct {
 type Trial struct {
 	ID     int
 	Params param.Assignment
-	// Values holds the recorded metrics (by metric name).
-	Values map[string]float64
+	// Values holds the recorded metrics (name-sorted).
+	Values Values
 	// Intermediate holds the trial's intermediate objective reports (used
 	// by pruners).
 	Intermediate []float64
@@ -115,7 +116,7 @@ func (r *Recorder) SetWallMs(ms float64) {
 // recorder, and ship the collected trial values back. The returned Trial
 // accumulates the reported values.
 func NewRecorder(ctx context.Context, metrics []Metric) (*Recorder, *Trial) {
-	t := &Trial{Values: map[string]float64{}}
+	t := &Trial{Values: make(Values, 0, len(metrics))}
 	return &Recorder{study: &Study{Metrics: metrics}, trial: t, ctx: ctx}, t
 }
 
@@ -133,7 +134,7 @@ func (r *Recorder) Report(metric string, value float64) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.trial.Values[metric] = value
+	r.trial.Values.Set(metric, value)
 }
 
 // Intermediate reports a progress value of the study's primary metric and
@@ -290,7 +291,7 @@ func (s *Study) history() []search.Observation {
 			Pruned:     t.Pruned,
 			Failed:     t.Err != nil,
 		}
-		if v, ok := t.Values[prim.Name]; ok {
+		if v, ok := t.Values.Get(prim.Name); ok {
 			obs.Objective = v
 		} else {
 			obs.Failed = true
@@ -335,9 +336,6 @@ func (s *Study) Resume(trials []Trial) error {
 			return fmt.Errorf("core: duplicate resumed trial ID %d", t.ID)
 		}
 		seen[t.ID] = true
-		if t.Values == nil {
-			t.Values = map[string]float64{}
-		}
 		s.trials = append(s.trials, t)
 	}
 	return nil
@@ -403,19 +401,30 @@ func (s *Study) RunContext(ctx context.Context, nTrials int) (*Report, error) {
 		}
 	}
 
+	// The trial history grows to exactly nTrials entries; reserving it up
+	// front keeps append from reallocating mid-campaign.
+	s.mu.Lock()
+	if n := nTrials - len(s.trials); n > 0 {
+		s.trials = slices.Grow(s.trials, n)
+	}
+	s.mu.Unlock()
+
 	jobs := make(chan Trial)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker reuses one Recorder/Trial slot and carves trial
+			// metric storage from a private slab (see trialRunner).
+			var tr trialRunner
 			for t := range jobs {
 				if ctx.Err() != nil {
 					// Drained, not executed: the trial is re-proposed when
 					// the campaign resumes.
 					continue
 				}
-				s.runTrial(ctx, t)
+				s.runTrial(ctx, t, &tr)
 			}
 		}()
 	}
@@ -427,6 +436,13 @@ func (s *Study) RunContext(ctx context.Context, nTrials int) (*Report, error) {
 	if hf, ok := s.Explorer.(search.HistoryFree); ok {
 		historyFree = hf.IgnoresHistory()
 	}
+	// In-place explorers propose straight into a slab: proposals are
+	// retained for the study's lifetime (Trial.Params), so each dispatched
+	// trial gets a cap-limited region and the slab cursor only advances
+	// when the proposal is actually kept.
+	inPlace, _ := s.Explorer.(search.InPlace)
+	var pslab []param.Binding
+	np := len(s.Space.Params())
 
 	var spaceErr error
 	for id := 1; id <= nTrials && ctx.Err() == nil; id++ {
@@ -434,7 +450,16 @@ func (s *Study) RunContext(ctx context.Context, nTrials int) (*Report, error) {
 		if !historyFree {
 			hist = s.history()
 		}
-		a, ok := s.Explorer.Next(explorerRng, s.Space, hist)
+		var a param.Assignment
+		var ok bool
+		if inPlace != nil {
+			if len(pslab) < np {
+				pslab = make([]param.Binding, slabTrials*np)
+			}
+			a, ok = inPlace.NextInto(explorerRng, s.Space, hist, param.Assignment(pslab[:0:np]))
+		} else {
+			a, ok = s.Explorer.Next(explorerRng, s.Space, hist)
+		}
 		if !ok {
 			break // explorer exhausted
 		}
@@ -444,12 +469,16 @@ func (s *Study) RunContext(ctx context.Context, nTrials int) (*Report, error) {
 		}
 		if finished[id] {
 			// Replay: the proposal reproduces a trial that already finished
-			// in a previous run; advance the explorer but skip execution.
+			// in a previous run; advance the explorer but skip execution
+			// (the slab region, if any, is overwritten by the next draw).
 			continue
 		}
-		t := Trial{ID: id, Params: a, Values: map[string]float64{}, Seed: trialSeeds[id-1]}
+		t := Trial{ID: id, Params: a, Seed: trialSeeds[id-1]}
 		select {
 		case jobs <- t:
+			if len(pslab) >= np && len(a) > 0 && &a[0] == &pslab[0] {
+				pslab = pslab[np:]
+			}
 		case <-ctx.Done():
 		}
 	}
@@ -479,16 +508,42 @@ func (s *Study) RunContext(ctx context.Context, nTrials int) (*Report, error) {
 	return rep, nil
 }
 
+// slabTrials is how many trials' worth of storage one slab chunk holds
+// (both the proposal slab in RunContext and each worker's metric slab).
+const slabTrials = 64
+
+// trialRunner is one worker's reusable execution state: a Recorder and a
+// Trial slot shared across the worker's trials — so neither escapes to
+// the heap per trial — plus a metric-value slab that trial Values are
+// carved from in cap-limited regions (a region can never grow into its
+// neighbor: an append past the metric count reallocates).
+type trialRunner struct {
+	rec  Recorder
+	slot Trial
+	vals []MetricValue
+}
+
 // runTrial executes one trial and appends it to the study history.
-func (s *Study) runTrial(ctx context.Context, t Trial) {
-	rec := &Recorder{study: s, trial: &t, ctx: ctx}
+func (s *Study) runTrial(ctx context.Context, t Trial, tr *trialRunner) {
+	nm := len(s.Metrics)
+	if cap(tr.vals) < nm {
+		tr.vals = make([]MetricValue, slabTrials*nm)
+	}
+	t.Values = Values(tr.vals[:0:nm])
+	tr.vals = tr.vals[nm:]
+	tr.slot = t
+	rec := &tr.rec
+	rec.study = s
+	rec.trial = &tr.slot
+	rec.ctx = ctx
+	rec.interrupted = false
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("core: objective panicked: %v", r)
 			}
 		}()
-		return s.Objective(t.Params, t.Seed, rec)
+		return s.Objective(tr.slot.Params, tr.slot.Seed, rec)
 	}()
 	if ctx.Err() != nil {
 		// Distinguish "failed" from "interrupted": a trial cut short by
@@ -498,17 +553,17 @@ func (s *Study) runTrial(ctx context.Context, t Trial) {
 		}
 	}
 	if err != nil && err != ErrPruned {
-		t.Err = err
+		tr.slot.Err = err
 	}
 	s.mu.Lock()
-	s.trials = append(s.trials, t)
+	s.trials = append(s.trials, tr.slot)
 	hook := s.OnTrial
 	s.mu.Unlock()
 	if hook != nil {
 		// Serialize the hook so journal consumers see one trial at a time
 		// even under Parallelism > 1.
 		s.hookMu.Lock()
-		hook(t)
+		hook(tr.slot)
 		s.hookMu.Unlock()
 	}
 }

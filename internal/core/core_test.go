@@ -26,7 +26,7 @@ func testSpace() *param.Space {
 
 // twoObjective records two antagonistic metrics: cost = x, quality = 1-x+y.
 func twoObjective(a param.Assignment, seed uint64, rec *Recorder) error {
-	x, y := a["x"].Float(), a["y"].Float()
+	x, y := a.Value("x").Float(), a.Value("y").Float()
 	rec.Report("cost", x)
 	rec.Report("quality", 1-x+0.1*y)
 	return nil
@@ -92,7 +92,7 @@ func TestStudyDeterministic(t *testing.T) {
 		if a.Trials[i].Params.Key() != b.Trials[i].Params.Key() {
 			t.Fatal("same seed diverged")
 		}
-		if a.Trials[i].Values["cost"] != b.Trials[i].Values["cost"] {
+		if a.Trials[i].Values.At("cost") != b.Trials[i].Values.At("cost") {
 			t.Fatal("values diverged")
 		}
 	}
@@ -197,13 +197,13 @@ func TestPruning(t *testing.T) {
 	s.Pruner = search.ThresholdPruner{Bound: 0.5}
 	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
 		// Low-x trials report high intermediate quality, high-x low.
-		q := 1 - a["x"].Float()
+		q := 1 - a.Value("x").Float()
 		for i := 0; i < 3; i++ {
 			if !rec.Intermediate(q) {
 				return ErrPruned
 			}
 		}
-		rec.Report("cost", a["x"].Float())
+		rec.Report("cost", a.Value("x").Float())
 		rec.Report("quality", q)
 		return nil
 	}
@@ -236,8 +236,8 @@ func TestGridExhaustionStopsEarly(t *testing.T) {
 	s.Space = param.MustSpace(param.NewIntSet("x", 1, 2), param.NewIntSet("y", 1, 2))
 	s.Explorer = &search.GridSearch{}
 	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
-		rec.Report("cost", a["x"].Float())
-		rec.Report("quality", a["y"].Float())
+		rec.Report("cost", a.Value("x").Float())
+		rec.Report("quality", a.Value("y").Float())
 		return nil
 	}
 	rep, err := s.Run(100)
@@ -260,7 +260,7 @@ func TestReportHelpers(t *testing.T) {
 		t.Fatal("no best")
 	}
 	for _, tr := range rep.Completed() {
-		if tr.Values["quality"] > best.Values["quality"] {
+		if tr.Values.At("quality") > best.Values.At("quality") {
 			t.Fatal("Best is not best")
 		}
 	}
@@ -298,9 +298,9 @@ func TestReportHelpers(t *testing.T) {
 
 func TestSortedRanker(t *testing.T) {
 	trials := []Trial{
-		{ID: 1, Values: map[string]float64{"m": 3}},
-		{ID: 2, Values: map[string]float64{"m": 1}},
-		{ID: 3, Values: map[string]float64{"m": 2}},
+		{ID: 1, Values: ValuesFromMap(map[string]float64{"m": 3})},
+		{ID: 2, Values: ValuesFromMap(map[string]float64{"m": 1})},
+		{ID: 3, Values: ValuesFromMap(map[string]float64{"m": 2})},
 	}
 	ms := []Metric{{Name: "m", Direction: pareto.Minimize}}
 	rk := SortedRanker{By: "m"}.Rank(trials, ms)
@@ -316,9 +316,9 @@ func TestSortedRanker(t *testing.T) {
 
 func TestWeightedRanker(t *testing.T) {
 	trials := []Trial{
-		{ID: 1, Values: map[string]float64{"q": 1, "c": 10}},
-		{ID: 2, Values: map[string]float64{"q": 0.9, "c": 1}},
-		{ID: 3, Values: map[string]float64{"q": 0, "c": 10}},
+		{ID: 1, Values: ValuesFromMap(map[string]float64{"q": 1, "c": 10})},
+		{ID: 2, Values: ValuesFromMap(map[string]float64{"q": 0.9, "c": 1})},
+		{ID: 3, Values: ValuesFromMap(map[string]float64{"q": 0, "c": 10})},
 	}
 	ms := []Metric{
 		{Name: "q", Direction: pareto.Maximize},
@@ -338,9 +338,9 @@ func TestWeightedRanker(t *testing.T) {
 
 func TestParetoRankerEps(t *testing.T) {
 	trials := []Trial{
-		{ID: 1, Values: map[string]float64{"q": 1.00, "c": 100}},
-		{ID: 2, Values: map[string]float64{"q": 0.99, "c": 101}}, // near-tie
-		{ID: 3, Values: map[string]float64{"q": 0.2, "c": 300}},
+		{ID: 1, Values: ValuesFromMap(map[string]float64{"q": 1.00, "c": 100})},
+		{ID: 2, Values: ValuesFromMap(map[string]float64{"q": 0.99, "c": 101})}, // near-tie
+		{ID: 3, Values: ValuesFromMap(map[string]float64{"q": 0.2, "c": 300})},
 	}
 	ms := []Metric{
 		{Name: "q", Direction: pareto.Maximize},
@@ -388,7 +388,7 @@ func TestNaNObjectiveStillRecorded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !math.IsNaN(rep.Trials[0].Values["cost"]) {
+	if !math.IsNaN(rep.Trials[0].Values.At("cost")) {
 		t.Fatal("NaN lost")
 	}
 }
@@ -409,7 +409,7 @@ func TestRunContextCancelReturnsPartialReport(t *testing.T) {
 			<-rec.Context().Done()
 			return rec.Context().Err()
 		}
-		rec.Report("cost", a["x"].Float())
+		rec.Report("cost", a.Value("x").Float())
 		rec.Report("quality", 1)
 		return nil
 	}
@@ -460,7 +460,7 @@ func TestIntermediateStopsOnCancel(t *testing.T) {
 	if err := s.validate(); err != nil {
 		t.Fatal(err)
 	}
-	s.runTrial(ctx, Trial{ID: 1, Params: testSpace().Sample(mathxRand(1)), Values: map[string]float64{}})
+	s.runTrial(ctx, Trial{ID: 1, Params: testSpace().Sample(mathxRand(1))}, &trialRunner{})
 	if recorded {
 		t.Fatal("interrupted trial must not reach OnTrial")
 	}
@@ -512,7 +512,7 @@ func TestResumeReproducesUninterruptedRun(t *testing.T) {
 		if a.ID != b.ID || a.Params.Key() != b.Params.Key() || a.Seed != b.Seed {
 			t.Fatalf("trial %d diverged: %+v vs %+v", i, a, b)
 		}
-		if a.Values["cost"] != b.Values["cost"] || a.Values["quality"] != b.Values["quality"] {
+		if a.Values.At("cost") != b.Values.At("cost") || a.Values.At("quality") != b.Values.At("quality") {
 			t.Fatalf("trial %d values diverged", i)
 		}
 	}
@@ -592,7 +592,7 @@ func TestSnapshotDuringRun(t *testing.T) {
 	gate := make(chan struct{})
 	var once sync.Once
 	s.Objective = func(a param.Assignment, seed uint64, rec *Recorder) error {
-		rec.Report("cost", a["x"].Float())
+		rec.Report("cost", a.Value("x").Float())
 		rec.Report("quality", 1)
 		once.Do(func() { close(gate) })
 		return nil

@@ -20,14 +20,14 @@ type Report struct {
 // completed returns the trials that produced all metrics (failed and
 // pruned trials are excluded from ranking but kept in Trials).
 func (r *Report) completed() []Trial {
-	var out []Trial
+	out := make([]Trial, 0, len(r.Trials))
 	for _, t := range r.Trials {
 		if t.Err != nil || t.Pruned {
 			continue
 		}
 		ok := true
 		for _, m := range r.Metrics {
-			if _, has := t.Values[m.Name]; !has {
+			if !t.Values.Has(m.Name) {
 				ok = false
 				break
 			}
@@ -63,7 +63,7 @@ func (r *Report) Points(metrics ...string) ([]pareto.Point, []pareto.Direction, 
 	for _, t := range r.completed() {
 		vals := make([]float64, len(metrics))
 		for i, name := range metrics {
-			vals[i] = t.Values[name]
+			vals[i] = t.Values.At(name)
 		}
 		pts = append(pts, pareto.Point{ID: t.ID, Values: vals})
 	}
@@ -111,7 +111,7 @@ func (r *Report) Best(metric string) (Trial, bool) {
 	}
 	best := trials[0]
 	for _, t := range trials[1:] {
-		v, b := t.Values[metric], best.Values[metric]
+		v, b := t.Values.At(metric), best.Values.At(metric)
 		if (dir == pareto.Maximize && v > b) || (dir == pareto.Minimize && v < b) {
 			best = t
 		}
@@ -148,11 +148,15 @@ func (p ParetoRanker) Rank(trials []Trial, metrics []Metric) Ranking {
 			}
 		}
 	}
+	// One flat backing array for every point's values: the per-trial
+	// sub-slices share it, so projecting n trials costs two allocations
+	// instead of n+1.
 	pts := make([]pareto.Point, len(trials))
+	flat := make([]float64, len(trials)*len(names))
 	for i, t := range trials {
-		vals := make([]float64, len(names))
+		vals := flat[i*len(names) : (i+1)*len(names) : (i+1)*len(names)]
 		for j, n := range names {
-			vals[j] = t.Values[n]
+			vals[j] = t.Values.At(n)
 		}
 		pts[i] = pareto.Point{ID: t.ID, Values: vals}
 	}
@@ -189,7 +193,7 @@ func (s SortedRanker) Rank(trials []Trial, metrics []Metric) Ranking {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		va, vb := trials[order[a]].Values[by], trials[order[b]].Values[by]
+		va, vb := trials[order[a]].Values.At(by), trials[order[b]].Values.At(by)
 		if dir == pareto.Maximize {
 			return va > vb
 		}
@@ -218,9 +222,9 @@ func (w WeightedRanker) Rank(trials []Trial, metrics []Metric) Ranking {
 		if !ok {
 			continue
 		}
-		lo, hi := trials[0].Values[m.Name], trials[0].Values[m.Name]
+		lo, hi := trials[0].Values.At(m.Name), trials[0].Values.At(m.Name)
 		for _, t := range trials[1:] {
-			v := t.Values[m.Name]
+			v := t.Values.At(m.Name)
 			if v < lo {
 				lo = v
 			}
@@ -233,7 +237,7 @@ func (w WeightedRanker) Rank(trials []Trial, metrics []Metric) Ranking {
 			if span == 0 {
 				continue
 			}
-			norm := (t.Values[m.Name] - lo) / span
+			norm := (t.Values.At(m.Name) - lo) / span
 			if m.Direction == pareto.Minimize {
 				norm = 1 - norm
 			}

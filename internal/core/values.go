@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// MetricValue is one recorded metric of a trial.
+type MetricValue struct {
+	Name string
+	V    float64
+}
+
+// Values holds a trial's recorded metrics as a name-sorted slice. Like
+// param.Assignment, the slice representation keeps a whole trial's
+// metrics in one allocation — and lets Study carve them out of a
+// per-worker slab, so a million-trial campaign allocates metric storage
+// a handful of times instead of per trial. A nil Values is a valid empty
+// set; Set inserts in sorted position.
+type Values []MetricValue
+
+// Get returns the value recorded for name.
+func (v Values) Get(name string) (float64, bool) {
+	for _, mv := range v {
+		if mv.Name == name {
+			return mv.V, true
+		}
+	}
+	return 0, false
+}
+
+// At returns the value recorded for name (0 if absent).
+func (v Values) At(name string) float64 {
+	x, _ := v.Get(name)
+	return x
+}
+
+// Has reports whether name was recorded.
+func (v Values) Has(name string) bool {
+	_, ok := v.Get(name)
+	return ok
+}
+
+// Set records name=x, inserting in sorted position.
+func (v *Values) Set(name string, x float64) {
+	s := *v
+	i, found := sort.Find(len(s), func(i int) int { return strings.Compare(name, s[i].Name) })
+	if found {
+		s[i].V = x
+		return
+	}
+	s = append(s, MetricValue{})
+	copy(s[i+1:], s[i:])
+	s[i] = MetricValue{Name: name, V: x}
+	*v = s
+}
+
+// Clone returns a copy.
+func (v Values) Clone() Values {
+	out := make(Values, len(v))
+	copy(out, v)
+	return out
+}
+
+// Map converts to a name→value map (for wire formats that use one).
+func (v Values) Map() map[string]float64 {
+	out := make(map[string]float64, len(v))
+	for _, mv := range v {
+		out[mv.Name] = mv.V
+	}
+	return out
+}
+
+// ValuesFromMap builds a sorted Values from a map.
+func ValuesFromMap(m map[string]float64) Values {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(Values, 0, len(m))
+	for name, x := range m {
+		out.Set(name, x)
+	}
+	return out
+}

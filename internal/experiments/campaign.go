@@ -261,10 +261,10 @@ func Outcomes(rep *core.Report) []Outcome {
 		sol.ID = t.ID
 		out = append(out, Outcome{
 			Solution:    sol,
-			Reward:      t.Values[MetricReward],
-			TimeMinutes: t.Values[MetricTime],
-			PowerKJ:     t.Values[MetricPower],
-			Utilization: t.Values[MetricUtil],
+			Reward:      t.Values.At(MetricReward),
+			TimeMinutes: t.Values.At(MetricTime),
+			PowerKJ:     t.Values.At(MetricPower),
+			Utilization: t.Values.At(MetricUtil),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

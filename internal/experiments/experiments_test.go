@@ -298,12 +298,12 @@ func syntheticReport(outcomes []Outcome) *core.Report {
 		t := core.Trial{
 			ID:     o.ID,
 			Params: o.Solution.Assignment(),
-			Values: map[string]float64{
+			Values: core.ValuesFromMap(map[string]float64{
 				MetricReward: o.Reward,
 				MetricTime:   o.TimeMinutes,
 				MetricPower:  o.PowerKJ,
 				MetricUtil:   o.Utilization,
-			},
+			}),
 		}
 		rep.Trials = append(rep.Trials, t)
 	}

@@ -82,7 +82,7 @@ func ppoOnlyReport(rep *core.Report) *core.Report {
 	out := *rep
 	out.Trials = nil
 	for _, t := range rep.Trials {
-		if t.Params["algo"].Str() == "ppo" {
+		if t.Params.Value("algo").Str() == "ppo" {
 			out.Trials = append(out.Trials, t)
 		}
 	}

@@ -34,23 +34,23 @@ func (s Solution) String() string {
 
 // Assignment converts the solution to a methodology assignment.
 func (s Solution) Assignment() param.Assignment {
-	return param.Assignment{
-		"rk_order":  param.Int(s.RKOrder),
-		"framework": param.Str(string(s.Framework)),
-		"algo":      param.Str(string(s.Algo)),
-		"nodes":     param.Int(s.Nodes),
-		"cores":     param.Int(s.Cores),
-	}
+	return param.Assign(
+		param.Bind("rk_order", param.Int(s.RKOrder)),
+		param.Bind("framework", param.Str(string(s.Framework))),
+		param.Bind("algo", param.Str(string(s.Algo))),
+		param.Bind("nodes", param.Int(s.Nodes)),
+		param.Bind("cores", param.Int(s.Cores)),
+	)
 }
 
 // SolutionFromAssignment is the inverse of Assignment.
 func SolutionFromAssignment(a param.Assignment) Solution {
 	return Solution{
-		RKOrder:   a["rk_order"].Int(),
-		Framework: distrib.Framework(a["framework"].Str()),
-		Algo:      distrib.Algo(a["algo"].Str()),
-		Nodes:     a["nodes"].Int(),
-		Cores:     a["cores"].Int(),
+		RKOrder:   a.Value("rk_order").Int(),
+		Framework: distrib.Framework(a.Value("framework").Str()),
+		Algo:      distrib.Algo(a.Value("algo").Str()),
+		Nodes:     a.Value("nodes").Int(),
+		Cores:     a.Value("cores").Int(),
 	}
 }
 

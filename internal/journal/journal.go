@@ -55,14 +55,14 @@ func FromTrial(t core.Trial) Record {
 	r := Record{
 		ID:     t.ID,
 		Params: map[string]string{},
-		Values: t.Values,
+		Values: t.Values.Map(),
 		Pruned: t.Pruned,
 		Seed:   t.Seed,
 		Worker: t.Worker,
 		WallMs: t.WallMs,
 	}
-	for k, v := range t.Params {
-		r.Params[k] = v.String()
+	for _, b := range t.Params {
+		r.Params[b.Name] = b.Value.String()
 	}
 	if t.Err != nil {
 		r.Error = t.Err.Error()
@@ -75,15 +75,12 @@ func FromTrial(t core.Trial) Record {
 func (r Record) ToTrial(space *param.Space) (core.Trial, error) {
 	t := core.Trial{
 		ID:     r.ID,
-		Params: param.Assignment{},
-		Values: r.Values,
+		Params: make(param.Assignment, 0, len(r.Params)),
+		Values: core.ValuesFromMap(r.Values),
 		Pruned: r.Pruned,
 		Seed:   r.Seed,
 		Worker: r.Worker,
 		WallMs: r.WallMs,
-	}
-	if t.Values == nil {
-		t.Values = map[string]float64{}
 	}
 	if r.Error != "" {
 		t.Err = fmt.Errorf("%s", r.Error)
@@ -97,7 +94,7 @@ func (r Record) ToTrial(space *param.Space) (core.Trial, error) {
 		if err != nil {
 			return t, err
 		}
-		t.Params[name] = v
+		t.Params.Set(name, v)
 	}
 	return t, nil
 }
@@ -130,29 +127,37 @@ func parseValue(p param.Param, raw string) (param.Value, error) {
 }
 
 // Writer appends trial records to an io.Writer (typically a file), safe
-// for concurrent use by parallel studies. Records are staged through a
-// bufio.Writer and flushed on record boundaries, so the underlying writer
-// sees whole records (the JSON encoder emits several small writes per
-// record; unbuffered, a crash could interleave a syscall boundary inside
-// any of them). A crash can still tear the final record's tail mid-flush;
-// RepairFile trims exactly that on resume.
+// for concurrent use by parallel studies. Each record is rendered into a
+// writer-owned scratch buffer by the arena encoder (appendRecord —
+// byte-identical to what encoding/json produced for FromTrial, see
+// encode.go) and handed to the underlying writer as one whole line, so a
+// crash can tear at most the final record's tail mid-flush; RepairFile
+// trims exactly that on resume. Steady-state appends allocate nothing:
+// the scratch buffer is reused across records.
 type Writer struct {
-	mu  sync.Mutex
-	buf *bufio.Writer
-	enc *json.Encoder
+	mu      sync.Mutex
+	buf     *bufio.Writer
+	scratch []byte
 }
 
 // NewWriter returns a Writer over w.
 func NewWriter(w io.Writer) *Writer {
-	buf := bufio.NewWriter(w)
-	return &Writer{buf: buf, enc: json.NewEncoder(buf)}
+	return &Writer{buf: bufio.NewWriter(w)}
 }
 
 // Append writes one trial and flushes it to the underlying writer.
 func (w *Writer) Append(t core.Trial) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.enc.Encode(FromTrial(t)); err != nil {
+	line, err := appendRecord(w.scratch[:0], t)
+	if err != nil {
+		// Nothing was staged: like the JSON encoder, an unencodable trial
+		// (NaN/Inf metric) leaves the journal untouched.
+		metricAppendErrors.Inc()
+		return err
+	}
+	w.scratch = line
+	if _, err := w.buf.Write(line); err != nil {
 		metricAppendErrors.Inc()
 		return err
 	}

@@ -27,12 +27,8 @@ func TestRecordRoundTrip(t *testing.T) {
 	space := testSpace()
 	orig := core.Trial{
 		ID: 7,
-		Params: param.Assignment{
-			"order": param.Int(5),
-			"fw":    param.Str("b"),
-			"lr":    param.Float(0.25),
-		},
-		Values: map[string]float64{"reward": -0.5, "time": 46},
+		Params: param.Assign(param.Bind("order", param.Int(5)), param.Bind("fw", param.Str("b")), param.Bind("lr", param.Float(0.25))),
+		Values: core.ValuesFromMap(map[string]float64{"reward": -0.5, "time": 46}),
 		Seed:   1234,
 	}
 	rec := FromTrial(orig)
@@ -43,13 +39,13 @@ func TestRecordRoundTrip(t *testing.T) {
 	if back.ID != 7 || back.Seed != 1234 {
 		t.Fatalf("metadata lost: %+v", back)
 	}
-	if back.Params["order"].Int() != 5 || back.Params["fw"].Str() != "b" {
+	if back.Params.Value("order").Int() != 5 || back.Params.Value("fw").Str() != "b" {
 		t.Fatalf("params lost: %v", back.Params)
 	}
-	if back.Params["lr"].Float() != 0.25 {
-		t.Fatalf("float param lost: %v", back.Params["lr"])
+	if back.Params.Value("lr").Float() != 0.25 {
+		t.Fatalf("float param lost: %v", back.Params.Value("lr"))
 	}
-	if back.Values["reward"] != -0.5 {
+	if back.Values.At("reward") != -0.5 {
 		t.Fatal("values lost")
 	}
 }
@@ -105,7 +101,7 @@ func TestErrorAndPrunedRoundTrip(t *testing.T) {
 	space := testSpace()
 	tr := core.Trial{
 		ID:     1,
-		Params: param.Assignment{"order": param.Int(3), "fw": param.Str("a"), "lr": param.Float(0.5)},
+		Params: param.Assign(param.Bind("order", param.Int(3)), param.Bind("fw", param.Str("a")), param.Bind("lr", param.Float(0.5))),
 		Err:    fmt.Errorf("boom"),
 		Pruned: true,
 	}
@@ -125,8 +121,8 @@ func TestWriteRead(t *testing.T) {
 	for i := 1; i <= 3; i++ {
 		err := w.Append(core.Trial{
 			ID:     i,
-			Params: param.Assignment{"order": param.Int(3), "fw": param.Str("a"), "lr": param.Float(0.1)},
-			Values: map[string]float64{"m": float64(i)},
+			Params: param.Assign(param.Bind("order", param.Int(3)), param.Bind("fw", param.Str("a")), param.Bind("lr", param.Float(0.1))),
+			Values: core.ValuesFromMap(map[string]float64{"m": float64(i)}),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -143,7 +139,7 @@ func TestWriteRead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if trials[2].Values["m"] != 3 {
+	if trials[2].Values.At("m") != 3 {
 		t.Fatal("values wrong")
 	}
 }
@@ -171,7 +167,7 @@ func TestStudyJournaling(t *testing.T) {
 		Metrics:   []core.Metric{{Name: "m", Direction: pareto.Maximize}},
 		Ranker:    core.SortedRanker{By: "m"},
 		Objective: func(a param.Assignment, seed uint64, rec *core.Recorder) error {
-			rec.Report("m", a["lr"].Float())
+			rec.Report("m", a.Value("lr").Float())
 			return nil
 		},
 		Seed:    4,
@@ -197,7 +193,7 @@ func TestStudyJournaling(t *testing.T) {
 	ranking := core.SortedRanker{By: "m"}.Rank(trials, []core.Metric{{Name: "m", Direction: pareto.Maximize}})
 	best := trials[ranking.Ordered[0]]
 	for _, tr := range trials {
-		if tr.Values["m"] > best.Values["m"] {
+		if tr.Values.At("m") > best.Values.At("m") {
 			t.Fatal("offline re-ranking wrong")
 		}
 	}
@@ -221,7 +217,7 @@ func TestParseValueFallbacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Params["order"].Int() != 8 || tr.Params["lr"].Float() != 0.125 {
+	if tr.Params.Value("order").Int() != 8 || tr.Params.Value("lr").Float() != 0.125 {
 		t.Fatalf("parsed wrong: %v", tr.Params)
 	}
 	bad := Record{ID: 2, Params: map[string]string{"order": "9", "fw": "a", "lr": "0.1"}}
@@ -410,7 +406,7 @@ func TestConcurrentAppendUnderParallelStudy(t *testing.T) {
 		Ranker:      core.SortedRanker{By: "m"},
 		Parallelism: 8,
 		Objective: func(a param.Assignment, seed uint64, rec *core.Recorder) error {
-			rec.Report("m", a["lr"].Float())
+			rec.Report("m", a.Value("lr").Float())
 			return nil
 		},
 		Seed:    11,
@@ -450,7 +446,7 @@ func TestJournalResumeRoundTrip(t *testing.T) {
 			Metrics:   metrics,
 			Ranker:    core.SortedRanker{By: "m"},
 			Objective: func(a param.Assignment, seed uint64, rec *core.Recorder) error {
-				rec.Report("m", a["lr"].Float()*float64(a["order"].Int()))
+				rec.Report("m", a.Value("lr").Float()*float64(a.Value("order").Int()))
 				return nil
 			},
 			Seed:    21,
@@ -496,7 +492,7 @@ func TestJournalResumeRoundTrip(t *testing.T) {
 	}
 	for i := range rep.Trials {
 		a, b := rep.Trials[i], full.Trials[i]
-		if a.ID != b.ID || a.Params.Key() != b.Params.Key() || a.Seed != b.Seed || a.Values["m"] != b.Values["m"] {
+		if a.ID != b.ID || a.Params.Key() != b.Params.Key() || a.Seed != b.Seed || a.Values.At("m") != b.Values.At("m") {
 			t.Fatalf("trial %d diverged after journal round trip:\n%+v\n%+v", i, a, b)
 		}
 	}

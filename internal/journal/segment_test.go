@@ -11,7 +11,7 @@ import (
 func segTrial(id int) core.Trial {
 	return core.Trial{
 		ID:     id,
-		Values: map[string]float64{"m": float64(id)},
+		Values: core.ValuesFromMap(map[string]float64{"m": float64(id)}),
 		Seed:   uint64(id),
 	}
 }

@@ -10,6 +10,9 @@ import (
 // kernel parallelism must instead route through the tensor package's
 // persistent worker pool (parallelRows), which dispatches fixed,
 // deterministic row chunks so results are bit-identical at any pool width.
+// Chunk stealing is no exception: participants claim whole chunks off the
+// run's atomic cursor and execute them inline — spawning a goroutine per
+// stolen chunk reintroduces exactly the per-call cost the pool removes.
 // The pool's own worker spawn carries a //lint:ignore go-spawn directive —
 // the one sanctioned spawn site.
 type GoSpawn struct{}

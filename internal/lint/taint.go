@@ -17,7 +17,12 @@ import (
 // Sources: time.Now/Since/Until and package-level math/rand draws
 // (methods on a *rand.Rand are tainted only if the Rand itself is, e.g.
 // seeded from the clock). internal/power is exempt — it IS the sanctioned
-// clock seam, and values produced by its API are considered clean.
+// clock seam, and values produced by its API are considered clean. Live
+// metric reads (Value() on internal/obs Counter/Gauge) are also sources:
+// counters like the tensor pool's stolen-chunks total depend on goroutine
+// scheduling, so a journaled metric read differs run to run even when the
+// arithmetic is bit-identical. internal/obs itself is exempt — the
+// /metrics serving path is where reads belong.
 //
 // Sinks: calls into internal/journal, writes to fields of
 // internal/journal types, composite literals of those types, and methods
@@ -104,12 +109,13 @@ func (a *taintAnalysis) eachFunc(visit func(*Package, *types.Func, *ast.FuncDecl
 // taintState is the per-function dataflow state: which locals are tainted
 // and which parameters each local may carry.
 type taintState struct {
-	info    *types.Info
-	exempt  bool // package is the sanctioned clock seam
-	a       *taintAnalysis
-	tainted map[types.Object]bool
-	origin  map[types.Object]int64
-	params  map[types.Object]int
+	info      *types.Info
+	exempt    bool // package is the sanctioned clock seam
+	obsExempt bool // package is the metrics registry / serving path
+	a         *taintAnalysis
+	tainted   map[types.Object]bool
+	origin    map[types.Object]int64
+	params    map[types.Object]int
 }
 
 type emitFunc func(pos ast.Node, format string, args ...any)
@@ -119,12 +125,13 @@ type emitFunc func(pos ast.Node, format string, args ...any)
 // are reported on the last pass.
 func (a *taintAnalysis) analyzeFunc(pkg *Package, fn *types.Func, decl *ast.FuncDecl, emit emitFunc) taintSummary {
 	st := &taintState{
-		info:    pkg.TypesInfo,
-		exempt:  pathHasSegments(pkg.Path, "internal/power"),
-		a:       a,
-		tainted: map[types.Object]bool{},
-		origin:  map[types.Object]int64{},
-		params:  map[types.Object]int{},
+		info:      pkg.TypesInfo,
+		exempt:    pathHasSegments(pkg.Path, "internal/power"),
+		obsExempt: pathHasSegments(pkg.Path, "internal/obs"),
+		a:         a,
+		tainted:   map[types.Object]bool{},
+		origin:    map[types.Object]int64{},
+		params:    map[types.Object]int{},
 	}
 	sig := fn.Type().(*types.Signature)
 	for i := 0; i < sig.Params().Len() && i < 63; i++ {
@@ -215,7 +222,7 @@ func (st *taintState) markLHS(lhs ast.Expr, t bool, o int64, sum *taintSummary, 
 		if fv, ok := useOf(st.info, e.Sel).(*types.Var); ok && fv.IsField() && st.a.sinkPkgObj(fv) {
 			sum.sinkParams |= o
 			if t && emit != nil {
-				emit(e, "wall-clock/RNG-derived value is written into journal field %s; only power.Stopwatch or seeded-RNG values may reach the journal", fv.Name())
+				emit(e, "clock-, RNG-, or metric-derived value is written into journal field %s; only power.Stopwatch or seeded-RNG values may reach the journal", fv.Name())
 			}
 		}
 	case *ast.IndexExpr:
@@ -258,7 +265,7 @@ func (st *taintState) sinkCall(call *ast.CallExpr, sum *taintSummary, emit emitF
 			t, o := st.taintOf(arg)
 			sum.sinkParams |= o
 			if t && emit != nil && !st.isSinkCompositeExpr(arg) {
-				emit(arg, "wall-clock/RNG-derived value flows into %s.%s — a journal-affecting path; route it through power.Stopwatch or a seeded RNG", pkgNameOf(callee), callee.Name())
+				emit(arg, "clock-, RNG-, or metric-derived value flows into %s.%s — a journal-affecting path; route it through power.Stopwatch or a seeded RNG", pkgNameOf(callee), callee.Name())
 			}
 		}
 		return
@@ -274,7 +281,7 @@ func (st *taintState) sinkCall(call *ast.CallExpr, sum *taintSummary, emit emitF
 		t, o := st.taintOf(arg)
 		sum.sinkParams |= o
 		if t && emit != nil {
-			emit(arg, "wall-clock/RNG-derived value reaches the journal through %s (parameter %d flows to a journal sink)", callee.Name(), i)
+			emit(arg, "clock-, RNG-, or metric-derived value reaches the journal through %s (parameter %d flows to a journal sink)", callee.Name(), i)
 		}
 	}
 }
@@ -294,7 +301,7 @@ func (st *taintState) sinkComposite(lit *ast.CompositeLit, sum *taintSummary, em
 		t, o := st.taintOf(val)
 		sum.sinkParams |= o
 		if t && emit != nil {
-			emit(val, "wall-clock/RNG-derived value is stored in a journal record literal; only power.Stopwatch or seeded-RNG values may reach the journal")
+			emit(val, "clock-, RNG-, or metric-derived value is stored in a journal record literal; only power.Stopwatch or seeded-RNG values may reach the journal")
 		}
 	}
 }
@@ -412,6 +419,9 @@ func (st *taintState) taintOfCall(call *ast.CallExpr) (bool, int64) {
 	if isGlobalRandSource(callee) {
 		return true, 0
 	}
+	if !st.obsExempt && isObsMetricRead(callee) {
+		return true, 0
+	}
 	if callee.Pkg() != nil && pathHasSegments(callee.Pkg().Path(), "internal/power") {
 		return false, 0 // the sanctioned clock seam produces clean values
 	}
@@ -448,6 +458,19 @@ func isTimeSource(fn *types.Func) bool {
 		return true
 	}
 	return false
+}
+
+// isObsMetricRead reports whether fn reads a live metric value: a Value
+// method on an internal/obs instrument. Counters fed from scheduling
+// (chunk stealing, pool dispatch) make these reads nondeterministic even
+// under the bit-identical kernel contract, so outside internal/obs they
+// taint like a clock read.
+func isObsMetricRead(fn *types.Func) bool {
+	if fn.Name() != "Value" || fn.Pkg() == nil || !pathHasSegments(fn.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
 }
 
 // isGlobalRandSource reports whether fn draws from the process-global

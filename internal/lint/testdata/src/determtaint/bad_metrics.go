@@ -1,0 +1,25 @@
+// Metric-read true positives: live counter reads are schedule-dependent
+// (the tensor pool's chunk stealing changes them run to run), so
+// journaling one breaks replay even when the kernel arithmetic is
+// bit-identical.
+package determtaint
+
+import (
+	"src/determtaint/internal/journal"
+	"src/determtaint/internal/obs"
+)
+
+// stolenChunks mirrors the tensor pool's work-stealing counter.
+var stolenChunks obs.Counter
+
+// JournalMetric stores a live counter read in a trial record.
+func JournalMetric(path string) error {
+	v := float64(stolenChunks.Value())
+	return journal.Append(path, journal.Record{Value: v}) // want finding: determinism-taint
+}
+
+// GaugeFieldWrite assigns a live gauge read into an existing record.
+func GaugeFieldWrite(path string, g *obs.Gauge, rec *journal.Record) error {
+	rec.Value = float64(g.Value()) // want finding: determinism-taint
+	return journal.Append(path, *rec)
+}

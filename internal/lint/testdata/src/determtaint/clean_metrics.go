@@ -1,0 +1,12 @@
+// Clean metric flows: reading a counter for display is fine — only
+// journal-affecting paths are sinks, and the fixture obs package's own
+// serving path is exempt at the source.
+package determtaint
+
+import "src/determtaint/internal/obs"
+
+// DisplayMetric formats a live read for an operator endpoint; no journal
+// involvement, so the rule stays silent.
+func DisplayMetric(c *obs.Counter) uint64 {
+	return c.Value()
+}

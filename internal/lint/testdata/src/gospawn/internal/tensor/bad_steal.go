@@ -1,0 +1,31 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// stealSpawn claims chunks off an atomic cursor but spawns a goroutine
+// per claimed chunk. Stealing transfers ownership of whole chunks to
+// EXISTING participants; it never creates goroutines on the kernel path.
+func stealSpawn(rows, chunk int, nchunks int64, fn func(lo, hi int)) {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for {
+		c := cursor.Add(1) - 1
+		if c >= nchunks {
+			break
+		}
+		lo := int(c) * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

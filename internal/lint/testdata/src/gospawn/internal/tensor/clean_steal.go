@@ -1,0 +1,22 @@
+package tensor
+
+import "sync/atomic"
+
+// stealLoop is the sanctioned stealing shape: each participant — the
+// caller or a persistent pool worker — claims whole not-yet-started
+// chunks off a shared atomic cursor and runs them inline. Ownership
+// transfer needs no goroutines, so this file must stay finding-free.
+func stealLoop(cursor *atomic.Int64, rows, chunk int, nchunks int64, fn func(lo, hi int)) {
+	for {
+		c := cursor.Add(1) - 1
+		if c >= nchunks {
+			break
+		}
+		lo := int(c) * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		fn(lo, hi)
+	}
+}

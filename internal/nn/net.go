@@ -83,6 +83,7 @@ type Dense struct {
 	x, z, y *tensor.Mat
 	dx      *tensor.Mat
 	dz, dw  *tensor.Mat
+	wt      *tensor.Mat // packed Wᵀ scratch for the forward product
 }
 
 // ensureMat is tensor.Ensure: reuse scratch when capacity allows, so
@@ -115,12 +116,71 @@ func (d *Dense) Forward(x *tensor.Mat) *tensor.Mat {
 		d.y = ensureMat(d.y, x.R, d.Out)
 		d.dx = ensureMat(d.dx, x.R, d.In)
 	}
-	tensor.MulInto(d.z, x, d.W)
+	// The packed product is bit-identical to MulInto (same ascending-k
+	// order, same zero-skips); the Wᵀ scratch is layer-owned and reused, so
+	// steady-state batches stay allocation-free.
+	d.wt = tensor.MulIntoPacked(d.z, x, d.W, d.wt)
 	d.z.AddBias(d.B)
-	for i, z := range d.z.Data {
-		d.y.Data[i] = d.Act.Apply(z)
-	}
+	applyActivation(d.Act, d.y.Data, d.z.Data)
 	return d.y
+}
+
+// applyActivation computes y[i] = act(z[i]). The concrete activations are
+// dispatched once per batch instead of once per element: the per-element
+// interface call was a top-ten sample site in campaign profiles. Each arm
+// applies the identical scalar function, so the output bits are unchanged.
+func applyActivation(act Activation, y, z []float64) {
+	y = y[:len(z)]
+	switch act.(type) {
+	case ReLU:
+		for i, v := range z {
+			if v > 0 {
+				y[i] = v
+			} else {
+				y[i] = 0
+			}
+		}
+	case Tanh:
+		for i, v := range z {
+			y[i] = math.Tanh(v)
+		}
+	case Identity:
+		copy(y, z)
+	default:
+		for i, v := range z {
+			y[i] = act.Apply(v)
+		}
+	}
+}
+
+// activationDeriv computes dz[i] = dy[i] · act'(z[i], y[i]) with the same
+// batch-level dispatch as applyActivation.
+func activationDeriv(act Activation, dz, dy, z, y []float64) {
+	dz = dz[:len(dy)]
+	z = z[:len(dy)]
+	y = y[:len(dy)]
+	switch act.(type) {
+	case ReLU:
+		for i, g := range dy {
+			if z[i] > 0 {
+				dz[i] = g
+			} else {
+				// g·0, not the constant 0: the sign of -0·0 and NaN
+				// propagation must match the generic arm bit-for-bit.
+				dz[i] = g * 0
+			}
+		}
+	case Tanh:
+		for i, g := range dy {
+			dz[i] = g * (1 - y[i]*y[i])
+		}
+	case Identity:
+		copy(dz, dy)
+	default:
+		for i, g := range dy {
+			dz[i] = g * act.Deriv(z[i], y[i])
+		}
+	}
 }
 
 // Backward takes dL/dy for the cached batch, accumulates dL/dW and dL/db
@@ -136,9 +196,7 @@ func (d *Dense) Backward(dy *tensor.Mat) *tensor.Mat {
 	// dz = dy * act'(z)
 	d.dz = ensureMat(d.dz, dy.R, dy.C)
 	dz := d.dz
-	for i := range dz.Data {
-		dz.Data[i] = dy.Data[i] * d.Act.Deriv(d.z.Data[i], d.y.Data[i])
-	}
+	activationDeriv(d.Act, dz.Data, dy.Data, d.z.Data, d.y.Data)
 	// Accumulate parameter grads.
 	if d.dw == nil {
 		d.dw = tensor.New(d.In, d.Out)

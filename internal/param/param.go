@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -69,9 +70,22 @@ func (v Value) String() string {
 	case KindString:
 		return v.s
 	case KindInt:
-		return fmt.Sprintf("%d", v.i)
+		return strconv.Itoa(v.i)
 	default:
-		return fmt.Sprintf("%.4g", v.f)
+		return strconv.FormatFloat(v.f, 'g', 4, 64)
+	}
+}
+
+// AppendText appends String's rendering to dst without allocating —
+// the journal's arena encoder depends on the two staying byte-identical.
+func (v Value) AppendText(dst []byte) []byte {
+	switch v.kind {
+	case KindString:
+		return append(dst, v.s...)
+	case KindInt:
+		return strconv.AppendInt(dst, int64(v.i), 10)
+	default:
+		return strconv.AppendFloat(dst, v.f, 'g', 4, 64)
 	}
 }
 
@@ -274,31 +288,86 @@ func (p FloatRange) Contains(v Value) bool {
 	return f >= p.Lo && f <= p.Hi
 }
 
-// Assignment maps parameter names to chosen values.
-type Assignment map[string]Value
+// Binding is one name→value pair of an Assignment.
+type Binding struct {
+	Name  string
+	Value Value
+}
+
+// Bind constructs a Binding.
+func Bind(name string, v Value) Binding { return Binding{Name: name, Value: v} }
+
+// Assignment is one concrete configuration: a slice of bindings kept
+// sorted by parameter name. The slice representation (vs. a map) holds a
+// whole assignment in a single allocation — or zero, when sampled into a
+// caller-owned buffer — and the sorted invariant makes Key, String, and
+// journal encodings canonical without per-call sorting. A nil Assignment
+// is a valid empty assignment.
+type Assignment []Binding
+
+// Assign builds an Assignment from bindings, sorting by name. Duplicate
+// names keep the last binding.
+func Assign(bs ...Binding) Assignment {
+	var a Assignment
+	for _, b := range bs {
+		a.Set(b.Name, b.Value)
+	}
+	return a
+}
+
+// Get returns the value bound to name.
+func (a Assignment) Get(name string) (Value, bool) {
+	for _, b := range a {
+		if b.Name == name {
+			return b.Value, true
+		}
+	}
+	return Value{}, false
+}
+
+// Value returns the value bound to name (zero Value if absent).
+func (a Assignment) Value(name string) Value {
+	v, _ := a.Get(name)
+	return v
+}
+
+// Has reports whether name is bound.
+func (a Assignment) Has(name string) bool {
+	_, ok := a.Get(name)
+	return ok
+}
+
+// Set binds name to v, inserting in sorted position.
+func (a *Assignment) Set(name string, v Value) {
+	s := *a
+	i, found := sort.Find(len(s), func(i int) int { return strings.Compare(name, s[i].Name) })
+	if found {
+		s[i].Value = v
+		return
+	}
+	s = append(s, Binding{})
+	copy(s[i+1:], s[i:])
+	s[i] = Binding{Name: name, Value: v}
+	*a = s
+}
 
 // Clone returns a copy.
 func (a Assignment) Clone() Assignment {
 	out := make(Assignment, len(a))
-	for k, v := range a {
-		out[k] = v
-	}
+	copy(out, a)
 	return out
 }
 
 // Key returns a canonical string form usable for deduplication.
 func (a Assignment) Key() string {
-	names := make([]string, 0, len(a))
-	for k := range a {
-		names = append(names, k)
-	}
-	sort.Strings(names)
 	var b strings.Builder
-	for i, k := range names {
+	for i, kv := range a {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%s", k, a[k])
+		b.WriteString(kv.Name)
+		b.WriteByte('=')
+		b.WriteString(kv.Value.String())
 	}
 	return b.String()
 }
@@ -310,6 +379,11 @@ func (a Assignment) String() string { return a.Key() }
 type Space struct {
 	params []Param
 	byName map[string]int
+	// rank[i] is the position of params[i] in name-sorted order; sampling
+	// draws in declaration order (fixing the RNG consumption sequence) but
+	// writes bindings at their sorted slot so the Assignment invariant
+	// holds without a per-sample sort.
+	rank []int
 }
 
 // NewSpace builds a Space; parameter names must be unique and non-empty.
@@ -327,6 +401,14 @@ func NewSpace(params ...Param) (*Space, error) {
 		}
 		s.byName[p.Name()] = len(s.params)
 		s.params = append(s.params, p)
+	}
+	s.rank = make([]int, len(s.params))
+	for i := range s.params {
+		for j := range s.params {
+			if s.params[j].Name() < s.params[i].Name() {
+				s.rank[i]++
+			}
+		}
 	}
 	return s, nil
 }
@@ -354,11 +436,22 @@ func (s *Space) Get(name string) (Param, bool) {
 
 // Sample draws a uniform random assignment.
 func (s *Space) Sample(rng *rand.Rand) Assignment {
-	a := make(Assignment, len(s.params))
-	for _, p := range s.params {
-		a[p.Name()] = p.Sample(rng)
+	return s.SampleInto(rng, nil)
+}
+
+// SampleInto draws a uniform random assignment into dst's backing array,
+// reallocating only when dst's capacity is too small. The RNG consumption
+// order is the parameters' declaration order, identical to Sample.
+func (s *Space) SampleInto(rng *rand.Rand, dst Assignment) Assignment {
+	if cap(dst) < len(s.params) {
+		dst = make(Assignment, len(s.params))
+	} else {
+		dst = dst[:len(s.params)]
 	}
-	return a
+	for i, p := range s.params {
+		dst[s.rank[i]] = Binding{Name: p.Name(), Value: p.Sample(rng)}
+	}
+	return dst
 }
 
 // Contains reports whether a is a complete, valid assignment of the space.
@@ -367,7 +460,7 @@ func (s *Space) Contains(a Assignment) bool {
 		return false
 	}
 	for _, p := range s.params {
-		v, ok := a[p.Name()]
+		v, ok := a.Get(p.Name())
 		if !ok || !p.Contains(v) {
 			return false
 		}
@@ -388,14 +481,14 @@ func (s *Space) GridSize() int {
 // Grid enumerates the full cartesian product of all parameters' grids, in
 // a deterministic order.
 func (s *Space) Grid() []Assignment {
-	out := []Assignment{{}}
+	out := []Assignment{nil}
 	for _, p := range s.params {
 		vals := p.Enumerate()
 		next := make([]Assignment, 0, len(out)*len(vals))
 		for _, base := range out {
 			for _, v := range vals {
 				a := base.Clone()
-				a[p.Name()] = v
+				a.Set(p.Name(), v)
 				next = append(next, a)
 			}
 		}

@@ -1,6 +1,7 @@
 package param
 
 import (
+	"slices"
 	"math"
 	"testing"
 	"testing/quick"
@@ -84,8 +85,8 @@ func TestValueAccessors(t *testing.T) {
 }
 
 func TestAssignmentKeyCanonical(t *testing.T) {
-	a := Assignment{"b": Int(1), "a": Str("x")}
-	b := Assignment{"a": Str("x"), "b": Int(1)}
+	a := Assign(Bind("b", Int(1)), Bind("a", Str("x")))
+	b := Assign(Bind("a", Str("x")), Bind("b", Int(1)))
 	if a.Key() != b.Key() {
 		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
 	}
@@ -93,8 +94,8 @@ func TestAssignmentKeyCanonical(t *testing.T) {
 		t.Fatalf("key format %q", a.Key())
 	}
 	c := a.Clone()
-	c["b"] = Int(2)
-	if a["b"].Int() != 1 {
+	c.Set("b", Int(2))
+	if a.Value("b").Int() != 1 {
 		t.Fatal("Clone aliases storage")
 	}
 }
@@ -138,17 +139,17 @@ func TestLogFloatRange(t *testing.T) {
 func TestContainsRejects(t *testing.T) {
 	s := space(t)
 	a := s.Sample(mathx.NewRand(4))
-	a["rk_order"] = Int(7)
+	a.Set("rk_order", Int(7))
 	if s.Contains(a) {
 		t.Error("invalid rk order accepted")
 	}
 	b := s.Sample(mathx.NewRand(5))
-	delete(b, "algo")
+	b = slices.DeleteFunc(b, func(bd Binding) bool { return bd.Name == "algo" })
 	if s.Contains(b) {
 		t.Error("incomplete assignment accepted")
 	}
 	c := s.Sample(mathx.NewRand(6))
-	c["framework"] = Str("torchbeast")
+	c.Set("framework", Str("torchbeast"))
 	if s.Contains(c) {
 		t.Error("unknown framework accepted")
 	}

@@ -130,41 +130,76 @@ func epsDominates(a, b []float64, dirs []Direction, eps float64) bool {
 // NonDominatedSort partitions points into successive fronts: front 0 is
 // the Pareto front, front 1 the front after removing front 0, and so on
 // (the fast non-dominated sort of NSGA-II).
+//
+// The dominance graph is stored as a flat CSR-style adjacency (a count
+// pass sizes one shared edge buffer, a fill pass populates it) and every
+// front is a cap-limited sub-slice of one shared n-entry order buffer, so
+// the sort costs a fixed handful of allocations regardless of n — this
+// runs once per study report, but studyd re-ranks on every snapshot
+// request, which made the append-grown edge lists the hottest allocation
+// site of a campaign.
 func NonDominatedSort(points []Point, dirs []Direction) [][]int {
 	n := len(points)
+	if n == 0 {
+		return nil
+	}
 	domCount := make([]int, n)
-	dominates := make([][]int, n)
+	edgeCount := make([]int, n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
+		for j := i + 1; j < n; j++ {
 			if Dominates(points[i].Values, points[j].Values, dirs) {
-				dominates[i] = append(dominates[i], j)
+				edgeCount[i]++
+				domCount[j]++
 			} else if Dominates(points[j].Values, points[i].Values, dirs) {
+				edgeCount[j]++
 				domCount[i]++
 			}
 		}
 	}
-	var fronts [][]int
-	var current []int
+	offsets := make([]int, n+1)
 	for i := 0; i < n; i++ {
-		if domCount[i] == 0 {
-			current = append(current, i)
+		offsets[i+1] = offsets[i] + edgeCount[i]
+	}
+	// Reuse edgeCount as the per-node fill cursor.
+	edges := make([]int, offsets[n])
+	copy(edgeCount, offsets[:n])
+	fill := edgeCount
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Dominates(points[i].Values, points[j].Values, dirs) {
+				edges[fill[i]] = j
+				fill[i]++
+			} else if Dominates(points[j].Values, points[i].Values, dirs) {
+				edges[fill[j]] = i
+				fill[j]++
+			}
 		}
 	}
-	for len(current) > 0 {
-		fronts = append(fronts, current)
-		var next []int
-		for _, i := range current {
-			for _, j := range dominates[i] {
+	// Every point lands in exactly one front, so the fronts are windows
+	// into a single order buffer.
+	order := make([]int, n)
+	hi := 0
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			order[hi] = i
+			hi++
+		}
+	}
+	var fronts [][]int
+	lo := 0
+	for lo < hi {
+		fronts = append(fronts, order[lo:hi:hi])
+		next := hi
+		for _, i := range order[lo:hi] {
+			for _, j := range edges[offsets[i]:offsets[i+1]] {
 				domCount[j]--
 				if domCount[j] == 0 {
-					next = append(next, j)
+					order[next] = j
+					next++
 				}
 			}
 		}
-		current = next
+		lo, hi = hi, next
 	}
 	return fronts
 }

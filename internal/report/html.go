@@ -3,7 +3,6 @@ package report
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	"rldecide/internal/core"
@@ -45,11 +44,10 @@ figure { margin: 2em 0; }
 	}
 
 	if len(trials) > 0 {
-		var paramNames []string
-		for name := range trials[0].Params {
-			paramNames = append(paramNames, name)
+		paramNames := make([]string, 0, len(trials[0].Params))
+		for _, b := range trials[0].Params {
+			paramNames = append(paramNames, b.Name)
 		}
-		sort.Strings(paramNames)
 		fmt.Fprintln(w, "<table><tr><th>#</th>")
 		for _, p := range paramNames {
 			fmt.Fprintf(w, "<th>%s</th>", xmlEscape(p))
@@ -69,10 +67,10 @@ figure { margin: 2em 0; }
 			}
 			fmt.Fprintf(w, "<tr%s><td>%d</td>", cls, t.ID)
 			for _, p := range paramNames {
-				fmt.Fprintf(w, `<td class="param">%s</td>`, xmlEscape(t.Params[p].String()))
+				fmt.Fprintf(w, `<td class="param">%s</td>`, xmlEscape(t.Params.Value(p).String()))
 			}
 			for _, m := range rep.Metrics {
-				fmt.Fprintf(w, "<td>%.3f</td>", t.Values[m.Name])
+				fmt.Fprintf(w, "<td>%.3f</td>", t.Values.At(m.Name))
 			}
 			fmt.Fprintln(w, "</tr>")
 		}

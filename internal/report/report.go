@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"rldecide/internal/core"
@@ -17,20 +18,23 @@ import (
 
 // Table renders the report's trials as a Markdown table: one row per
 // trial, parameter columns first (sorted by name), then metric columns.
+// Rows are rendered into one reused line buffer (cells appended with
+// strconv, no per-row Join), so the render cost is a handful of
+// allocations however many trials the table has.
 func Table(w io.Writer, rep *core.Report) error {
 	trials := rep.Completed()
 	if len(trials) == 0 {
 		_, err := fmt.Fprintln(w, "(no completed trials)")
 		return err
 	}
-	var paramNames []string
-	for name := range trials[0].Params {
-		paramNames = append(paramNames, name)
+	// Assignments are name-sorted, so the bindings of any complete trial
+	// give the parameter column order directly.
+	ncols := 1 + len(trials[0].Params) + len(rep.Metrics)
+	header := make([]string, 1, ncols)
+	header[0] = "#"
+	for _, b := range trials[0].Params {
+		header = append(header, b.Name)
 	}
-	sort.Strings(paramNames)
-
-	header := []string{"#"}
-	header = append(header, paramNames...)
 	for _, m := range rep.Metrics {
 		label := m.Name
 		if m.Unit != "" {
@@ -41,22 +45,29 @@ func Table(w io.Writer, rep *core.Report) error {
 	if _, err := fmt.Fprintln(w, "| "+strings.Join(header, " | ")+" |"); err != nil {
 		return err
 	}
-	sep := make([]string, len(header))
-	for i := range sep {
-		sep[i] = "---"
+	line := make([]byte, 0, 128)
+	line = append(line, '|')
+	for range header {
+		line = append(line, " --- |"...)
 	}
-	if _, err := fmt.Fprintln(w, "| "+strings.Join(sep, " | ")+" |"); err != nil {
+	line = append(line, '\n')
+	if _, err := w.Write(line); err != nil {
 		return err
 	}
 	for _, t := range trials {
-		row := []string{fmt.Sprintf("%d", t.ID)}
-		for _, p := range paramNames {
-			row = append(row, t.Params[p].String())
+		line = line[:0]
+		line = append(line, '|', ' ')
+		line = strconv.AppendInt(line, int64(t.ID), 10)
+		for _, b := range t.Params {
+			line = append(line, ' ', '|', ' ')
+			line = b.Value.AppendText(line)
 		}
 		for _, m := range rep.Metrics {
-			row = append(row, fmt.Sprintf("%.3f", t.Values[m.Name]))
+			line = append(line, ' ', '|', ' ')
+			line = strconv.AppendFloat(line, t.Values.At(m.Name), 'f', 3, 64)
 		}
-		if _, err := fmt.Fprintln(w, "| "+strings.Join(row, " | ")+" |"); err != nil {
+		line = append(line, ' ', '|', '\n')
+		if _, err := w.Write(line); err != nil {
 			return err
 		}
 	}
@@ -69,11 +80,10 @@ func CSV(w io.Writer, rep *core.Report) error {
 	if len(trials) == 0 {
 		return fmt.Errorf("report: no completed trials")
 	}
-	var paramNames []string
-	for name := range trials[0].Params {
-		paramNames = append(paramNames, name)
+	paramNames := make([]string, 0, len(trials[0].Params))
+	for _, b := range trials[0].Params {
+		paramNames = append(paramNames, b.Name)
 	}
-	sort.Strings(paramNames)
 	cols := append([]string{"id"}, paramNames...)
 	for _, m := range rep.Metrics {
 		cols = append(cols, m.Name)
@@ -84,10 +94,10 @@ func CSV(w io.Writer, rep *core.Report) error {
 	for _, t := range trials {
 		row := []string{fmt.Sprintf("%d", t.ID)}
 		for _, p := range paramNames {
-			row = append(row, t.Params[p].String())
+			row = append(row, t.Params.Value(p).String())
 		}
 		for _, m := range rep.Metrics {
-			row = append(row, fmt.Sprintf("%g", t.Values[m.Name]))
+			row = append(row, fmt.Sprintf("%g", t.Values.At(m.Name)))
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err
@@ -124,9 +134,9 @@ func JSON(w io.Writer, rep *core.Report) error {
 		out.Metrics = append(out.Metrics, m.Name)
 	}
 	for _, t := range rep.Trials {
-		jt := jsonTrial{ID: t.ID, Params: map[string]string{}, Values: t.Values, Pruned: t.Pruned}
-		for k, v := range t.Params {
-			jt.Params[k] = v.String()
+		jt := jsonTrial{ID: t.ID, Params: map[string]string{}, Values: t.Values.Map(), Pruned: t.Pruned}
+		for _, b := range t.Params {
+			jt.Params[b.Name] = b.Value.String()
 		}
 		if t.Err != nil {
 			jt.Error = t.Err.Error()

@@ -17,8 +17,8 @@ func fakeReport(t *testing.T) *core.Report {
 	mk := func(id int, f string, rew, tm float64) core.Trial {
 		return core.Trial{
 			ID:     id,
-			Params: param.Assignment{"framework": param.Str(f), "rk_order": param.Int(3)},
-			Values: map[string]float64{"reward": rew, "time": tm},
+			Params: param.Assign(param.Bind("framework", param.Str(f)), param.Bind("rk_order", param.Int(3))),
+			Values: core.ValuesFromMap(map[string]float64{"reward": rew, "time": tm}),
 		}
 	}
 	rep := &core.Report{

@@ -51,13 +51,13 @@ func (l *LatinHypercube) build(rng *rand.Rand, space *param.Space) {
 	n := l.N
 	l.plan = make([]param.Assignment, n)
 	for j := range l.plan {
-		l.plan[j] = make(param.Assignment, len(space.Params()))
+		l.plan[j] = make(param.Assignment, 0, len(space.Params()))
 	}
 	for _, p := range space.Params() {
 		perm := rng.Perm(n)
 		for j := 0; j < n; j++ {
 			stratum := perm[j]
-			l.plan[j][p.Name()] = sampleStratum(rng, p, stratum, n)
+			l.plan[j].Set(p.Name(), sampleStratum(rng, p, stratum, n))
 		}
 	}
 }

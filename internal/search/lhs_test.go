@@ -25,8 +25,8 @@ func TestLHSCoversStrata(t *testing.T) {
 		if !space.Contains(a) {
 			t.Fatalf("out of space: %s", a)
 		}
-		seenStrata[int(a["x"].Float()*10)] = true
-		seenInts[a["n"].Int()] = true
+		seenStrata[int(a.Value("x").Float()*10)] = true
+		seenInts[a.Value("n").Int()] = true
 	}
 	// Each of the 10 x-strata visited exactly once.
 	if len(seenStrata) != 10 {
@@ -48,7 +48,7 @@ func TestLHSCategoricalRoundRobin(t *testing.T) {
 	counts := map[string]int{}
 	for i := 0; i < 9; i++ {
 		a, _ := l.Next(rng, space, nil)
-		counts[a["c"].Str()]++
+		counts[a.Value("c").Str()]++
 	}
 	for opt, c := range counts {
 		if c != 3 {
@@ -64,7 +64,7 @@ func TestLHSLogSpace(t *testing.T) {
 	var below, above int
 	for i := 0; i < 6; i++ {
 		a, _ := l.Next(rng, space, nil)
-		v := a["lr"].Float()
+		v := a.Value("lr").Float()
 		if v < 1e-4 || v > 1e-1 {
 			t.Fatalf("lr %v out of range", v)
 		}

@@ -57,6 +57,19 @@ type HistoryFree interface {
 	IgnoresHistory() bool
 }
 
+// InPlace is implemented by explorers that can write their proposal into a
+// caller-owned buffer. Callers that retain each proposal (core.Study keeps
+// every trial's params) carve per-trial regions out of a slab and pass
+// them as dst, eliminating the per-proposal allocation; the returned
+// assignment may alias dst's backing array. NextInto must consume the rng
+// stream exactly as Next does so replay is unaffected by which entry point
+// drives the campaign.
+type InPlace interface {
+	Explorer
+	// NextInto is Next writing into dst when capacity allows.
+	NextInto(rng *rand.Rand, space *param.Space, history []Observation, dst param.Assignment) (param.Assignment, bool)
+}
+
 // RandomSearch samples uniform random configurations, optionally skipping
 // duplicates.
 type RandomSearch struct {
@@ -75,21 +88,26 @@ func (r RandomSearch) IgnoresHistory() bool { return !r.Dedup }
 
 // Next implements Explorer.
 func (r RandomSearch) Next(rng *rand.Rand, space *param.Space, history []Observation) (param.Assignment, bool) {
+	return r.NextInto(rng, space, history, nil)
+}
+
+// NextInto implements InPlace.
+func (r RandomSearch) NextInto(rng *rand.Rand, space *param.Space, history []Observation, dst param.Assignment) (param.Assignment, bool) {
 	retries := r.MaxRetries
 	if retries <= 0 {
 		retries = 100
 	}
 	if !r.Dedup {
-		return space.Sample(rng), true
+		return space.SampleInto(rng, dst), true
 	}
 	seen := make(map[string]bool, len(history))
 	for _, h := range history {
 		seen[h.Assignment.Key()] = true
 	}
 	for i := 0; i < retries; i++ {
-		a := space.Sample(rng)
-		if !seen[a.Key()] {
-			return a, true
+		dst = space.SampleInto(rng, dst)
+		if !seen[dst.Key()] {
+			return dst, true
 		}
 	}
 	return nil, false
@@ -194,9 +212,9 @@ func (t TPE) Next(rng *rand.Rand, space *param.Space, history []Observation) (pa
 // categorical/finite parameters a smoothed empirical distribution, for
 // continuous ones a kernel draw around a random good observation.
 func (t TPE) sampleFromGood(rng *rand.Rand, space *param.Space, good []Observation) param.Assignment {
-	a := make(param.Assignment, len(space.Params()))
+	a := make(param.Assignment, 0, len(space.Params()))
 	for _, p := range space.Params() {
-		pick := good[rng.IntN(len(good))].Assignment[p.Name()]
+		pick := good[rng.IntN(len(good))].Assignment.Value(p.Name())
 		switch pp := p.(type) {
 		case param.FloatRange:
 			width := (pp.Hi - pp.Lo) / 5
@@ -207,14 +225,14 @@ func (t TPE) sampleFromGood(rng *rand.Rand, space *param.Space, good []Observati
 			if v > pp.Hi {
 				v = pp.Hi
 			}
-			a[p.Name()] = param.Float(v)
+			a.Set(p.Name(), param.Float(v))
 		default:
 			// Finite parameters: mostly reuse good values, sometimes
 			// explore uniformly (smoothing).
 			if rng.Float64() < 0.2 {
-				a[p.Name()] = p.Sample(rng)
+				a.Set(p.Name(), p.Sample(rng))
 			} else {
-				a[p.Name()] = pick
+				a.Set(p.Name(), pick)
 			}
 		}
 	}
@@ -226,7 +244,7 @@ func (t TPE) sampleFromGood(rng *rand.Rand, space *param.Space, good []Observati
 func (t TPE) logLikelihoodRatio(space *param.Space, cand param.Assignment, good, bad []Observation) float64 {
 	score := 0.0
 	for _, p := range space.Params() {
-		v := cand[p.Name()]
+		v := cand.Value(p.Name())
 		score += math.Log(density(p, v, good)) - math.Log(density(p, v, bad))
 	}
 	return score
@@ -244,7 +262,7 @@ func density(p param.Param, v param.Value, obs []Observation) float64 {
 		}
 		s := 0.0
 		for _, o := range obs {
-			d := (o.Assignment[p.Name()].Float() - v.Float()) / width
+			d := (o.Assignment.Value(p.Name()).Float() - v.Float()) / width
 			s += math.Exp(-0.5 * d * d)
 		}
 		return (s + 1e-3) / float64(len(obs)+1)
@@ -252,7 +270,7 @@ func density(p param.Param, v param.Value, obs []Observation) float64 {
 		k := len(p.Enumerate())
 		count := 0
 		for _, o := range obs {
-			if o.Assignment[p.Name()].Equal(v) {
+			if o.Assignment.Value(p.Name()).Equal(v) {
 				count++
 			}
 		}

@@ -72,7 +72,7 @@ func TestGridSearchEnumeratesAll(t *testing.T) {
 
 // quadratic objective over a float space: minimum at x = 0.3.
 func quadObs(x float64) Observation {
-	a := param.Assignment{"x": param.Float(x)}
+	a := param.Assign(param.Bind("x", param.Float(x)))
 	return Observation{Assignment: a, Objective: (x - 0.3) * (x - 0.3)}
 }
 
@@ -95,7 +95,7 @@ func TestTPEConcentratesNearOptimum(t *testing.T) {
 		if !ok {
 			t.Fatal("TPE exhausted")
 		}
-		x := a["x"].Float()
+		x := a.Value("x").Float()
 		if x < 0 || x > 1 {
 			t.Fatalf("TPE proposed out of range: %v", x)
 		}
@@ -127,7 +127,7 @@ func TestTPECategorical(t *testing.T) {
 		opt := []string{"x", "y", "z"}[i%3]
 		val := map[string]float64{"x": 5, "y": 0.1, "z": 7}[opt]
 		hist = append(hist, Observation{
-			Assignment: param.Assignment{"c": param.Str(opt)},
+			Assignment: param.Assign(param.Bind("c", param.Str(opt))),
 			Objective:  val,
 		})
 	}
@@ -136,7 +136,7 @@ func TestTPECategorical(t *testing.T) {
 	const n = 60
 	for i := 0; i < n; i++ {
 		a, _ := tpe.Next(rng, space, hist)
-		if a["c"].Str() == "y" {
+		if a.Value("c").Str() == "y" {
 			countY++
 		}
 	}
@@ -149,8 +149,8 @@ func TestTPEIgnoresFailedTrials(t *testing.T) {
 	space := param.MustSpace(param.NewFloatRange("x", 0, 1))
 	rng := mathx.NewRand(7)
 	hist := []Observation{
-		{Assignment: param.Assignment{"x": param.Float(0.5)}, Failed: true, Objective: math.NaN()},
-		{Assignment: param.Assignment{"x": param.Float(0.5)}, Pruned: true},
+		{Assignment: param.Assign(param.Bind("x", param.Float(0.5))), Failed: true, Objective: math.NaN()},
+		{Assignment: param.Assign(param.Bind("x", param.Float(0.5))), Pruned: true},
 	}
 	tpe := TPE{MinTrials: 1}
 	if a, ok := tpe.Next(rng, space, hist); !ok || !space.Contains(a) {

@@ -70,7 +70,7 @@ func registerGated(name string, g *rgate) {
 				<-rec.Context().Done()
 				return rec.Context().Err()
 			}
-			x, y := a["x"].Float(), a["y"].Float()
+			x, y := a.Value("x").Float(), a.Value("y").Float()
 			rec.Report(metrics[0].Name, x*x+y*y)
 			rec.Report(metrics[1].Name, 2*x+0.5*y)
 			g.complete(seed)

@@ -64,7 +64,7 @@ func EvaluateRequest(ctx context.Context, req executor.TrialRequest) (executor.T
 		}
 		res.Error = err.Error()
 	}
-	res.Values = out.Values
+	res.Values = out.Values.Map()
 	return res, nil
 }
 

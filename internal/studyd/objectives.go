@@ -114,18 +114,13 @@ func syntheticObjective(f func([]float64) float64) ObjectiveFactory {
 }
 
 // numericValues extracts the numeric parameters of an assignment in a
-// deterministic (name-sorted) order.
+// deterministic (name-sorted) order — the assignment's own binding order.
 func numericValues(a param.Assignment) []float64 {
-	names := make([]string, 0, len(a))
-	for name, v := range a {
-		if v.Kind() == param.KindInt || v.Kind() == param.KindFloat {
-			names = append(names, name)
+	out := make([]float64, 0, len(a))
+	for _, b := range a {
+		if b.Value.Kind() == param.KindInt || b.Value.Kind() == param.KindFloat {
+			out = append(out, b.Value.Float())
 		}
-	}
-	sort.Strings(names)
-	out := make([]float64, len(names))
-	for i, name := range names {
-		out[i] = a[name].Float()
 	}
 	return out
 }

@@ -106,7 +106,7 @@ func steerPPOObjective(spec Spec, metrics []core.Metric) (core.Objective, error)
 // floatParam reads a numeric parameter by name, with a default when the
 // spec's space does not declare it.
 func floatParam(a param.Assignment, name string, def float64) float64 {
-	v, ok := a[name]
+	v, ok := a.Get(name)
 	if !ok {
 		return def
 	}
@@ -115,7 +115,7 @@ func floatParam(a param.Assignment, name string, def float64) float64 {
 
 // intParam reads an integer-valued parameter by name with a default.
 func intParam(a param.Assignment, name string, def int) int {
-	v, ok := a[name]
+	v, ok := a.Get(name)
 	if !ok {
 		return def
 	}

@@ -50,8 +50,8 @@ func (d *Daemon) wrapFor(m *ManagedStudy) func(core.Objective) core.Objective {
 	return func(core.Objective) core.Objective {
 		return func(a param.Assignment, seed uint64, rec *core.Recorder) error {
 			params := make(map[string]string, len(a))
-			for name, v := range a {
-				params[name] = v.String()
+			for _, b := range a {
+				params[b.Name] = b.Value.String()
 			}
 			req := executor.TrialRequest{
 				StudyID:  m.ID,

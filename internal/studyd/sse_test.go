@@ -61,7 +61,7 @@ func TestEventsSSEStream(t *testing.T) {
 			case <-rec.Context().Done():
 				return rec.Context().Err()
 			}
-			x, y := a["x"].Float(), a["y"].Float()
+			x, y := a.Value("x").Float(), a.Value("y").Float()
 			rec.Report(metrics[0].Name, x*x+y*y)
 			rec.Report(metrics[1].Name, x+y)
 			return nil

@@ -228,7 +228,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 			mu.Lock()
 			cur--
 			mu.Unlock()
-			rec.Report(metrics[0].Name, a["x"].Float())
+			rec.Report(metrics[0].Name, a.Value("x").Float())
 			rec.Report(metrics[1].Name, 0)
 			return nil
 		}, nil
@@ -308,7 +308,7 @@ func registerGated(name string, g *gate) {
 				<-rec.Context().Done()
 				return rec.Context().Err()
 			}
-			x, y := a["x"].Float(), a["y"].Float()
+			x, y := a.Value("x").Float(), a.Value("y").Float()
 			rec.Report(metrics[0].Name, x*x+y*y)
 			rec.Report(metrics[1].Name, 2*x+0.5*y)
 			g.complete(seed)
@@ -448,9 +448,9 @@ func TestDaemonCrashResume(t *testing.T) {
 		if a.ID != b.ID || a.Seed != b.Seed || a.Params.Key() != b.Params.Key() {
 			t.Fatalf("trial %d diverged from uninterrupted run:\n%v\n%v", a.ID, a.Params, b.Params)
 		}
-		for name, v := range b.Values {
-			if a.Values[name] != v {
-				t.Fatalf("trial %d metric %s: %v vs %v", a.ID, name, a.Values[name], v)
+		for _, mv := range b.Values {
+			if a.Values.At(mv.Name) != mv.V {
+				t.Fatalf("trial %d metric %s: %v vs %v", a.ID, mv.Name, a.Values.At(mv.Name), mv.V)
 			}
 		}
 	}

@@ -1,0 +1,191 @@
+package tensor
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+)
+
+// randMatSparse fills an r×c matrix with a mix of ordinary values, exact
+// zeros (ReLU-style sparsity, exercising the zero-skip paths), negative
+// zeros, and large-magnitude values, so any accumulation-order or skip-set
+// difference between kernels shows up in the bits.
+func randMatSparse(rng *rand.Rand, r, c int) *Mat {
+	m := New(r, c)
+	for i := range m.Data {
+		switch rng.IntN(10) {
+		case 0, 1, 2:
+			m.Data[i] = 0
+		case 3:
+			m.Data[i] = math.Copysign(0, -1)
+		case 4:
+			m.Data[i] = (rng.Float64() - 0.5) * 1e12
+		default:
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func bitsEqual(t *testing.T, label string, want, got *Mat) {
+	t.Helper()
+	if want.R != got.R || want.C != got.C {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", label, want.R, want.C, got.R, got.C)
+	}
+	for i := range want.Data {
+		if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+			t.Fatalf("%s: element %d differs in bits: %x vs %x (%v vs %v)",
+				label, i, math.Float64bits(want.Data[i]), math.Float64bits(got.Data[i]),
+				want.Data[i], got.Data[i])
+		}
+	}
+}
+
+// stealSchedule runs fn over the exact chunk grid parallelRows would build
+// for the given rows and width, but executes the chunks serially in an
+// adversarial claim order. Chunk disjointness makes execution order
+// irrelevant to the result, so this is equivalent to any steal
+// interleaving — including every chunk being stolen.
+func stealSchedule(rows, width int, order func(n int) []int, fn func(lo, hi int)) {
+	workers := width
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 2 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	nchunks := (rows + chunk - 1) / chunk
+	for _, c := range order(nchunks) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		fn(lo, hi)
+	}
+}
+
+func reversed(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - 1 - i
+	}
+	return out
+}
+
+// TestKernelBitIdentitySweep is the determinism proof for kernel v2: over
+// randomized shapes (including ones that cross the parallel and blocking
+// thresholds), the serial kernels, the pool at several widths, the packed
+// transposed-B kernel, and adversarial stolen-chunk schedules must all
+// produce bit-identical outputs for MulInto, MulTransAInto and
+// MulTransBInto.
+func TestKernelBitIdentitySweep(t *testing.T) {
+	defer SetParallelism(0)
+	rng := rand.New(rand.NewPCG(7, 2026))
+	widths := []int{2, 3, 4, runtime.GOMAXPROCS(0)}
+
+	shapes := make([][3]int, 0, 64)
+	for len(shapes) < 56 {
+		shapes = append(shapes, [3]int{1 + rng.IntN(40), 1 + rng.IntN(40), 1 + rng.IntN(40)})
+	}
+	// Shapes that cross parallelThreshold (r·n·p ≥ 1<<16) and, for the
+	// last one, blockThreshold (n·p ≥ 1<<16).
+	shapes = append(shapes, [3]int{48, 40, 40}, [3]int{130, 33, 31}, [3]int{24, 300, 260})
+
+	for si, sh := range shapes {
+		r, n, p := sh[0], sh[1], sh[2]
+		a := randMatSparse(rng, r, n)
+		b := randMatSparse(rng, n, p)
+		at := randMatSparse(rng, n, r) // for MulTransAInto: dst is r×p
+		bt := randMatSparse(rng, p, n) // for MulTransBInto: dst is r×p
+
+		SetParallelism(1)
+		wantMul := New(r, p)
+		MulInto(wantMul, a, b)
+		wantTA := New(r, p)
+		MulTransAInto(wantTA, at, b)
+		wantTB := New(r, p)
+		MulTransBInto(wantTB, a, bt)
+
+		got := New(r, p)
+		for _, w := range widths {
+			SetParallelism(w)
+			MulInto(got, a, b)
+			bitsEqual(t, "MulInto width", wantMul, got)
+			MulTransAInto(got, at, b)
+			bitsEqual(t, "MulTransAInto width", wantTA, got)
+			MulTransBInto(got, a, bt)
+			bitsEqual(t, "MulTransBInto width", wantTB, got)
+		}
+
+		SetParallelism(1)
+		scratch := MulIntoPacked(got, a, b, nil)
+		bitsEqual(t, "MulIntoPacked serial", wantMul, got)
+		SetParallelism(runtime.GOMAXPROCS(0))
+		scratch = MulIntoPacked(got, a, b, scratch)
+		bitsEqual(t, "MulIntoPacked parallel", wantMul, got)
+
+		// Stolen-chunk schedules: same chunk grid, reverse claim order.
+		for _, w := range widths {
+			got.Zero()
+			stealSchedule(r, w, reversed, func(lo, hi int) { mulRows(got, a, b, lo, hi) })
+			bitsEqual(t, "MulInto stolen", wantMul, got)
+			got.Zero()
+			stealSchedule(r, w, reversed, func(lo, hi int) { mulTransARows(got, at, b, lo, hi) })
+			bitsEqual(t, "MulTransAInto stolen", wantTA, got)
+			got.Zero()
+			stealSchedule(r, w, reversed, func(lo, hi int) { mulTransBRows(got, a, bt, lo, hi) })
+			bitsEqual(t, "MulTransBInto stolen", wantTB, got)
+			if r >= packRowThreshold && n*p < blockThreshold {
+				pk := Ensure(nil, p, n)
+				TransposeInto(pk, b)
+				got.Zero()
+				stealSchedule(r, w, reversed, func(lo, hi int) { mulRowsPacked(got, a, pk, lo, hi) })
+				bitsEqual(t, "MulIntoPacked stolen", wantMul, got)
+			}
+		}
+		_ = si
+	}
+}
+
+// TestStealRunClaimsEveryChunkOnce drives a stealRun from several
+// concurrent participants and checks the ownership-transfer invariant
+// directly: every chunk executes exactly once, whole, over its fixed
+// bounds.
+func TestStealRunClaimsEveryChunkOnce(t *testing.T) {
+	const rows, chunk = 103, 7
+	nchunks := (rows + chunk - 1) / chunk
+	hits := make([]int32, rows)
+	run := &stealRun{
+		rows:    rows,
+		chunk:   chunk,
+		nchunks: int64(nchunks),
+	}
+	var starts []int
+	run.fn = func(lo, hi int) {
+		if lo%chunk != 0 || (hi != lo+chunk && hi != rows) {
+			t.Errorf("re-partitioned chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+		starts = append(starts, lo)
+	}
+	run.wg.Add(nchunks)
+	// Serial participants: the second and third find the cursor exhausted.
+	run.participate()
+	run.participate()
+	run.participate()
+	run.wg.Wait()
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("row %d executed %d times", i, h)
+		}
+	}
+	if len(starts) != nchunks {
+		t.Fatalf("claimed %d chunks, want %d", len(starts), nchunks)
+	}
+}

@@ -242,6 +242,210 @@ func Ensure(m *Mat, r, c int) *Mat {
 	return New(r, c)
 }
 
+// TransposeInto writes mᵀ into dst (dst must be m.C×m.R and must not alias
+// m). The j-outer loop streams dst sequentially; m is read with stride C,
+// which for the weight matrices this packs (tens of KiB) stays cache
+// resident.
+func TransposeInto(dst, m *Mat) {
+	if dst.R != m.C || dst.C != m.R {
+		panic("tensor: TransposeInto dst shape mismatch")
+	}
+	r, c := m.R, m.C
+	for j := 0; j < c; j++ {
+		drow := dst.Data[j*r : (j+1)*r]
+		for i := range drow {
+			drow[i] = m.Data[i*c+j]
+		}
+	}
+}
+
+// packRowThreshold is the minimum number of output rows for which
+// MulIntoPacked packs bᵀ: the O(n·p) transpose is amortized over the
+// a.R×n×p multiply, so below this many rows the pack overhead outweighs
+// the wide-kernel win and the plain kernel is used instead.
+const packRowThreshold = 8
+
+// packMinK is the minimum inner dimension worth packing: below it the
+// transpose and per-group loop overhead outweigh the wide kernel (the
+// first policy layer, whose fan-in is the observation size, stays on the
+// plain kernel).
+const packMinK = 16
+
+// packMaxK caps the inner dimension of the packed kernel: the per-row
+// nonzero-index scratch lives on the stack (packMaxK*4 bytes), so larger
+// inner dims fall back to the plain kernel rather than allocate.
+const packMaxK = 1024
+
+// MulIntoPacked computes dst = a @ b like MulInto, but through a
+// caller-provided transposed-B scratch buffer: b is packed as bᵀ into bt
+// (grown via Ensure and returned for reuse), turning every output element
+// into a contiguous dot product that the 8-column kernel evaluates with
+// independent accumulator chains. Each element's chain applies the same
+// ascending-k additions with the same zero-skips as mulRowsPlain, so the
+// result is bit-identical to MulInto — the packing changes memory layout,
+// never arithmetic. Small batches (a.R < packRowThreshold) and shapes past
+// the cache-blocking threshold fall back to MulInto untouched.
+func MulIntoPacked(dst, a, b, bt *Mat) *Mat {
+	if a.R < packRowThreshold || a.C < packMinK || a.C > packMaxK || a.C*b.C >= blockThreshold {
+		MulInto(dst, a, b)
+		return bt
+	}
+	if a.C != b.R {
+		panic(fmt.Sprintf("tensor: MulIntoPacked inner dims %d vs %d", a.C, b.R))
+	}
+	if dst.R != a.R || dst.C != b.C {
+		panic("tensor: MulIntoPacked dst shape mismatch")
+	}
+	if dst == a || dst == b {
+		panic("tensor: MulIntoPacked dst aliases input")
+	}
+	bt = Ensure(bt, b.C, b.R)
+	TransposeInto(bt, b)
+	if a.R*a.C*b.C >= parallelThreshold && Parallelism() > 1 {
+		parallelRows(a.R, func(lo, hi int) { mulRowsPacked(dst, a, bt, lo, hi) })
+		return bt
+	}
+	mulRowsPacked(dst, a, bt, 0, a.R)
+	return bt
+}
+
+// mulRowsPacked computes rows [lo,hi) of dst = a @ btᵀ where bt is the
+// packed transpose of b (bt row j = b column j). Eight output columns are
+// evaluated per pass: eight independent accumulator chains (one serial FP
+// chain per output element) hide the add latency a single chain is bound
+// by, and arow is read once per octet instead of once per column.
+//
+// The zero-skip of mulRowsPlain is part of the bit contract (s + 0·x is
+// not always s, and NaN/Inf must propagate identically), but testing
+// arow[k] inside the 8-wide loop mispredicts badly on ReLU-sparse inputs.
+// Instead the nonzero k indices are collected once per row — amortized
+// over all p/8 column groups — so the inner loop is branch-free yet
+// applies exactly mulRowsPlain's add sequence: ascending k, zeros
+// skipped, one strictly sequential chain per output element, with the
+// nonzero list walked pairwise (two loads per stream per iteration, two
+// sequential adds per chain).
+func mulRowsPacked(dst, a, bt *Mat, lo, hi int) {
+	n, p := a.C, bt.R
+	var idxBuf [packMaxK]int32
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		drow := dst.Data[i*p : (i+1)*p]
+		nz := idxBuf[:0]
+		for k, av := range arow {
+			if av != 0 {
+				nz = append(nz, int32(k))
+			}
+		}
+		j := 0
+		for ; j+7 < p; j += 8 {
+			b0 := bt.Data[j*n : (j+1)*n][:len(arow)]
+			b1 := bt.Data[(j+1)*n : (j+2)*n][:len(arow)]
+			b2 := bt.Data[(j+2)*n : (j+3)*n][:len(arow)]
+			b3 := bt.Data[(j+3)*n : (j+4)*n][:len(arow)]
+			b4 := bt.Data[(j+4)*n : (j+5)*n][:len(arow)]
+			b5 := bt.Data[(j+5)*n : (j+6)*n][:len(arow)]
+			b6 := bt.Data[(j+6)*n : (j+7)*n][:len(arow)]
+			b7 := bt.Data[(j+7)*n : (j+8)*n][:len(arow)]
+			var s0, s1, s2, s3, s4, s5, s6, s7 float64
+			if len(nz) == n {
+				// Dense row: sequential k, no index indirection (and no
+				// bounds checks on the b streams). The skip set is empty,
+				// so this is the same add sequence as the indexed loop.
+				k := 0
+				for ; k+1 < n; k += 2 {
+					a0, a1 := arow[k], arow[k+1]
+					s0 += a0 * b0[k]
+					s0 += a1 * b0[k+1]
+					s1 += a0 * b1[k]
+					s1 += a1 * b1[k+1]
+					s2 += a0 * b2[k]
+					s2 += a1 * b2[k+1]
+					s3 += a0 * b3[k]
+					s3 += a1 * b3[k+1]
+					s4 += a0 * b4[k]
+					s4 += a1 * b4[k+1]
+					s5 += a0 * b5[k]
+					s5 += a1 * b5[k+1]
+					s6 += a0 * b6[k]
+					s6 += a1 * b6[k+1]
+					s7 += a0 * b7[k]
+					s7 += a1 * b7[k+1]
+				}
+				if k < n {
+					av := arow[k]
+					s0 += av * b0[k]
+					s1 += av * b1[k]
+					s2 += av * b2[k]
+					s3 += av * b3[k]
+					s4 += av * b4[k]
+					s5 += av * b5[k]
+					s6 += av * b6[k]
+					s7 += av * b7[k]
+				}
+				drow[j] = s0
+				drow[j+1] = s1
+				drow[j+2] = s2
+				drow[j+3] = s3
+				drow[j+4] = s4
+				drow[j+5] = s5
+				drow[j+6] = s6
+				drow[j+7] = s7
+				continue
+			}
+			t := 0
+			for ; t+1 < len(nz); t += 2 {
+				k0, k1 := int(nz[t]), int(nz[t+1])
+				a0, a1 := arow[k0], arow[k1]
+				s0 += a0 * b0[k0]
+				s0 += a1 * b0[k1]
+				s1 += a0 * b1[k0]
+				s1 += a1 * b1[k1]
+				s2 += a0 * b2[k0]
+				s2 += a1 * b2[k1]
+				s3 += a0 * b3[k0]
+				s3 += a1 * b3[k1]
+				s4 += a0 * b4[k0]
+				s4 += a1 * b4[k1]
+				s5 += a0 * b5[k0]
+				s5 += a1 * b5[k1]
+				s6 += a0 * b6[k0]
+				s6 += a1 * b6[k1]
+				s7 += a0 * b7[k0]
+				s7 += a1 * b7[k1]
+			}
+			if t < len(nz) {
+				k := int(nz[t])
+				av := arow[k]
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+				s4 += av * b4[k]
+				s5 += av * b5[k]
+				s6 += av * b6[k]
+				s7 += av * b7[k]
+			}
+			drow[j] = s0
+			drow[j+1] = s1
+			drow[j+2] = s2
+			drow[j+3] = s3
+			drow[j+4] = s4
+			drow[j+5] = s5
+			drow[j+6] = s6
+			drow[j+7] = s7
+		}
+		for ; j < p; j++ {
+			brow := bt.Data[j*n : (j+1)*n][:len(arow)]
+			s := 0.0
+			for _, ki := range nz {
+				k := int(ki)
+				s += arow[k] * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
 // Mul returns a new matrix a @ b.
 func Mul(a, b *Mat) *Mat {
 	dst := New(a.R, b.C)
@@ -352,36 +556,75 @@ func MulTransBInto(dst, a, b *Mat) {
 
 // mulTransBRows computes rows [lo,hi) of dst = a @ bᵀ. Each output element
 // is one dot product evaluated in ascending-k order regardless of how rows
-// are partitioned, so parallel and serial results are bit-identical. Four
-// output columns are computed per pass: the four accumulator chains are
-// independent (one per output element, each ascending-k as before), which
-// hides the add latency a single serial chain is bound by and reads arow
-// once per quad instead of once per column.
+// are partitioned, so parallel and serial results are bit-identical. Eight
+// output columns are computed per pass: the eight accumulator chains are
+// independent (one per output element, each a single serial ascending-k
+// chain as before), which hides the add latency a lone chain is bound by
+// and reads arow once per octet instead of once per column. Within a
+// chain, k advances pairwise — two loads per b stream per iteration,
+// applied as two strictly sequential adds — which keeps the chain serial
+// (never a re-grouped sum) while halving loop overhead. Unlike the MulInto
+// family there is no zero-skip here: the serial kernel never had one, and
+// adding one would change the bits (s + 0·x is not always s).
 func mulTransBRows(dst, a, b *Mat, lo, hi int) {
 	m, c := b.R, b.C
 	for i := lo; i < hi; i++ {
 		arow := a.Data[i*a.C : (i+1)*a.C]
 		drow := dst.Data[i*dst.C : (i+1)*dst.C]
+		n := len(arow)
 		j := 0
-		for ; j+3 < m; j += 4 {
-			b0 := b.Data[j*c : (j+1)*c][:len(arow)]
-			b1 := b.Data[(j+1)*c : (j+2)*c][:len(arow)]
-			b2 := b.Data[(j+2)*c : (j+3)*c][:len(arow)]
-			b3 := b.Data[(j+3)*c : (j+4)*c][:len(arow)]
-			var s0, s1, s2, s3 float64
-			for k, av := range arow {
+		for ; j+7 < m; j += 8 {
+			b0 := b.Data[j*c : (j+1)*c][:n]
+			b1 := b.Data[(j+1)*c : (j+2)*c][:n]
+			b2 := b.Data[(j+2)*c : (j+3)*c][:n]
+			b3 := b.Data[(j+3)*c : (j+4)*c][:n]
+			b4 := b.Data[(j+4)*c : (j+5)*c][:n]
+			b5 := b.Data[(j+5)*c : (j+6)*c][:n]
+			b6 := b.Data[(j+6)*c : (j+7)*c][:n]
+			b7 := b.Data[(j+7)*c : (j+8)*c][:n]
+			var s0, s1, s2, s3, s4, s5, s6, s7 float64
+			k := 0
+			for ; k+1 < n; k += 2 {
+				a0, a1 := arow[k], arow[k+1]
+				s0 += a0 * b0[k]
+				s0 += a1 * b0[k+1]
+				s1 += a0 * b1[k]
+				s1 += a1 * b1[k+1]
+				s2 += a0 * b2[k]
+				s2 += a1 * b2[k+1]
+				s3 += a0 * b3[k]
+				s3 += a1 * b3[k+1]
+				s4 += a0 * b4[k]
+				s4 += a1 * b4[k+1]
+				s5 += a0 * b5[k]
+				s5 += a1 * b5[k+1]
+				s6 += a0 * b6[k]
+				s6 += a1 * b6[k+1]
+				s7 += a0 * b7[k]
+				s7 += a1 * b7[k+1]
+			}
+			if k < n {
+				av := arow[k]
 				s0 += av * b0[k]
 				s1 += av * b1[k]
 				s2 += av * b2[k]
 				s3 += av * b3[k]
+				s4 += av * b4[k]
+				s5 += av * b5[k]
+				s6 += av * b6[k]
+				s7 += av * b7[k]
 			}
 			drow[j] = s0
 			drow[j+1] = s1
 			drow[j+2] = s2
 			drow[j+3] = s3
+			drow[j+4] = s4
+			drow[j+5] = s5
+			drow[j+6] = s6
+			drow[j+7] = s7
 		}
 		for ; j < m; j++ {
-			brow := b.Data[j*c : (j+1)*c][:len(arow)]
+			brow := b.Data[j*c : (j+1)*c][:n]
 			s := 0.0
 			for k, av := range arow {
 				s += av * brow[k]

@@ -14,11 +14,15 @@ import (
 //
 // Determinism contract: work is partitioned into fixed, contiguous row
 // chunks — chunk boundaries depend only on the shape and the configured
-// parallelism, every output element is written by exactly one worker, and
-// each element's additions happen in the same (ascending-k) order as the
-// serial kernel. The floating-point result is therefore bit-identical for
-// any worker count, which is what lets the replay contract hold with the
-// pool at 1, 2, or GOMAXPROCS workers.
+// parallelism, every output element is written by exactly one claimant,
+// and each element's additions happen in the same (ascending-k) order as
+// the serial kernel. WHICH goroutine executes a chunk is scheduling, not
+// arithmetic: chunks are claimed off an atomic cursor, so a worker that
+// finishes early steals the next not-yet-started chunk whole (ownership
+// transfer — a chunk is never re-partitioned or run twice). The
+// floating-point result is therefore bit-identical for any worker count
+// and any steal interleaving, which is what lets the replay contract hold
+// with the pool at 1, 2, or GOMAXPROCS workers.
 
 // parallelism is the number of chunks a parallel kernel call fans out to.
 // 0 means "use runtime.GOMAXPROCS(0)".
@@ -45,29 +49,64 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// poolTask is one contiguous chunk of rows handed to a pool worker.
-type poolTask struct {
-	fn     func(lo, hi int)
-	lo, hi int
-	wg     *sync.WaitGroup
+// stealRun is one parallel kernel call's shared work descriptor. The chunk
+// grid (chunk size and count) is fixed up front as a pure function of the
+// row count and Parallelism(); cursor is the index of the next unclaimed
+// chunk. Participants — the caller plus every pool worker that picks the
+// run off the task channel — loop claiming chunks until the cursor passes
+// nchunks.
+type stealRun struct {
+	fn      func(lo, hi int)
+	rows    int
+	chunk   int
+	nchunks int64
+	cursor  atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// participate claims and executes whole chunks until none remain. Every
+// chunk after a participant's first was notionally another participant's
+// share — count it as stolen. The claim is the ownership transfer: the
+// atomic add hands the chunk to exactly one goroutine, which runs it over
+// the chunk's fixed [lo,hi) bounds.
+func (r *stealRun) participate() {
+	claimed := 0
+	for {
+		c := r.cursor.Add(1) - 1
+		if c >= r.nchunks {
+			break
+		}
+		lo := int(c) * r.chunk
+		hi := lo + r.chunk
+		if hi > r.rows {
+			hi = r.rows
+		}
+		r.fn(lo, hi)
+		r.wg.Done()
+		claimed++
+	}
+	if claimed > 1 {
+		metricStolenChunks.Add(uint64(claimed - 1))
+	}
 }
 
 var (
-	poolOnce  sync.Once
-	poolTasks chan poolTask
+	poolOnce    sync.Once
+	poolTasks   chan *stealRun
+	poolWorkers int
 )
 
 // startPool lazily starts the persistent workers. The pool is sized to the
-// machine (GOMAXPROCS at first use); SetParallelism only controls how many
-// chunks are dispatched, so idle workers cost nothing but a blocked
-// goroutine.
+// machine (GOMAXPROCS at first use); SetParallelism only controls the
+// chunk grid, so idle workers cost nothing but a blocked goroutine.
 func startPool() {
 	poolOnce.Do(func() {
 		n := runtime.GOMAXPROCS(0)
 		if n < 1 {
 			n = 1
 		}
-		poolTasks = make(chan poolTask, 4*n)
+		poolWorkers = n
+		poolTasks = make(chan *stealRun, 4*n)
 		for i := 0; i < n; i++ {
 			//lint:ignore go-spawn the pool's own persistent workers are the one sanctioned spawn site for kernel parallelism
 			go poolWorker(poolTasks)
@@ -75,17 +114,19 @@ func startPool() {
 	})
 }
 
-func poolWorker(tasks <-chan poolTask) {
-	for t := range tasks {
-		t.fn(t.lo, t.hi)
-		t.wg.Done()
+func poolWorker(tasks <-chan *stealRun) {
+	for r := range tasks {
+		r.participate()
 	}
 }
 
 // parallelRows splits [0, rows) into fixed contiguous chunks and runs fn
-// over them, using the calling goroutine for the first chunk and the pool
-// for the rest. With parallelism 1 (or a single chunk) it runs fn inline —
-// no channel traffic, no synchronization.
+// over them. The chunk grid depends only on rows and Parallelism(); the
+// caller and up to nchunks-1 pool workers then race to claim chunks from
+// the shared cursor, so a participant stalled behind another run's kernel
+// never strands its share — someone else steals the whole chunk. With
+// parallelism 1 (or a single chunk) fn runs inline: no channel traffic,
+// no synchronization.
 func parallelRows(rows int, fn func(lo, hi int)) {
 	workers := Parallelism()
 	if workers > rows {
@@ -98,18 +139,20 @@ func parallelRows(rows int, fn func(lo, hi int)) {
 	}
 	startPool()
 	chunk := (rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	chunks := uint64(1)
-	for lo := chunk; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		wg.Add(1)
-		chunks++
-		poolTasks <- poolTask{fn: fn, lo: lo, hi: hi, wg: &wg}
+	nchunks := (rows + chunk - 1) / chunk
+	run := &stealRun{fn: fn, rows: rows, chunk: chunk, nchunks: int64(nchunks)}
+	run.wg.Add(nchunks)
+	// Invite at most nchunks-1 helpers (the caller is a participant too)
+	// and no more than the pool has workers — extra invitations would only
+	// find an exhausted cursor.
+	invites := nchunks - 1
+	if invites > poolWorkers {
+		invites = poolWorkers
 	}
-	fn(0, chunk)
-	wg.Wait()
-	metricPoolChunks.Add(chunks)
+	for i := 0; i < invites; i++ {
+		poolTasks <- run
+	}
+	run.participate()
+	run.wg.Wait()
+	metricPoolChunks.Add(uint64(nchunks))
 }
