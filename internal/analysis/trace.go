@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"rldecide/internal/obs"
+	obspan "rldecide/internal/obs/span"
 )
 
 // TraceOptions tunes AnalyzeTrace. Zero values take defaults.
@@ -29,6 +30,34 @@ type Straggler struct {
 	DurationMs float64 `json:"duration_ms"`
 	// Ratio is DurationMs over the population p50.
 	Ratio float64 `json:"ratio"`
+	// Dominant names the critical-path component ("queue", "dispatch",
+	// "objective", "journal") that took the largest share of the trial —
+	// set when the stream carries causal span events (daemon -spans), so
+	// a straggler is attributed, not just flagged.
+	Dominant string `json:"dominant,omitempty"`
+}
+
+// PathBreakdown is one trial's critical path decomposed from its causal
+// spans: where the wall-clock went between the scheduler proposing the
+// trial and its journal append landing.
+type PathBreakdown struct {
+	Study  string `json:"study,omitempty"`
+	Trial  int    `json:"trial"`
+	Worker string `json:"worker,omitempty"`
+	// TotalMs is the trial span plus the journal append.
+	TotalMs float64 `json:"total_ms"`
+	// QueueMs is time inside the trial span not covered by dispatch (or,
+	// locally, objective) work — executor lease wait, mostly.
+	QueueMs float64 `json:"queue_ms"`
+	// DispatchMs is dispatch RTT beyond the objective itself: transport,
+	// worker queueing, spec decode, plus any failed attempts.
+	DispatchMs float64 `json:"dispatch_ms"`
+	// ObjectiveMs is objective execution proper (local or worker-side).
+	ObjectiveMs float64 `json:"objective_ms"`
+	// JournalMs is the finished trial's journal append.
+	JournalMs float64 `json:"journal_ms"`
+	// Dominant names the largest component above.
+	Dominant string `json:"dominant"`
 }
 
 // TraceReport is the trace analyzer's output: span latency summaries per
@@ -43,6 +72,10 @@ type TraceReport struct {
 	Workers    []WorkerSummary `json:"workers,omitempty"`
 	StragglerK float64         `json:"straggler_k"`
 	Stragglers []Straggler     `json:"stragglers,omitempty"`
+	// CriticalPath decomposes each trial's latency from causal span
+	// events (present only when the stream carries them), sorted by
+	// (study, trial).
+	CriticalPath []PathBreakdown `json:"critical_path,omitempty"`
 }
 
 // trialKey identifies one trial span across studies.
@@ -80,6 +113,20 @@ func AnalyzeTrace(events []obs.Event, opts TraceOptions) TraceReport {
 	studies := map[string]bool{}
 	var trialOrder []trialKey
 
+	// Causal span accumulation (present only when a daemon ran with
+	// -spans). Durations are summed per component so retried dispatches
+	// count every attempt.
+	type pathAcc struct {
+		worker      string
+		hasTrial    bool
+		trialMs     float64
+		dispatchMs  float64
+		objectiveMs float64
+		journalMs   float64
+	}
+	paths := map[trialKey]*pathAcc{}
+	var pathOrder []trialKey
+
 	for _, ev := range events {
 		if opts.Study != "" && ev.Study != opts.Study {
 			continue
@@ -107,6 +154,36 @@ func AnalyzeTrace(events []obs.Event, opts TraceOptions) TraceReport {
 			if s, ok := dispatches[dispatchKey{ev.Study, ev.Trial, ev.Attempt}]; ok && !s.closed {
 				s.end = ev.TMs
 				s.closed = true
+			}
+		case obs.KindSpan:
+			switch ev.Name {
+			case obspan.NameTrial, obspan.NameDispatch, obspan.NameObjective, obspan.NameJournal:
+			default:
+				continue // study/place/run spans are not per-trial components
+			}
+			k := trialKey{ev.Study, ev.Trial}
+			acc, ok := paths[k]
+			if !ok {
+				acc = &pathAcc{}
+				paths[k] = acc
+				pathOrder = append(pathOrder, k)
+			}
+			switch ev.Name {
+			case obspan.NameTrial:
+				acc.hasTrial = true
+				acc.trialMs += ev.DurMs
+				if ev.Worker != "" {
+					acc.worker = ev.Worker
+				}
+			case obspan.NameDispatch:
+				acc.dispatchMs += ev.DurMs
+				if acc.worker == "" {
+					acc.worker = ev.Worker
+				}
+			case obspan.NameObjective:
+				acc.objectiveMs += ev.DurMs
+			case obspan.NameJournal:
+				acc.journalMs += ev.DurMs
 			}
 		}
 	}
@@ -153,6 +230,57 @@ func AnalyzeTrace(events []obs.Event, opts TraceOptions) TraceReport {
 		rep.Workers = append(rep.Workers, WorkerSummary{Worker: w, Trials: summarize(byWorker[w])})
 	}
 
+	// Critical path: decompose each spanned trial. The trial span covers
+	// queue wait plus dispatch (or local objective) work; the journal
+	// append happens after the trial wrapper returns, so it adds on top.
+	dominant := map[trialKey]string{}
+	for _, k := range pathOrder {
+		acc := paths[k]
+		if !acc.hasTrial {
+			continue // incomplete tree (trial still running, torn tail)
+		}
+		clamp := func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			return v
+		}
+		pb := PathBreakdown{
+			Study:       k.study,
+			Trial:       k.trial,
+			Worker:      acc.worker,
+			TotalMs:     acc.trialMs + acc.journalMs,
+			ObjectiveMs: acc.objectiveMs,
+			JournalMs:   acc.journalMs,
+		}
+		if acc.dispatchMs > 0 {
+			pb.DispatchMs = clamp(acc.dispatchMs - acc.objectiveMs)
+			pb.QueueMs = clamp(acc.trialMs - acc.dispatchMs)
+		} else {
+			pb.QueueMs = clamp(acc.trialMs - acc.objectiveMs)
+		}
+		// Fixed evaluation order + strict-greater keeps ties deterministic.
+		pb.Dominant = "queue"
+		best := pb.QueueMs
+		for _, c := range []struct {
+			name string
+			ms   float64
+		}{{"dispatch", pb.DispatchMs}, {"objective", pb.ObjectiveMs}, {"journal", pb.JournalMs}} {
+			if c.ms > best {
+				pb.Dominant, best = c.name, c.ms
+			}
+		}
+		dominant[k] = pb.Dominant
+		rep.CriticalPath = append(rep.CriticalPath, pb)
+	}
+	sort.Slice(rep.CriticalPath, func(i, j int) bool {
+		a, b := rep.CriticalPath[i], rep.CriticalPath[j]
+		if a.Study != b.Study {
+			return a.Study < b.Study
+		}
+		return a.Trial < b.Trial
+	})
+
 	// Straggler flagging needs a meaningful p50: require a few trials.
 	if len(closed) >= 4 && rep.Trials.P50Ms > 0 {
 		cut := opts.StragglerK * rep.Trials.P50Ms
@@ -164,6 +292,7 @@ func AnalyzeTrace(events []obs.Event, opts TraceOptions) TraceReport {
 					Worker:     c.worker,
 					DurationMs: c.dur,
 					Ratio:      c.dur / rep.Trials.P50Ms,
+					Dominant:   dominant[c.key],
 				})
 			}
 		}

@@ -24,6 +24,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+
+	"rldecide/internal/obs/span"
 )
 
 // TrialRequest is one trial dispatch: everything a worker needs to
@@ -66,6 +68,11 @@ type TrialResult struct {
 	// Informational only: it rides back to the journal's wall_ms field
 	// and never feeds replay or ranking.
 	WallMs float64 `json:"wall_ms,omitempty"`
+	// Spans are the causal spans the worker recorded while evaluating
+	// (internal/obs/span), returned so the dispatching daemon holds the
+	// complete per-trial span tree. Present only when the dispatch carried
+	// trace headers; informational only — never journaled, never ranked.
+	Spans []span.Span `json:"spans,omitempty"`
 }
 
 // SpecHashOf returns the content hash (hex SHA-256) of raw spec bytes,

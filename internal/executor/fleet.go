@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rldecide/internal/obs"
+	"rldecide/internal/obs/span"
 	"rldecide/internal/power"
 )
 
@@ -229,6 +230,14 @@ func (f *Fleet) Stats() Stats {
 // re-admits it) and requeue the trial — backing off exponentially — until
 // the result arrives, ctx is cancelled, or MaxAttempts workers have failed.
 func (f *Fleet) Run(ctx context.Context, req TrialRequest) (TrialResult, error) {
+	// An ambient tracing scope (installed by the daemon when spans are on)
+	// times each dispatch attempt and names the parent span the worker's
+	// own spans attach under. Nil scope — the common case — records nothing.
+	sc := span.FromContext(ctx)
+	trace := ""
+	if sc != nil {
+		trace = sc.Trace
+	}
 	backoff := f.opts.Backoff
 	for attempt := 1; ; attempt++ {
 		w, err := f.lease(ctx)
@@ -240,15 +249,18 @@ func (f *Fleet) Run(ctx context.Context, req TrialRequest) (TrialResult, error) 
 			send.Spec = nil // worker has the spec cached; ship hash-only
 		}
 		f.events.Publish(obs.Event{Kind: obs.KindDispatch, Study: req.StudyID, Trial: req.TrialID, Attempt: attempt, Worker: w.Name})
+		dsp := sc.Start(span.NameDispatch, attempt)
+		dsp.SetWorker(w.Name)
+		parent := dsp.ID()
 		start := f.clock.Elapsed()
-		res, err := f.dispatch(ctx, w, send)
+		res, err := f.dispatch(ctx, w, send, trace, parent)
 		if errors.Is(err, errSpecNotCached) && len(send.Spec) == 0 {
 			// The worker lost its cache (restart mid-campaign, eviction):
 			// forget our assumption and resend with the full spec. Not a
 			// worker fault, so no drop and no attempt consumed.
 			metricSpecCacheMisses.Inc()
 			f.forgetSpec(w.Name, req.SpecHash)
-			res, err = f.dispatch(ctx, w, req)
+			res, err = f.dispatch(ctx, w, req, trace, parent)
 		}
 		metricDispatches.Inc()
 		metricDispatchSeconds.Observe((f.clock.Elapsed() - start).Seconds())
@@ -257,12 +269,20 @@ func (f *Fleet) Run(ctx context.Context, req TrialRequest) (TrialResult, error) 
 			metricDispatchFailures.Inc()
 			done.Status = "error"
 			done.Err = err.Error()
+			dsp.Finish("error", err.Error())
+		} else {
+			dsp.Finish("ok", "")
 		}
 		f.events.Publish(done)
 		f.settle(w.Name, err == nil)
 		if err == nil {
 			if req.SpecHash != "" {
 				f.rememberSpec(w.Name, req.SpecHash)
+			}
+			// Fold the worker-side spans (run, objective) into our sink so
+			// the owning daemon holds the complete tree.
+			for _, sp := range res.Spans {
+				sc.Record(sp)
 			}
 			return res, nil
 		}
@@ -404,8 +424,10 @@ func (f *Fleet) forgetSpec(name, hash string) {
 // hash-only dispatch; the dispatcher resends with the full spec.
 var errSpecNotCached = errors.New("executor: worker is missing the cached spec")
 
-// dispatch POSTs the trial to one worker and decodes its answer.
-func (f *Fleet) dispatch(ctx context.Context, w WorkerInfo, req TrialRequest) (TrialResult, error) {
+// dispatch POSTs the trial to one worker and decodes its answer. A
+// non-empty trace propagates the tracing context via the span headers so
+// the worker records (and returns) its side of the tree.
+func (f *Fleet) dispatch(ctx context.Context, w WorkerInfo, req TrialRequest, trace, parent string) (TrialResult, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return TrialResult{}, fmt.Errorf("executor: encoding trial request: %w", err)
@@ -420,6 +442,7 @@ func (f *Fleet) dispatch(ctx context.Context, w WorkerInfo, req TrialRequest) (T
 		return TrialResult{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	span.Inject(hreq.Header, trace, parent)
 	if f.opts.Token != "" {
 		hreq.Header.Set("Authorization", "Bearer "+f.opts.Token)
 	}

@@ -1,0 +1,100 @@
+package executor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rldecide/internal/obs"
+	"rldecide/internal/power"
+)
+
+// exposition renders reg's text exposition.
+func exposition(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestWorkerSeriesUnregisteredOnRemove proves the per-worker gauge series
+// (beat age, in-flight, slots) disappear from the exposition the moment a
+// worker deregisters — collect funcs read live fleet state at scrape time,
+// so there is nothing to leak for departed workers.
+func TestWorkerSeriesUnregisteredOnRemove(t *testing.T) {
+	f := NewFleet(FleetOptions{Logf: testLogf(t)})
+	reg := obs.NewRegistry()
+	f.RegisterMetrics(reg, "")
+	for _, name := range []string{"keep", "gone"} {
+		if _, err := f.Upsert(WorkerInfo{Name: name, URL: "http://127.0.0.1:0", Slots: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text := exposition(t, reg)
+	for _, series := range []string{
+		`rldecide_fleet_worker_beat_age_seconds{worker="gone"}`,
+		`rldecide_fleet_worker_in_flight{worker="gone"}`,
+		`rldecide_fleet_worker_slots{worker="gone"} 2`,
+		`rldecide_fleet_worker_slots{worker="keep"} 2`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("missing series %q in exposition:\n%s", series, text)
+		}
+	}
+
+	if !f.Remove("gone") {
+		t.Fatal("Remove(gone) found nothing")
+	}
+	text = exposition(t, reg)
+	if strings.Contains(text, `worker="gone"`) {
+		t.Fatalf("deregistered worker still exposed:\n%s", text)
+	}
+	if !strings.Contains(text, `rldecide_fleet_worker_slots{worker="keep"} 2`) {
+		t.Fatalf("surviving worker's series lost:\n%s", text)
+	}
+}
+
+// TestWorkerSeriesUnregisteredOnExpiry proves the same for heartbeat-lease
+// expiry: once a worker's TTL lapses, its gauge series stop being emitted
+// on the next scrape, with no deregister call required.
+func TestWorkerSeriesUnregisteredOnExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := power.StartStopwatchAt(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	f := NewFleet(FleetOptions{HeartbeatTTL: 10 * time.Second, Clock: clock, Logf: testLogf(t)})
+	reg := obs.NewRegistry()
+	f.RegisterMetrics(reg, "shard-a")
+	if _, err := f.Upsert(WorkerInfo{Name: "mortal", URL: "http://127.0.0.1:0", Slots: 3}); err != nil {
+		t.Fatal(err)
+	}
+	text := exposition(t, reg)
+	if !strings.Contains(text, `rldecide_fleet_worker_slots{daemon="shard-a",worker="mortal"} 3`) {
+		t.Fatalf("live worker not exposed with daemon stamp:\n%s", text)
+	}
+
+	mu.Lock()
+	now = now.Add(11 * time.Second)
+	mu.Unlock()
+	text = exposition(t, reg)
+	if strings.Contains(text, `worker="mortal"`) {
+		t.Fatalf("expired worker still exposed:\n%s", text)
+	}
+	if !strings.Contains(text, `rldecide_fleet_workers{daemon="shard-a"} 0`) {
+		t.Fatalf("fleet gauge did not drop to zero:\n%s", text)
+	}
+
+	// A fresh heartbeat brings the series back.
+	if _, err := f.Upsert(WorkerInfo{Name: "mortal", URL: "http://127.0.0.1:0", Slots: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if text := exposition(t, reg); !strings.Contains(text, `worker="mortal"`) {
+		t.Fatalf("revived worker not exposed:\n%s", text)
+	}
+}

@@ -16,6 +16,8 @@ import (
 
 	"rldecide/internal/daemon"
 	"rldecide/internal/obs"
+	"rldecide/internal/obs/span"
+	"rldecide/internal/power"
 )
 
 // Server is the worker daemon's HTTP surface: it receives trial dispatches
@@ -35,6 +37,12 @@ type Server struct {
 	Logf func(format string, args ...any)
 
 	inFlight atomic.Int64
+
+	// Span stopwatch, started lazily on the first traced dispatch. Workers
+	// record spans only when the dispatch carries trace headers; there is
+	// no worker-side flag.
+	clockOnce sync.Once
+	clock     *power.Stopwatch
 
 	// Spec cache: study specs are identical across a study's trials, so
 	// the dispatcher sends the full spec once and hash-only afterwards.
@@ -135,7 +143,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
-	res, err := s.Eval(r.Context(), req)
+	// A traced dispatch (span headers present) gets a "run" span covering
+	// this worker's handling, with the objective span recorded under it by
+	// the evaluator via the context scope. The collected spans ride back in
+	// the result so the dispatching daemon holds the complete tree.
+	evalCtx := r.Context()
+	trace, parentHdr := span.Extract(r.Header)
+	var col *span.Collector
+	var runSpan *span.Active
+	if trace != "" {
+		col = span.NewCollector(0)
+		base := span.Scope{
+			Trace:  trace,
+			Parent: parentHdr,
+			Study:  req.StudyID,
+			Trial:  req.TrialID,
+			Worker: s.Name,
+			Clock:  s.stopwatch(),
+			Sink:   col.Record,
+		}
+		runSpan = (&base).Start(span.NameRun, 0)
+		child := base
+		child.Parent = span.DeriveID(trace, parentHdr, span.NameRun, req.TrialID, 0)
+		evalCtx = span.NewContext(evalCtx, &child)
+	}
+	res, err := s.Eval(evalCtx, req)
 	metricWorkerTrials.Inc()
 	if err != nil {
 		metricWorkerTrialErrors.Inc()
@@ -149,8 +181,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, map[string]any{"error": err.Error()})
 		return
 	}
+	status := "ok"
+	if res.Error != "" {
+		status = "failed"
+	}
+	runSpan.Finish(status, res.Error)
+	res.Spans = col.Spans()
 	res.Worker = s.Name
 	writeJSON(w, http.StatusOK, res)
+}
+
+// stopwatch returns the worker's span clock, starting it on first use.
+func (s *Server) stopwatch() *power.Stopwatch {
+	s.clockOnce.Do(func() { s.clock = power.StartStopwatch() })
+	return s.clock
 }
 
 // CheckBearer reports whether r carries the bearer token (in constant

@@ -21,8 +21,13 @@ import (
 // metric reads (Value() on internal/obs Counter/Gauge) are also sources:
 // counters like the tensor pool's stolen-chunks total depend on goroutine
 // scheduling, so a journaled metric read differs run to run even when the
-// arithmetic is bit-identical. internal/obs itself is exempt — the
-// /metrics serving path is where reads belong.
+// arithmetic is bit-identical. Recorded-span reads (ID() on an active
+// span, Spans() on a collector in internal/obs/span) taint the same way:
+// a recorded span carries stopwatch timings and retry-attempt IDs, so
+// journaling one would leak wall-clock state into the replay surface.
+// Deriving a span ID (span.DeriveID/DeriveTrace) is pure hashing and
+// stays clean. internal/obs itself is exempt — the /metrics and span
+// serving paths are where reads belong.
 //
 // Sinks: calls into internal/journal, writes to fields of
 // internal/journal types, composite literals of those types, and methods
@@ -422,6 +427,9 @@ func (st *taintState) taintOfCall(call *ast.CallExpr) (bool, int64) {
 	if !st.obsExempt && isObsMetricRead(callee) {
 		return true, 0
 	}
+	if !st.obsExempt && isObsSpanRead(callee) {
+		return true, 0
+	}
 	if callee.Pkg() != nil && pathHasSegments(callee.Pkg().Path(), "internal/power") {
 		return false, 0 // the sanctioned clock seam produces clean values
 	}
@@ -467,6 +475,23 @@ func isTimeSource(fn *types.Func) bool {
 // taint like a clock read.
 func isObsMetricRead(fn *types.Func) bool {
 	if fn.Name() != "Value" || fn.Pkg() == nil || !pathHasSegments(fn.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// isObsSpanRead reports whether fn reads back a recorded causal span: the
+// ID of an active span or a collector's span slice in internal/obs/span.
+// Recorded spans embed stopwatch durations and attempt-derived IDs, so
+// outside internal/obs they taint like a clock read. The derivation
+// functions (DeriveTrace, DeriveID) are package-level pure hashes, not
+// methods, and stay clean.
+func isObsSpanRead(fn *types.Func) bool {
+	if fn.Pkg() == nil || !pathHasSegments(fn.Pkg().Path(), "internal/obs/span") {
+		return false
+	}
+	if fn.Name() != "ID" && fn.Name() != "Spans" {
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)

@@ -1,0 +1,26 @@
+// Span-read true positives: a recorded span embeds stopwatch durations
+// and retry-attempt IDs, so journaling one leaks wall-clock state into
+// the replay surface exactly like a raw time.Now().
+package determtaint
+
+import (
+	"src/determtaint/internal/journal"
+	"src/determtaint/internal/obs/span"
+)
+
+// JournalSpanDuration stores a recorded span's measured duration in a
+// trial record.
+func JournalSpanDuration(path string, c *span.Collector) error {
+	spans := c.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	return journal.Append(path, journal.Record{WallMs: spans[0].DurMs}) // want finding: determinism-taint
+}
+
+// SpanIDFieldWrite derives a numeric field from an active span's ID —
+// attempt-dependent, so it differs across retried runs.
+func SpanIDFieldWrite(path string, a *span.Active, rec *journal.Record) error {
+	rec.Trial = len(a.ID()) // want finding: determinism-taint
+	return journal.Append(path, *rec)
+}

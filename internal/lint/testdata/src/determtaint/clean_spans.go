@@ -1,0 +1,23 @@
+// Clean span flows: deriving span IDs is pure hashing, and reading
+// recorded spans for display is fine — only journal-affecting paths are
+// sinks, and the fixture span package's own serving path is exempt at
+// the source.
+package determtaint
+
+import (
+	"src/determtaint/internal/journal"
+	"src/determtaint/internal/obs/span"
+)
+
+// JournalDerivedKey journals a value computed from a derived span ID:
+// DeriveID is a pure function of the study key, so replay reproduces it.
+func JournalDerivedKey(path string, study string) error {
+	id := span.DeriveID(study, "", "trial", 1, 0)
+	return journal.Append(path, journal.Record{Trial: len(id)})
+}
+
+// DisplaySpans formats recorded spans for an operator endpoint; no
+// journal involvement, so the rule stays silent.
+func DisplaySpans(c *span.Collector) int {
+	return len(c.Spans())
+}

@@ -1,0 +1,40 @@
+// Package span is the determinism-taint fixture's causal-span recorder:
+// its import path contains the internal/obs/span segments, so ID()/Spans()
+// reads inside it (the span serving path) are exempt, while reads anywhere
+// else carry stopwatch timings and taint like a clock read. The derivation
+// functions are pure hashes and stay clean everywhere.
+package span
+
+// Span mirrors the real recorded-span shape.
+type Span struct {
+	ID    string
+	DurMs float64
+}
+
+// Active mirrors an in-flight span handle.
+type Active struct{ sp Span }
+
+// ID reads the recorded span's ID — a taint source outside this package.
+func (a *Active) ID() string { return a.sp.ID }
+
+// Collector mirrors the per-study span buffer.
+type Collector struct{ spans []Span }
+
+// Record buffers a finished span.
+func (c *Collector) Record(sp Span) { c.spans = append(c.spans, sp) }
+
+// Spans reads back the recorded spans — also a source outside this
+// package.
+func (c *Collector) Spans() []Span { return append([]Span(nil), c.spans...) }
+
+// DeriveID is the pure key-derivation function: clean everywhere.
+func DeriveID(trace, parent, name string, trial, attempt int) string {
+	return trace + "/" + parent + "/" + name
+}
+
+// Serve is the span serving path: reads here are sanctioned, so this file
+// must stay finding-free even though it calls ID and Spans.
+func Serve(a *Active, c *Collector) []Span {
+	_ = a.ID()
+	return c.Spans()
+}

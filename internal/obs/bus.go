@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +28,11 @@ const (
 	KindStudyAdopted = "study_adopted"
 	KindBackendUp    = "backend_up"
 	KindBackendDown  = "backend_down"
+
+	// KindSpan carries one finished causal span (internal/obs/span) on the
+	// trace stream: Name/Trace/Span/Parent/DurMs describe the span, the
+	// shared Study/Trial/Attempt/Worker/Daemon fields its attribution.
+	KindSpan = "span"
 )
 
 // Event is one observability record. Seq and TMs are stamped by the bus
@@ -44,15 +50,29 @@ type Event struct {
 	Status  string  `json:"status,omitempty"`
 	WallMs  float64 `json:"wall_ms,omitempty"`
 	Err     string  `json:"err,omitempty"`
+
+	// Span fields, set only on KindSpan events: the span name and the
+	// trace/span/parent IDs (deterministically derived — see
+	// internal/obs/span), plus the span's duration.
+	Name   string  `json:"name,omitempty"`
+	Trace  string  `json:"trace,omitempty"`
+	Span   string  `json:"span,omitempty"`
+	Parent string  `json:"parent,omitempty"`
+	DurMs  float64 `json:"dur_ms,omitempty"`
 }
 
 // Subscription is one consumer's buffered view of the bus. Events the
 // consumer fails to drain in time are dropped (never blocking the
 // producer) and counted.
 type Subscription struct {
+	name    string
 	ch      chan Event
 	dropped atomic.Uint64
 }
+
+// Name identifies the consumer ("tracer", "sse", ...) for the per-
+// subscription drop counters surfaced at /metrics.
+func (s *Subscription) Name() string { return s.name }
 
 // Events returns the receive channel. It is closed when the subscription
 // is cancelled or the bus shuts down.
@@ -75,6 +95,11 @@ type Bus struct {
 	subs []*Subscription
 	// guarded-by: mu
 	closed bool
+	// dropTotals retains drop counts of departed subscriptions, keyed by
+	// subscription name, so the Prometheus counter family stays monotonic
+	// across SSE client churn.
+	// guarded-by: mu
+	dropTotals map[string]uint64
 }
 
 // NewBus returns a bus stamping events against a fresh Stopwatch epoch.
@@ -110,8 +135,18 @@ func (b *Bus) Publish(ev Event) {
 // Subscribe registers a consumer with the given channel buffer (minimum
 // 1). Returns nil if the bus is nil or already closed.
 func (b *Bus) Subscribe(buffer int) *Subscription {
+	return b.SubscribeNamed("anonymous", buffer)
+}
+
+// SubscribeNamed is Subscribe with a consumer name. The name labels the
+// per-subscription drop counter at /metrics; subscriptions sharing a name
+// share a counter series (their drops sum).
+func (b *Bus) SubscribeNamed(name string, buffer int) *Subscription {
 	if b == nil {
 		return nil
+	}
+	if name == "" {
+		name = "anonymous"
 	}
 	if buffer < 1 {
 		buffer = 1
@@ -121,7 +156,7 @@ func (b *Bus) Subscribe(buffer int) *Subscription {
 	if b.closed {
 		return nil
 	}
-	s := &Subscription{ch: make(chan Event, buffer)}
+	s := &Subscription{name: name, ch: make(chan Event, buffer)}
 	b.subs = append(b.subs, s)
 	return s
 }
@@ -137,10 +172,53 @@ func (b *Bus) Unsubscribe(s *Subscription) {
 	for i, cur := range b.subs {
 		if cur == s {
 			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			b.retainDropsLocked(s)
 			close(s.ch)
 			return
 		}
 	}
+}
+
+// retainDropsLocked folds a departing subscription's drop count into the
+// retained totals. Callers hold b.mu.
+func (b *Bus) retainDropsLocked(s *Subscription) {
+	if d := s.dropped.Load(); d > 0 {
+		if b.dropTotals == nil {
+			b.dropTotals = make(map[string]uint64)
+		}
+		b.dropTotals[s.name] += d
+	}
+}
+
+// DropSamples reports per-subscription-name drop totals (live
+// subscriptions plus retained counts from departed ones) as Prometheus
+// samples labeled subscriber=<name>, sorted by name. Nil-safe.
+func (b *Bus) DropSamples() []Sample {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	totals := make(map[string]uint64, len(b.dropTotals)+len(b.subs))
+	for name, d := range b.dropTotals {
+		totals[name] = d
+	}
+	for _, s := range b.subs {
+		totals[s.name] += s.dropped.Load()
+	}
+	b.mu.Unlock()
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Sample, 0, len(names))
+	for _, name := range names {
+		out = append(out, Sample{
+			Labels: [][2]string{{"subscriber", name}},
+			Value:  float64(totals[name]),
+		})
+	}
+	return out
 }
 
 // Close shuts the bus down: every subscription channel is closed (so SSE
@@ -158,6 +236,7 @@ func (b *Bus) Close() error {
 	}
 	b.closed = true
 	for _, s := range b.subs {
+		b.retainDropsLocked(s)
 		close(s.ch)
 	}
 	b.subs = nil

@@ -107,6 +107,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindGaugeFunc
+	kindCounterFunc
 )
 
 // instrument is one registered metric family.
@@ -185,6 +186,14 @@ func (r *Registry) NewGaugeFunc(name, help string, collect func() []Sample) {
 	r.add(&instrument{name: name, help: help, kind: kindGaugeFunc, collect: collect})
 }
 
+// NewCounterFunc registers a counter family whose labeled samples are
+// produced by collect at exposition time. The collector must return
+// monotonically non-decreasing values per label set (e.g. the event bus's
+// per-subscription drop totals).
+func (r *Registry) NewCounterFunc(name, help string, collect func() []Sample) {
+	r.add(&instrument{name: name, help: help, kind: kindCounterFunc, collect: collect})
+}
+
 // snapshot returns the families sorted by name.
 func (r *Registry) snapshot() []*instrument {
 	r.mu.Lock()
@@ -246,6 +255,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		case kindHistogram:
 			typ = "histogram"
 		}
+		// kindCounterFunc keeps the default "counter" type.
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", in.name, in.help, in.name, typ); err != nil {
 			return err
 		}
@@ -255,7 +265,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 			err = writeSample(w, in.name, nil, strconv.FormatUint(in.counter.Value(), 10))
 		case kindGauge:
 			err = writeSample(w, in.name, nil, formatFloat(in.gauge.Value()))
-		case kindGaugeFunc:
+		case kindGaugeFunc, kindCounterFunc:
 			for _, s := range in.collect() {
 				if err = writeSample(w, in.name, s.Labels, formatFloat(s.Value)); err != nil {
 					break

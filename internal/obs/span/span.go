@@ -1,0 +1,321 @@
+// Package span implements the fleet's causal tracing: lightweight spans
+// whose IDs are derived deterministically from (study, trial, attempt)
+// keys and propagated across every HTTP hop the control plane already
+// makes (router placement, daemon scheduling, fleet dispatch, worker
+// execution). Deterministic derivation is the load-bearing design choice:
+// any process that knows the study ID can recompute the whole ID
+// hierarchy without coordination — the router derives the same study-root
+// ID the owning daemon records under, a daemon re-derives a trial span ID
+// instead of threading a tainted runtime value around — and no span ID
+// ever depends on a clock or an RNG, which keeps the determinism-taint
+// lint rule's source set honest.
+//
+// Timing flows exclusively through the power.Stopwatch seam and is
+// informational: spans ride the event bus and the /spans endpoints, never
+// the result path. Campaign journals and Pareto fronts are byte-identical
+// with spans on or off (see studyd's spans determinism test).
+package span
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"sync"
+
+	"rldecide/internal/power"
+)
+
+// Propagation headers carried on fleet-internal HTTP hops (trial
+// dispatches to workers). The trace header names the campaign-wide trace;
+// the parent header names the dispatching side's span so the receiver's
+// spans attach under it.
+const (
+	HeaderTrace  = "X-Rldecide-Trace"
+	HeaderParent = "X-Rldecide-Parent"
+)
+
+// Canonical span names in the fleet hierarchy:
+//
+//	study                       one study's whole run (owning daemon)
+//	├── place                   router placement + forward (router)
+//	└── trial                   executor lease + evaluation (owning daemon)
+//	    ├── dispatch            one HTTP dispatch attempt RTT (owning daemon)
+//	    │   └── run             worker-side request handling (worker)
+//	    │       └── objective   objective execution proper (worker)
+//	    ├── objective           objective execution (local executor only)
+//	    └── journal             journal append of the finished trial (owning daemon)
+const (
+	NameStudy     = "study"
+	NamePlace     = "place"
+	NameTrial     = "trial"
+	NameDispatch  = "dispatch"
+	NameRun       = "run"
+	NameObjective = "objective"
+	NameJournal   = "journal"
+)
+
+// DeriveTrace returns the deterministic trace ID (16 hex digits, FNV-1a)
+// for a study. Every process in the fleet derives the same value from the
+// study ID alone.
+func DeriveTrace(study string) string {
+	h := fnv.New64a()
+	_, _ = fmt.Fprintf(h, "trace\x00%s", study)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DeriveID returns the deterministic span ID for a span named name under
+// parent within trace, keyed by the trial and attempt numbers. Identical
+// inputs give identical IDs on every process, which is what lets a
+// dispatcher and a worker agree on the tree without shipping IDs both
+// ways.
+func DeriveID(trace, parent, name string, trial, attempt int) string {
+	h := fnv.New64a()
+	_, _ = fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00%d", trace, parent, name, trial, attempt)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Inject sets the propagation headers on an outbound request. A missing
+// trace disables propagation entirely (the receiver records nothing).
+func Inject(h http.Header, trace, parent string) {
+	if trace == "" {
+		return
+	}
+	h.Set(HeaderTrace, trace)
+	if parent != "" {
+		h.Set(HeaderParent, parent)
+	}
+}
+
+// Extract reads the propagation headers from an inbound request. An empty
+// trace means the sender is not tracing this request.
+func Extract(h http.Header) (trace, parent string) {
+	return h.Get(HeaderTrace), h.Get(HeaderParent)
+}
+
+// Span is one finished unit of work. StartMs is the recording process's
+// local Stopwatch offset (informational — offsets from different
+// processes are not comparable; cross-process ordering comes from the
+// parent links, and the critical-path analysis uses durations only).
+type Span struct {
+	Trace   string  `json:"trace"`
+	ID      string  `json:"span"`
+	Parent  string  `json:"parent,omitempty"`
+	Name    string  `json:"name"`
+	Study   string  `json:"study,omitempty"`
+	Trial   int     `json:"trial,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
+	Daemon  string  `json:"daemon,omitempty"`
+	Worker  string  `json:"worker,omitempty"`
+	StartMs float64 `json:"start_ms"`
+	DurMs   float64 `json:"dur_ms"`
+	Status  string  `json:"status,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// Sink receives finished spans (a Collector's Record, a daemon closure
+// that also publishes bus events, ...). Sinks must be safe for concurrent
+// use; delivery is synchronous at Finish.
+type Sink func(Span)
+
+// Scope is the ambient tracing context one process holds while working on
+// a unit: the trace, the parent span new spans attach under, the
+// attribution labels, the clock, and where finished spans go. A nil
+// *Scope is the spans-off state — every method no-ops — so call sites
+// never branch on whether tracing is enabled.
+type Scope struct {
+	Trace  string
+	Parent string
+	Study  string
+	Trial  int
+	Daemon string
+	Worker string
+	// Clock is the process's span stopwatch (power seam). Nil records
+	// zero times but still emits spans, for tests that only check shape.
+	Clock *power.Stopwatch
+	Sink  Sink
+}
+
+type scopeKey struct{}
+
+// NewContext returns ctx carrying s. A nil scope returns ctx unchanged.
+func NewContext(ctx context.Context, s *Scope) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, scopeKey{}, s)
+}
+
+// FromContext returns the scope carried by ctx, or nil.
+func FromContext(ctx context.Context) *Scope {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(scopeKey{}).(*Scope)
+	return s
+}
+
+// Start opens a span named name under the scope's parent, with its ID
+// derived from the scope keys and the attempt number. Nil-safe: a nil
+// scope returns a nil *Active whose methods all no-op.
+func (s *Scope) Start(name string, attempt int) *Active {
+	if s == nil {
+		return nil
+	}
+	a := &Active{
+		scope: s,
+		span: Span{
+			Trace:   s.Trace,
+			ID:      DeriveID(s.Trace, s.Parent, name, s.Trial, attempt),
+			Parent:  s.Parent,
+			Name:    name,
+			Study:   s.Study,
+			Trial:   s.Trial,
+			Attempt: attempt,
+			Daemon:  s.Daemon,
+			Worker:  s.Worker,
+		},
+	}
+	if s.Clock != nil {
+		a.span.StartMs = s.Clock.ElapsedSeconds() * 1e3
+	}
+	return a
+}
+
+// Record forwards an already-finished span to the scope's sink — how a
+// daemon folds the spans a worker returned in its dispatch response into
+// its own store. Nil-safe on both the scope and a missing sink.
+func (s *Scope) Record(sp Span) {
+	if s == nil || s.Sink == nil {
+		return
+	}
+	s.Sink(sp)
+}
+
+// Active is an open span; Finish closes it and delivers it to the sink.
+type Active struct {
+	scope *Scope
+	span  Span
+}
+
+// ID returns the open span's derived ID ("" for a nil Active). Note that
+// because IDs are deterministic, callers that need the ID for a child
+// scope can — and, on journal-adjacent paths, should — re-derive it with
+// DeriveID instead: this read is a determinism-taint source outside
+// internal/obs.
+func (a *Active) ID() string {
+	if a == nil {
+		return ""
+	}
+	return a.span.ID
+}
+
+// SetWorker attributes the span to a worker after the fact (the daemon
+// learns which worker ran a trial only from the dispatch result).
+func (a *Active) SetWorker(worker string) {
+	if a == nil {
+		return
+	}
+	a.span.Worker = worker
+}
+
+// Finish closes the span with a status (and optional error message) and
+// hands it to the scope's sink. Nil-safe; call it exactly once.
+func (a *Active) Finish(status, errMsg string) {
+	if a == nil {
+		return
+	}
+	if a.scope.Clock != nil {
+		a.span.DurMs = a.scope.Clock.ElapsedSeconds()*1e3 - a.span.StartMs
+	}
+	a.span.Status = status
+	a.span.Err = errMsg
+	if a.scope.Sink != nil {
+		a.scope.Sink(a.span)
+	}
+}
+
+// Collector is a bounded, concurrency-safe span store — the per-study
+// in-memory buffer behind GET /studies/{id}/spans. Its Record method is
+// Sink-shaped.
+type Collector struct {
+	max int
+	mu  sync.Mutex
+	// guarded-by: mu
+	spans []Span
+	// guarded-by: mu
+	dropped int
+}
+
+// DefaultCollectorCap bounds a study's span buffer: budget × (trial +
+// dispatch + run + objective + journal) spans for generously sized
+// campaigns, without letting a pathological retry loop grow memory
+// unboundedly.
+const DefaultCollectorCap = 16384
+
+// NewCollector returns a collector keeping at most max spans (<=0 takes
+// DefaultCollectorCap). Spans past the cap are counted and discarded.
+func NewCollector(max int) *Collector {
+	if max <= 0 {
+		max = DefaultCollectorCap
+	}
+	return &Collector{max: max}
+}
+
+// Record stores one span, dropping (counted) once the buffer is full.
+func (c *Collector) Record(sp Span) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.spans) >= c.max {
+		c.dropped++
+		return
+	}
+	c.spans = append(c.spans, sp)
+}
+
+// Dropped reports how many spans the cap discarded.
+func (c *Collector) Dropped() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Spans returns a canonically sorted copy of the stored spans. Like
+// Active.ID, the returned values are informational reads — a
+// determinism-taint source outside internal/obs.
+func (c *Collector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := append([]Span(nil), c.spans...)
+	c.mu.Unlock()
+	Sort(out)
+	return out
+}
+
+// Sort orders spans canonically: by trial, then attempt, then name, then
+// ID. Identical span sets from any process interleaving render
+// byte-identically after Sort.
+func Sort(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Trial != b.Trial {
+			return a.Trial < b.Trial
+		}
+		if a.Attempt != b.Attempt {
+			return a.Attempt < b.Attempt
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.ID < b.ID
+	})
+}

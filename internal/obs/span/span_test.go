@@ -1,0 +1,172 @@
+package span
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"rldecide/internal/power"
+)
+
+func TestDeriveDeterminism(t *testing.T) {
+	if got, want := DeriveTrace("alpha-1"), DeriveTrace("alpha-1"); got != want {
+		t.Fatalf("DeriveTrace not stable: %q vs %q", got, want)
+	}
+	if DeriveTrace("alpha-1") == DeriveTrace("alpha-2") {
+		t.Fatal("distinct studies derived the same trace ID")
+	}
+	tr := DeriveTrace("alpha-1")
+	a := DeriveID(tr, "", NameStudy, 0, 0)
+	if b := DeriveID(tr, "", NameStudy, 0, 0); a != b {
+		t.Fatalf("DeriveID not stable: %q vs %q", a, b)
+	}
+	if len(a) != 16 || len(tr) != 16 {
+		t.Fatalf("IDs must be 16 hex chars, got trace=%q id=%q", tr, a)
+	}
+	// Each key component must matter.
+	if DeriveID(tr, a, NameTrial, 1, 0) == DeriveID(tr, a, NameTrial, 2, 0) {
+		t.Fatal("trial index did not affect the ID")
+	}
+	if DeriveID(tr, a, NameDispatch, 1, 0) == DeriveID(tr, a, NameDispatch, 1, 1) {
+		t.Fatal("attempt index did not affect the ID")
+	}
+	if DeriveID(tr, a, NameTrial, 1, 0) == DeriveID(tr, a, NameDispatch, 1, 0) {
+		t.Fatal("span name did not affect the ID")
+	}
+	if DeriveID(tr, "", NameTrial, 1, 0) == DeriveID(tr, a, NameTrial, 1, 0) {
+		t.Fatal("parent did not affect the ID")
+	}
+}
+
+func TestInjectExtractRoundTrip(t *testing.T) {
+	h := http.Header{}
+	Inject(h, "cafe", "beef")
+	if tr, p := Extract(h); tr != "cafe" || p != "beef" {
+		t.Fatalf("round trip got trace=%q parent=%q", tr, p)
+	}
+	// Empty trace must not set headers — that is the off switch.
+	h2 := http.Header{}
+	Inject(h2, "", "beef")
+	if tr, p := Extract(h2); tr != "" || p != "" {
+		t.Fatalf("empty trace leaked headers: trace=%q parent=%q", tr, p)
+	}
+}
+
+func TestScopeNilSafety(t *testing.T) {
+	// All of these are the spans-off path: nothing may panic, allocate
+	// sinks, or record.
+	var s *Scope
+	a := s.Start(NameTrial, 0)
+	if a != nil {
+		t.Fatalf("nil scope Start returned %v", a)
+	}
+	if got := a.ID(); got != "" {
+		t.Fatalf("nil active ID = %q", got)
+	}
+	a.SetWorker("w")
+	a.Finish("ok", "")
+	s.Record(Span{})
+	if sc := FromContext(nil); sc != nil {
+		t.Fatalf("FromContext(nil) = %v", sc)
+	}
+}
+
+func TestScopeStartFinish(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := power.StartStopwatchAt(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	var got []Span
+	sc := &Scope{
+		Trace:  DeriveTrace("st"),
+		Parent: "root",
+		Study:  "st",
+		Trial:  7,
+		Daemon: "d1",
+		Clock:  clock,
+		Sink:   func(sp Span) { got = append(got, sp) },
+	}
+	a := sc.Start(NameDispatch, 2)
+	mu.Lock()
+	now = now.Add(250 * time.Millisecond)
+	mu.Unlock()
+	a.SetWorker("w1")
+	a.Finish("ok", "")
+	if len(got) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(got))
+	}
+	sp := got[0]
+	if sp.ID != DeriveID(sc.Trace, "root", NameDispatch, 7, 2) {
+		t.Fatalf("span ID %q not derived from scope key", sp.ID)
+	}
+	if sp.Parent != "root" || sp.Study != "st" || sp.Trial != 7 || sp.Attempt != 2 {
+		t.Fatalf("span attribution wrong: %+v", sp)
+	}
+	if sp.Daemon != "d1" || sp.Worker != "w1" || sp.Status != "ok" {
+		t.Fatalf("span identity wrong: %+v", sp)
+	}
+	if sp.DurMs < 249 || sp.DurMs > 251 {
+		t.Fatalf("DurMs = %v, want ~250", sp.DurMs)
+	}
+}
+
+func TestCollectorCap(t *testing.T) {
+	c := NewCollector(2)
+	c.Record(Span{ID: "a", Trial: 2})
+	c.Record(Span{ID: "b", Trial: 1})
+	c.Record(Span{ID: "c", Trial: 3})
+	if got := c.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	spans := c.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("kept %d spans, want 2", len(spans))
+	}
+	// Spans() returns canonical order regardless of arrival order.
+	if spans[0].Trial != 1 || spans[1].Trial != 2 {
+		t.Fatalf("Spans not sorted: %+v", spans)
+	}
+	var nilC *Collector
+	nilC.Record(Span{})
+	if nilC.Spans() != nil || nilC.Dropped() != 0 {
+		t.Fatal("nil collector must be inert")
+	}
+}
+
+func TestTreeFlattenRoundTrip(t *testing.T) {
+	tr := DeriveTrace("st")
+	root := DeriveID(tr, "", NameStudy, 0, 0)
+	trial := DeriveID(tr, root, NameTrial, 1, 0)
+	disp := DeriveID(tr, trial, NameDispatch, 1, 0)
+	spans := []Span{
+		{Trace: tr, ID: disp, Parent: trial, Name: NameDispatch, Trial: 1},
+		{Trace: tr, ID: root, Name: NameStudy},
+		{Trace: tr, ID: trial, Parent: root, Name: NameTrial, Trial: 1},
+		{Trace: tr, ID: "dead", Parent: "missing", Name: NameRun, Trial: 9},
+	}
+	forest := Tree(spans)
+	if len(forest) != 2 {
+		t.Fatalf("got %d roots, want 2 (study + orphan)", len(forest))
+	}
+	if forest[0].Name != NameStudy || len(forest[0].Children) != 1 {
+		t.Fatalf("study root malformed: %+v", forest[0])
+	}
+	if forest[0].Children[0].Name != NameTrial || len(forest[0].Children[0].Children) != 1 {
+		t.Fatalf("trial child malformed: %+v", forest[0].Children[0])
+	}
+	if forest[1].ID != "dead" {
+		t.Fatalf("orphan not promoted to root: %+v", forest[1])
+	}
+	flat := Flatten(forest)
+	if len(flat) != len(spans) {
+		t.Fatalf("Flatten lost spans: %d vs %d", len(flat), len(spans))
+	}
+	rebuilt := Tree(flat)
+	if len(rebuilt) != 2 || len(Flatten(rebuilt)) != len(spans) {
+		t.Fatal("Tree/Flatten round trip unstable")
+	}
+}

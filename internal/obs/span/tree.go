@@ -1,0 +1,52 @@
+package span
+
+// Node is one span with its children attached — the JSON shape served by
+// GET /studies/{id}/spans.
+type Node struct {
+	Span
+	Children []*Node `json:"children,omitempty"`
+}
+
+// Tree assembles spans into parent-linked trees. Spans whose parent is
+// absent (or empty) become roots, so a partial collection — say, a worker
+// died before returning its spans — still renders as a forest instead of
+// disappearing. The input is not mutated; the output is deterministic:
+// roots and children both follow the canonical Sort order.
+func Tree(spans []Span) []*Node {
+	sorted := append([]Span(nil), spans...)
+	Sort(sorted)
+	nodes := make([]*Node, len(sorted))
+	byID := make(map[string]*Node, len(sorted))
+	for i, sp := range sorted {
+		n := &Node{Span: sp}
+		nodes[i] = n
+		if _, ok := byID[sp.ID]; !ok {
+			byID[sp.ID] = n
+		}
+	}
+	var roots []*Node
+	for _, n := range nodes {
+		if p, ok := byID[n.Parent]; ok && n.Parent != "" && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// Flatten is Tree's inverse: the spans of a forest, depth-first. The
+// router uses it to splice its own placement spans into a tree fetched
+// from the owning daemon before rebuilding.
+func Flatten(nodes []*Node) []Span {
+	var out []Span
+	var walk func(ns []*Node)
+	walk = func(ns []*Node) {
+		for _, n := range ns {
+			out = append(out, n.Span)
+			walk(n.Children)
+		}
+	}
+	walk(nodes)
+	return out
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// unescapeLabel reverses the exposition-format escaping escapeLabel
+// applies — the parse a Prometheus scraper performs on label values.
+func unescapeLabel(v string) string {
+	var sb strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			i++
+			switch v[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(v[i])
+			}
+			continue
+		}
+		sb.WriteByte(v[i])
+	}
+	return sb.String()
+}
+
+// TestEscapeLabelRoundTrip feeds hostile daemon/worker names — the label
+// values a sharded fleet actually stamps — through the exposition writer
+// and asserts a standard scraper-side unescape recovers them exactly.
+func TestEscapeLabelRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`,
+		`back\slash`,
+		"new\nline",
+		`quo"ted`,
+		"all\\three\"at\nonce",
+		`trailing\`,
+	}
+	for _, name := range hostile {
+		reg := NewRegistry()
+		value := name
+		reg.NewGaugeFunc("rldecide_test_escape", "escape fixture.", func() []Sample {
+			return []Sample{{Labels: [][2]string{{"daemon", value}, {"worker", value}}, Value: 1}}
+		})
+		var sb strings.Builder
+		if err := reg.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		text := sb.String()
+		// The exposition must stay line-per-sample: a raw newline in a label
+		// value would tear the sample across lines.
+		var sample string
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, "rldecide_test_escape{") {
+				sample = line
+				break
+			}
+		}
+		if sample == "" {
+			t.Fatalf("no sample line for %q in:\n%s", name, text)
+		}
+		start := strings.Index(sample, `daemon="`) + len(`daemon="`)
+		end := strings.Index(sample[start:], `",worker=`)
+		if start < len(`daemon="`) || end < 0 {
+			t.Fatalf("cannot locate daemon label in %q", sample)
+		}
+		if got := unescapeLabel(sample[start : start+end]); got != name {
+			t.Fatalf("label %q round-tripped to %q (line %q)", name, got, sample)
+		}
+		// Escaped values must never contain a literal close-brace-adjacent
+		// hazard: raw newlines or unescaped quotes.
+		escaped := sample[start : start+end]
+		if strings.ContainsAny(escaped, "\n") {
+			t.Fatalf("escaped value carries raw newline: %q", escaped)
+		}
+	}
+}
+
+// TestCounterFuncExposition checks NewCounterFunc families render with a
+// counter TYPE line and their collected labeled samples.
+func TestCounterFuncExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounterFunc("rldecide_test_drops_total", "drop fixture.", func() []Sample {
+		return []Sample{
+			{Labels: [][2]string{{"subscriber", "sse"}}, Value: 3},
+			{Labels: [][2]string{{"subscriber", "tracer"}}, Value: 0},
+		}
+	})
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE rldecide_test_drops_total counter",
+		`rldecide_test_drops_total{subscriber="sse"} 3`,
+		`rldecide_test_drops_total{subscriber="tracer"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+}
+
+// TestBusDropSamples drives a subscriber past its buffer and checks the
+// per-subscriber drop counter family: live totals while subscribed, and
+// retained (still-monotonic) totals after the subscriber churns away.
+func TestBusDropSamples(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub := b.SubscribeNamed("sse", 1)
+	if sub == nil {
+		t.Fatal("SubscribeNamed returned nil")
+	}
+	for i := 0; i < 5; i++ {
+		b.Publish(Event{Kind: KindTrialStart, Trial: i})
+	}
+	samples := b.DropSamples()
+	if len(samples) != 1 || samples[0].Labels[0] != [2]string{"subscriber", "sse"} {
+		t.Fatalf("DropSamples = %+v", samples)
+	}
+	live := samples[0].Value
+	if live != 4 {
+		t.Fatalf("dropped %v events, want 4 (buffer 1 of 5)", live)
+	}
+
+	// Unsubscribe must fold the total into the retained map, not zero it —
+	// Prometheus counters may never go backwards.
+	b.Unsubscribe(sub)
+	samples = b.DropSamples()
+	if len(samples) != 1 || samples[0].Value != live {
+		t.Fatalf("retained drops lost on unsubscribe: %+v", samples)
+	}
+
+	// A new subscriber under the same name accumulates on top.
+	sub2 := b.SubscribeNamed("sse", 1)
+	b.Publish(Event{Kind: KindTrialStart, Trial: 10})
+	b.Publish(Event{Kind: KindTrialStart, Trial: 11})
+	samples = b.DropSamples()
+	if len(samples) != 1 || samples[0].Value != live+1 {
+		t.Fatalf("drop totals not cumulative across churn: %+v", samples)
+	}
+	b.Unsubscribe(sub2)
+}

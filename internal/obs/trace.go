@@ -33,7 +33,7 @@ const traceBuffer = 1024
 // subscription is cancelled (Close) or the bus shuts down. Returns nil
 // if the bus is nil or closed.
 func NewTracer(bus *Bus, w io.Writer) *Tracer {
-	sub := bus.Subscribe(traceBuffer)
+	sub := bus.SubscribeNamed("tracer", traceBuffer)
 	if sub == nil {
 		return nil
 	}

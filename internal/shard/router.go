@@ -17,6 +17,8 @@ import (
 
 	"rldecide/internal/daemon"
 	"rldecide/internal/obs"
+	"rldecide/internal/obs/span"
+	"rldecide/internal/power"
 )
 
 // Backend is one serve daemon the router fronts. Name must match the
@@ -87,6 +89,7 @@ type Router struct {
 	client  *http.Client
 	bus     *obs.Bus
 	reg     *obs.Registry
+	clock   *power.Stopwatch
 
 	metricProxied      *obs.Counter
 	metricRehomes      *obs.Counter
@@ -97,7 +100,21 @@ type Router struct {
 	placements map[string]string // study ID -> backend name
 	// guarded-by: mu
 	down map[string]bool
+
+	spanMu sync.Mutex
+	// placeSpans holds the router's own placement spans per study so
+	// GET /studies/{id}/spans can splice them into the owning daemon's
+	// tree (the daemon never sees the router's side of the hop). Bounded
+	// FIFO per study ID.
+	// guarded-by: spanMu
+	placeSpans map[string][]span.Span
+	// guarded-by: spanMu
+	spanOrder []string
 }
+
+// maxSpanStudies bounds how many studies' placement spans the router
+// retains (oldest study evicted first).
+const maxSpanStudies = 1024
 
 // New builds a router over the given backends.
 func New(cfg Config) (*Router, error) {
@@ -117,8 +134,10 @@ func New(cfg Config) (*Router, error) {
 		client:     &http.Client{},
 		bus:        obs.NewBus(),
 		reg:        obs.NewRegistry(),
+		clock:      power.StartStopwatch(),
 		placements: map[string]string{},
 		down:       map[string]bool{},
+		placeSpans: map[string][]span.Span{},
 	}
 	names := make([]string, 0, len(cfg.Backends))
 	for _, b := range cfg.Backends {
@@ -163,6 +182,9 @@ func New(cfg Config) (*Router, error) {
 				{Labels: [][2]string{{"state", "down"}}, Value: float64(downCount)},
 			}
 		})
+	rt.reg.NewCounterFunc("rldecide_bus_dropped_total",
+		"Event-bus events dropped per subscriber because its buffer was full.",
+		func() []obs.Sample { return rt.bus.DropSamples() })
 	rt.reg.NewGaugeFunc("rldecide_router_placements",
 		"Directory entries (studies with a known owner) per backend.", func() []obs.Sample {
 			loads := rt.loads(rt.ring.Backends())
@@ -203,6 +225,7 @@ func (rt *Router) ListenAndServe(ctx context.Context, addr string, grace time.Du
 //	GET  /metrics              fleet-wide rollup (daemon-labeled) + router series
 //	GET  /studies              fleet-wide study list (merged, ID-sorted)
 //	POST /studies              place on a backend and forward             [backend auth]
+//	GET  /studies/{id}/spans   owning daemon's span tree + router placement spans
 //	ANY  /studies/{id}...      proxied to the owning backend
 //	GET  /workers              every backend's worker registry
 //	POST /rehome               probe backends, re-home stranded studies  [auth]
@@ -218,6 +241,7 @@ func (rt *Router) Handler() http.Handler {
 	//lint:ignore handler-auth submission is forwarded verbatim; the owning backend enforces auth and quota
 	mux.HandleFunc("POST /studies", rt.handleSubmit)
 	mux.HandleFunc("GET /studies/{id}", rt.proxyStudy)
+	mux.HandleFunc("GET /studies/{id}/spans", rt.handleSpans)
 	mux.HandleFunc("GET /studies/{id}/{sub...}", rt.proxyStudy)
 	//lint:ignore handler-auth cancel is proxied to the owning backend, which enforces auth
 	mux.HandleFunc("POST /studies/{id}/cancel", rt.proxyStudy)
@@ -476,6 +500,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	target := ring.Place(string(body), rt.loads(names))
 	b := rt.byName[target]
 
+	placeStart := rt.clock.ElapsedSeconds() * 1e3
 	resp, err := rt.do(r.Context(), http.MethodPost, b, "/studies", body, r.Header)
 	if err != nil {
 		daemon.WriteError(w, http.StatusBadGateway, fmt.Errorf("backend %s: %w", b.Name, err))
@@ -493,6 +518,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			rt.mu.Lock()
 			rt.placements[p.ID] = b.Name
 			rt.mu.Unlock()
+			rt.recordPlaceSpan(p.ID, b.Name, placeStart)
 			rt.bus.Publish(obs.Event{Kind: obs.KindStudyPlaced, Study: p.ID, Daemon: b.Name})
 			rt.cfg.Logf("router: placed study %s on %s", p.ID, b.Name)
 		}

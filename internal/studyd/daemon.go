@@ -15,6 +15,8 @@ import (
 	"rldecide/internal/daemon"
 	"rldecide/internal/executor"
 	"rldecide/internal/obs"
+	"rldecide/internal/obs/span"
+	"rldecide/internal/power"
 	"rldecide/internal/rl"
 )
 
@@ -60,6 +62,15 @@ type Config struct {
 	// dispatch, worker lifecycle). Purely informational: campaign
 	// journals and fronts are byte-identical with tracing on or off.
 	Trace bool
+	// Spans, when set, records per-trial causal span trees (study →
+	// trial → dispatch → run → objective, plus journal appends) with
+	// deterministic IDs derived from the study/trial/attempt keys,
+	// propagates them to workers via the X-Rldecide-Trace headers, and
+	// serves each study's tree at GET /studies/{id}/spans. Span events
+	// also ride the event bus (so -trace streams them). Like Trace,
+	// provably off the result path: journals and fronts are
+	// byte-identical with spans on or off.
+	Spans bool
 	// Analysis, when set, journals the trajectories of locally executed
 	// trials to <Dir>/<id>.trajectories.jsonl (one rl.Episode per line)
 	// for the decision-analysis endpoints. Like Trace, it is provably
@@ -83,6 +94,15 @@ type Daemon struct {
 	// tracePath is where this daemon's trace stream lives (whether or
 	// not tracing is enabled) — the trace-analysis endpoint reads it.
 	tracePath string
+
+	// spanClock times spans when Config.Spans is on (nil otherwise —
+	// span scopes tolerate it, recording zero durations).
+	spanClock *power.Stopwatch
+	spanMu    sync.Mutex
+	// spanCols holds each study's bounded span buffer, the store behind
+	// GET /studies/{id}/spans.
+	// guarded-by: spanMu
+	spanCols map[string]*span.Collector
 
 	epMu sync.Mutex
 	// guarded-by: epMu
@@ -149,7 +169,11 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Daemon{cfg: cfg, store: store, exec: exec, fleet: fleet, bus: bus, ctx: ctx, cancel: cancel,
-		epWriters: map[string]*analysis.EpisodeWriter{}}
+		epWriters: map[string]*analysis.EpisodeWriter{},
+		spanCols:  map[string]*span.Collector{}}
+	if cfg.Spans {
+		d.spanClock = power.StartStopwatch()
+	}
 	d.reg = d.newRegistry()
 	name := "trace.jsonl"
 	if cfg.Name != "" {
@@ -289,12 +313,21 @@ func (d *Daemon) episodeSinkFor(id string) rl.EpisodeSink {
 }
 
 func (d *Daemon) launch(m *ManagedStudy) {
+	// In span mode the whole run gets a study root span, and journal
+	// appends are timed under per-trial journal spans (the hook must be
+	// set before run starts consuming it).
+	var root *span.Active
+	if d.cfg.Spans {
+		root = d.studyScope(m.ID).Start(span.NameStudy, 0)
+		m.journalTimer = d.journalTimerFor(m.ID)
+	}
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
 		d.bus.Publish(obs.Event{Kind: obs.KindStudyStart, Study: m.ID, Status: string(StatusRunning)})
 		m.run(d.ctx, d.wrapFor(m))
 		sum := m.Summary()
+		root.Finish(string(sum.Status), sum.Error)
 		d.bus.Publish(obs.Event{Kind: obs.KindStudyDone, Study: m.ID, Status: string(sum.Status)})
 		d.cfg.Logf("studyd: study %s is %s (%d/%d trials)", m.ID, sum.Status, sum.Finished, sum.Budget)
 	}()

@@ -9,6 +9,7 @@ import (
 	"rldecide/internal/core"
 	"rldecide/internal/executor"
 	"rldecide/internal/journal"
+	"rldecide/internal/obs/span"
 	"rldecide/internal/param"
 	"rldecide/internal/power"
 )
@@ -52,7 +53,10 @@ func EvaluateRequest(ctx context.Context, req executor.TrialRequest) (executor.T
 	// Time the objective itself (not spec decoding) through the sanctioned
 	// wall-clock seam. The measurement is informational — it becomes the
 	// journal's wall_ms field and the trial-latency histogram, never an
-	// input to the result.
+	// input to the result. When the caller's context carries a tracing
+	// scope (Config.Spans on the daemon, or a traced dispatch on a
+	// worker), the same window is recorded as an "objective" span.
+	osp := span.FromContext(ctx).Start(span.NameObjective, 0)
 	sw := power.StartStopwatch()
 	err = runObjective(objective, trial.Params, req.Seed, rec)
 	res.WallMs = sw.ElapsedSeconds() * 1e3
@@ -60,9 +64,13 @@ func EvaluateRequest(ctx context.Context, req executor.TrialRequest) (executor.T
 		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// Interrupted, not failed: the dispatcher drops the trial and
 			// the campaign re-proposes it on resume.
+			osp.Finish("cancelled", err.Error())
 			return res, err
 		}
+		osp.Finish("failed", err.Error())
 		res.Error = err.Error()
+	} else {
+		osp.Finish("ok", "")
 	}
 	res.Values = out.Values.Map()
 	return res, nil

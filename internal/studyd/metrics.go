@@ -88,6 +88,9 @@ func (d *Daemon) newRegistry() *obs.Registry {
 			}
 			return []obs.Sample{{Value: float64(queued)}}
 		}))
+	reg.NewCounterFunc("rldecide_bus_dropped_total",
+		"Event-bus events dropped per subscriber (tracer, SSE streams) because its buffer was full.",
+		d.stamp(func() []obs.Sample { return d.bus.DropSamples() }))
 	d.fleet.RegisterMetrics(reg, d.cfg.Name)
 	return reg
 }

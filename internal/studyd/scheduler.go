@@ -8,6 +8,7 @@ import (
 	"rldecide/internal/core"
 	"rldecide/internal/executor"
 	"rldecide/internal/obs"
+	"rldecide/internal/obs/span"
 	"rldecide/internal/param"
 	"rldecide/internal/power"
 )
@@ -47,6 +48,19 @@ func (d *Daemon) wrapFor(m *ManagedStudy) func(core.Objective) core.Objective {
 	// fleet dispatchers use it to ship hash-only requests to workers that
 	// already cached the spec.
 	specHash := executor.SpecHashOf(m.rawSpec)
+	// Span mode: every trial gets a "trial" span under the study root,
+	// and the executor call carries a scope parented to it so dispatch
+	// attempts (fleet) or the objective span (local) attach underneath.
+	// All IDs are re-derived from the keys here rather than read off live
+	// spans, keeping the executor inputs clean under the determinism-
+	// taint rule.
+	var trace, rootID string
+	var sink span.Sink
+	if d.cfg.Spans {
+		trace = span.DeriveTrace(m.ID)
+		rootID = span.DeriveID(trace, "", span.NameStudy, 0, 0)
+		sink = d.spanSink(m.ID)
+	}
 	return func(core.Objective) core.Objective {
 		return func(a param.Assignment, seed uint64, rec *core.Recorder) error {
 			params := make(map[string]string, len(a))
@@ -75,16 +89,31 @@ func (d *Daemon) wrapFor(m *ManagedStudy) func(core.Objective) core.Objective {
 			if sink := d.episodeSinkFor(m.ID); sink != nil {
 				ctx = analysis.WithEpisodeSink(ctx, sink)
 			}
+			var tsp *span.Active
+			if d.cfg.Spans {
+				tscope := &span.Scope{Trace: trace, Parent: rootID, Study: m.ID,
+					Trial: req.TrialID, Daemon: d.cfg.Name, Clock: d.spanClock, Sink: sink}
+				tsp = tscope.Start(span.NameTrial, 0)
+				// Children parent onto the trial span; its ID is re-derived
+				// (identical to tsp's by construction).
+				cscope := &span.Scope{Trace: trace,
+					Parent: span.DeriveID(trace, rootID, span.NameTrial, req.TrialID, 0),
+					Study:  m.ID, Trial: req.TrialID, Daemon: d.cfg.Name,
+					Clock: d.spanClock, Sink: sink}
+				ctx = span.NewContext(ctx, cscope)
+			}
 			sw := power.StartStopwatch()
 			res, err := d.exec.Run(ctx, req)
 			metricTrialSeconds.Observe(sw.ElapsedSeconds())
 			if err != nil {
 				// Infrastructure failure or cancellation: the trial is not
 				// journaled (retried or re-proposed on resume).
+				tsp.Finish("dropped", err.Error())
 				d.bus.Publish(obs.Event{Kind: obs.KindTrialDone, Study: m.ID, Trial: req.TrialID, Status: "dropped", Err: err.Error()})
 				return err
 			}
 			metricTrialsFinished.Inc()
+			tsp.SetWorker(res.Worker)
 			rec.SetWorker(res.Worker)
 			rec.SetWallMs(res.WallMs)
 			names := make([]string, 0, len(res.Values))
@@ -100,9 +129,11 @@ func (d *Daemon) wrapFor(m *ManagedStudy) func(core.Objective) core.Objective {
 				metricTrialErrors.Inc()
 				done.Status = "failed"
 				done.Err = res.Error
+				tsp.Finish("failed", res.Error)
 				d.bus.Publish(done)
 				return fmt.Errorf("%s", res.Error)
 			}
+			tsp.Finish("ok", "")
 			d.bus.Publish(done)
 			return nil
 		}

@@ -22,6 +22,7 @@ import (
 //	GET  /studies/{id}/trials  finished trials (journal records, ID order)
 //	GET  /studies/{id}/front   current Pareto ranking of completed trials
 //	GET  /studies/{id}/events  SSE push stream of the study's live events
+//	GET  /studies/{id}/spans   per-trial causal span tree (see -spans)
 //	GET  /studies/{id}/analysis/{kind}
 //	                           decision-analysis report (kind: traces |
 //	                           attribution | counterfactuals), computed
@@ -49,6 +50,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /studies/{id}/trials", d.handleStudy(d.serveTrials))
 	mux.HandleFunc("GET /studies/{id}/front", d.handleStudy(d.serveFront))
 	mux.HandleFunc("GET /studies/{id}/events", d.handleStudy(d.serveEvents))
+	mux.HandleFunc("GET /studies/{id}/spans", d.handleStudy(d.serveSpans))
 	mux.HandleFunc("GET /studies/{id}/analysis/{kind}", d.handleStudy(d.serveAnalysis))
 	mux.HandleFunc("POST /studies/{id}/cancel", auth.Require(d.handleStudy(func(w http.ResponseWriter, r *http.Request, m *ManagedStudy) {
 		m.Cancel()
@@ -158,7 +160,7 @@ func (d *Daemon) serveEvents(w http.ResponseWriter, r *http.Request, m *ManagedS
 		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
 		return
 	}
-	sub := d.bus.Subscribe(256)
+	sub := d.bus.SubscribeNamed("sse", 256)
 	if sub == nil {
 		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("daemon is shutting down"))
 		return

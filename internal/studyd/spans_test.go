@@ -1,0 +1,206 @@
+package studyd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rldecide/internal/obs/span"
+)
+
+// TestSpansOnOffDeterminism is the causal-tracing acceptance cross-check:
+// the same spec + seed run on a span-recording daemon and on a plain one
+// must produce identical journals (modulo the informational worker/wall_ms
+// fields) and the same Pareto front — span trees stay off the result path.
+func TestSpansOnOffDeterminism(t *testing.T) {
+	spec := baseSpec("sphere")
+	spec.Parallelism = 3
+	spec.Noise = 0.1
+
+	run := func(spans bool) *ManagedStudy {
+		d, err := New(Config{Dir: t.TempDir(), Workers: 4, Spans: spans, Logf: testLogf(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
+		m, err := d.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitStatus(t, m, StatusDone)
+		return m
+	}
+
+	spanned := run(true)
+	plain := run(false)
+
+	if got, want := canonicalRecords(t, spanned), canonicalRecords(t, plain); !bytes.Equal(got, want) {
+		t.Fatalf("journals diverge with spans enabled:\n--- spanned ---\n%s--- plain ---\n%s", got, want)
+	}
+	sf, err := spanned.Front()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := plain.Front()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := json.Marshal(sf)
+	pj, _ := json.Marshal(pf)
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("Pareto fronts diverge:\n%s\n%s", sj, pj)
+	}
+}
+
+// fetchSpanTree GETs /studies/{id}/spans and decodes the tree.
+func fetchSpanTree(t *testing.T, url, id string) SpanTree {
+	t.Helper()
+	resp, err := http.Get(url + "/studies/" + id + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /spans: %d", resp.StatusCode)
+	}
+	var tree SpanTree
+	if err := json.NewDecoder(resp.Body).Decode(&tree); err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestFleetSpanTree runs a spanned fleet campaign and checks the served
+// span tree stitches every hop — daemon scheduling, dispatch RTT, the
+// worker-side run + objective execution, and journal appends — under one
+// deterministically derived trace ID with worker attribution intact.
+func TestFleetSpanTree(t *testing.T) {
+	d, err := New(Config{Dir: t.TempDir(), Exec: ExecFleet, Spans: true, Logf: testLogf(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+	for _, name := range []string{"w1", "w2"} {
+		_, info := startFleetWorker(t, name, 2, nil, "")
+		resp := postJSON(t, ts.URL+"/workers/register", info)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("register %s: %d", name, resp.StatusCode)
+		}
+	}
+
+	spec := baseSpec("sphere")
+	spec.Parallelism = 2
+	m, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, StatusDone)
+
+	tree := fetchSpanTree(t, ts.URL, m.ID)
+	if tree.Study != m.ID {
+		t.Fatalf("tree study = %q, want %q", tree.Study, m.ID)
+	}
+	if want := span.DeriveTrace(m.ID); tree.Trace != want {
+		t.Fatalf("trace ID %q not derived from study ID (want %q)", tree.Trace, want)
+	}
+	if tree.Dropped != 0 {
+		t.Fatalf("collector dropped %d spans", tree.Dropped)
+	}
+	spans := span.Flatten(tree.Spans)
+	if tree.Count != len(spans) {
+		t.Fatalf("count %d does not match %d flattened spans", tree.Count, len(spans))
+	}
+
+	counts := map[string]int{}
+	runWorkers := map[string]int{}
+	dispatchIDs := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Name == span.NameDispatch {
+			dispatchIDs[sp.ID] = true
+		}
+	}
+	for _, sp := range spans {
+		if sp.Trace != tree.Trace {
+			t.Fatalf("span %q carries foreign trace %q", sp.ID, sp.Trace)
+		}
+		counts[sp.Name]++
+		switch sp.Name {
+		case span.NameRun:
+			runWorkers[sp.Worker]++
+			// Worker-side spans must parent into one of the daemon's
+			// dispatch spans — the propagated header.
+			if !dispatchIDs[sp.Parent] {
+				t.Fatalf("run span parent %q is not a dispatch span", sp.Parent)
+			}
+		case span.NameObjective:
+			if sp.Worker == "" {
+				t.Fatalf("fleet objective span lost worker attribution: %+v", sp)
+			}
+		}
+	}
+	if counts[span.NameStudy] != 1 {
+		t.Fatalf("want exactly one study root, got %v", counts)
+	}
+	for _, name := range []string{span.NameTrial, span.NameDispatch, span.NameRun, span.NameObjective, span.NameJournal} {
+		if counts[name] < spec.Budget {
+			t.Fatalf("span kind %q covers %d of %d trials: %v", name, counts[name], spec.Budget, counts)
+		}
+	}
+	if runWorkers["w1"]+runWorkers["w2"] < spec.Budget || runWorkers[""] > 0 {
+		t.Fatalf("run spans not attributed to fleet workers: %v", runWorkers)
+	}
+
+	// The tree itself must nest: study root → trial → dispatch → run →
+	// objective, proving the parent links resolve rather than orphaning.
+	if len(tree.Spans) != 1 {
+		t.Fatalf("expected a single root, got %d", len(tree.Spans))
+	}
+	var deepest func(n *span.Node) int
+	deepest = func(n *span.Node) int {
+		d := 0
+		for _, c := range n.Children {
+			if cd := deepest(c) + 1; cd > d {
+				d = cd
+			}
+		}
+		return d
+	}
+	if depth := deepest(tree.Spans[0]); depth < 4 {
+		// study → trial → dispatch → run → objective.
+		t.Fatalf("tree too shallow (%d levels): span hops did not link", depth)
+	}
+}
+
+// TestSpansDisabledServesEmptyTree checks the endpoint stays up — and
+// empty — on a daemon without -spans, rather than 404ing.
+func TestSpansDisabledServesEmptyTree(t *testing.T) {
+	d, err := New(Config{Dir: t.TempDir(), Workers: 2, Logf: testLogf(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+	m, err := d.Submit(baseSpec("sphere"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, StatusDone)
+
+	tree := fetchSpanTree(t, ts.URL, m.ID)
+	if tree.Count != 0 || len(tree.Spans) != 0 {
+		t.Fatalf("spanless daemon served spans: %+v", tree)
+	}
+	if tree.Spans == nil {
+		t.Fatal("spans must serialize as [], not null")
+	}
+}

@@ -54,6 +54,11 @@ type ManagedStudy struct {
 	// rawSpec is the spec exactly as persisted on disk; trial dispatches
 	// carry it verbatim so every worker rebuilds the identical objective.
 	rawSpec []byte
+	// journalTimer, when set (by the daemon before run, in span mode),
+	// wraps each trial's journal append so its latency can be recorded as
+	// a causal span. Purely observational: do() runs exactly once either
+	// way, and the appended bytes are untouched.
+	journalTimer func(trial int, do func())
 
 	mu sync.Mutex
 	// guarded-by: mu
@@ -218,12 +223,19 @@ func (m *ManagedStudy) run(ctx context.Context, wrap func(core.Objective) core.O
 		return
 	}
 	study.OnTrial = func(t core.Trial) {
-		if err := jw.Append(t); err != nil {
-			m.mu.Lock()
-			if m.journalErr == "" {
-				m.journalErr = err.Error()
+		doAppend := func() {
+			if err := jw.Append(t); err != nil {
+				m.mu.Lock()
+				if m.journalErr == "" {
+					m.journalErr = err.Error()
+				}
+				m.mu.Unlock()
 			}
-			m.mu.Unlock()
+		}
+		if m.journalTimer != nil {
+			m.journalTimer(t.ID, doAppend)
+		} else {
+			doAppend()
 		}
 		m.mu.Lock()
 		m.trials = append(m.trials, t)

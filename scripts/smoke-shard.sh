@@ -7,6 +7,9 @@
 #   * identical submissions spread across both shards (bounded-load
 #     placement),
 #   * per-study reads proxy through the router to the owning daemon,
+#   * a study's /spans tree links the router's placement span, the owning
+#     daemon's scheduling spans, and the worker-side execution spans
+#     under one deterministic trace ID,
 #   * the fleet-wide /metrics rollup carries daemon labels without
 #     colliding series,
 #   * killing one daemon re-homes its studies onto the survivor and the
@@ -42,10 +45,10 @@ go build -o "$BIN/rldecide-worker" ./cmd/rldecide-worker
 go build -o "$BIN/rldecide-router" ./cmd/rldecide-router
 
 "$BIN/rldecide-serve" -addr "127.0.0.1:$A_PORT" -dir "$DIR/state" \
-  -name alpha -exec fleet -token "$TOKEN" -trace &
+  -name alpha -exec fleet -token "$TOKEN" -trace -spans &
 PIDS+=($!)
 "$BIN/rldecide-serve" -addr "127.0.0.1:$B_PORT" -dir "$DIR/state" \
-  -name beta -exec fleet -token "$TOKEN" -trace &
+  -name beta -exec fleet -token "$TOKEN" -trace -spans &
 BETA_PID=$!
 PIDS+=($BETA_PID)
 
@@ -133,6 +136,22 @@ for id in "${ids[@]}"; do
   [ "$trials" = "8" ] || { echo "$id journaled $trials trials, want 8" >&2; exit 1; }
 done
 echo "all studies done through the router"
+
+# Fleet-wide causal tracing: the routed /spans tree must stitch the
+# router's placement span, the daemon's scheduling spans, and the
+# worker-side execution spans under a single trace ID.
+tree=$(curl -sf "$base/studies/${ids[0]}/spans") ||
+  { echo "router did not serve /spans for ${ids[0]}" >&2; exit 1; }
+for name in place trial dispatch run objective journal; do
+  echo "$tree" | grep -q "\"name\": *\"$name\"" ||
+    { echo "span tree missing a '$name' span: $tree" >&2; exit 1; }
+done
+traces=$(echo "$tree" | grep -o '"trace": *"[0-9a-f]*"' | sort -u | wc -l)
+[ "$traces" = "1" ] ||
+  { echo "span tree carries $traces distinct trace IDs, want 1" >&2; exit 1; }
+echo "$tree" | grep -q '"worker": *"shard-w' ||
+  { echo "span tree lost worker attribution: $tree" >&2; exit 1; }
+echo "span tree OK"
 
 # Decision-analysis reads are per-study GETs, so the router must proxy
 # them to the owning shard like any other study read.
